@@ -1,0 +1,1 @@
+"""Benchmark harnesses: one module per table/figure of the paper."""

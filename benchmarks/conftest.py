@@ -1,0 +1,31 @@
+"""Shared helpers for the per-figure/table benchmark harnesses.
+
+Every benchmark prints the rows/series the paper reports (paper value next
+to our measured value) and asserts the *shape* of the result — who wins,
+by roughly what factor, where crossovers fall — per the reproduction's
+ground rules (our substrate is a simulator/laptop, not the authors'
+testbed, so absolute numbers are not expected to match).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one paper-style results table to stdout (-s to see it)."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, unit: str = "", digits: int = 2) -> str:
+    return f"{value:.{digits}f}{unit}"

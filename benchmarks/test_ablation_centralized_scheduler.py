@@ -1,0 +1,75 @@
+"""Ablation — bottom-up distributed scheduling vs a centralized scheduler.
+
+Not a single figure, but the design argument running through Sections
+4.2.2 and 6: centralized schedulers (Spark/CIEL ≈ tens of ms latency,
+Dask ≈ 3 k tasks/s ceiling) cannot sustain Ray's fine-grained workloads.
+This bench pits the simulated bottom-up cluster against the centralized
+model on the Figure 8b workload, and also ablates GCS-decoupled dispatch
+(the extra per-round RTT when object locations live in the scheduler).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baselines.centralized import CentralizedSchedulerModel
+from repro.sim import SimCluster, SimConfig
+from repro.sim.collectives import RingAllreduceConfig, ring_allreduce_time
+from repro.sim.workloads import empty_tasks
+
+NUM_NODES = 20
+TASKS = NUM_NODES * 400
+TASK_SECONDS = 0.005  # 5 ms tasks — the paper's Section 2 sizing example
+
+
+def run_ablation():
+    # Bottom-up distributed scheduler (the simulated cluster).
+    cluster = SimCluster(SimConfig(num_nodes=NUM_NODES, cpus_per_node=32))
+    tasks = [t for t in empty_tasks(TASKS, duration=TASK_SECONDS)]
+    cluster.run_all(tasks)
+    bottom_up = TASKS / cluster.engine.now
+
+    # Centralized schedulers at the paper's two reference points.
+    dask_like = CentralizedSchedulerModel(service_time=1 / 3000, decision_latency=0.005)
+    spark_like = CentralizedSchedulerModel(service_time=1 / 5000, decision_latency=0.02)
+    durations = [TASK_SECONDS] * TASKS
+    cores = NUM_NODES * 32
+    dask_rate = TASKS / dask_like.makespan(durations, cores)
+    spark_rate = TASKS / spark_like.makespan(durations, cores)
+
+    # GCS-decoupled vs scheduler-coupled dispatch on allreduce.
+    decoupled = ring_allreduce_time(100_000_000, RingAllreduceConfig())
+    coupled = ring_allreduce_time(
+        100_000_000, RingAllreduceConfig(coupled_dispatch=True)
+    )
+
+    print_table(
+        "Ablation: scheduler architecture (5 ms tasks, 20 nodes x 32 cores)",
+        ["architecture", "tasks/s"],
+        [
+            ("bottom-up distributed (Ray)", f"{bottom_up:,.0f}"),
+            ("centralized, Dask-like (3k/s)", f"{dask_rate:,.0f}"),
+            ("centralized, Spark-like", f"{spark_rate:,.0f}"),
+        ],
+    )
+    print_table(
+        "Ablation: dispatch decoupled from scheduling (100 MB allreduce)",
+        ["design", "iteration time"],
+        [
+            ("object table in GCS (Ray)", f"{decoupled * 1e3:.0f} ms"),
+            ("object table in scheduler", f"{coupled * 1e3:.0f} ms"),
+        ],
+    )
+    return bottom_up, dask_rate, spark_rate, decoupled, coupled
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_centralized_scheduler_is_the_bottleneck(benchmark):
+    bottom_up, dask_rate, spark_rate, decoupled, coupled = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    # The centralized pipe caps near its service rate; bottom-up does not.
+    assert dask_rate < 3100
+    assert bottom_up > 20 * dask_rate
+    assert bottom_up > 20 * spark_rate
+    # Coupling dispatch to the scheduler adds a round trip per round.
+    assert coupled > decoupled

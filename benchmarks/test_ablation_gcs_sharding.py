@@ -1,0 +1,57 @@
+"""Ablation — GCS sharding scales the control plane.
+
+Section 7: "The GCS was also instrumental to Ray's horizontal scalability.
+… we were able to scale by adding more shards whenever the GCS became a
+bottleneck."  This bench makes that concrete: the Figure 8b workload with
+the GCS write path modelled — every task performs 3 single-key writes,
+each shard being a single-writer chain.  With one shard the cluster caps
+at the shard's service rate regardless of node count; with enough shards
+the bottom-up scheduler's linear scaling returns.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sim import SimCluster, SimConfig
+from repro.sim.workloads import empty_tasks
+
+NODES = 40
+TASKS = NODES * 250
+SHARD_COUNTS = [1, 2, 4, 8, 16, 64]
+
+
+def throughput_with_shards(num_shards: int) -> float:
+    cluster = SimCluster(
+        SimConfig(num_nodes=NODES, cpus_per_node=32, gcs_shards=num_shards)
+    )
+    tasks = empty_tasks(TASKS)
+    cluster.run_all(tasks)
+    return TASKS / cluster.engine.now
+
+
+def run_ablation():
+    results = {n: throughput_with_shards(n) for n in SHARD_COUNTS}
+    unmodelled = SimCluster(SimConfig(num_nodes=NODES, cpus_per_node=32))
+    tasks = empty_tasks(TASKS)
+    unmodelled.run_all(tasks)
+    results["infinite"] = TASKS / unmodelled.engine.now
+    print_table(
+        f"Ablation: GCS shards vs task throughput ({NODES} nodes)",
+        ["GCS shards", "tasks/s"],
+        [(str(k), f"{v:,.0f}") for k, v in results.items()],
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-gcs")
+def test_gcs_sharding_removes_the_bottleneck(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    # One shard caps throughput near its write service rate
+    # (3 ops/task at 20 µs/op ⇒ ~16.7 K tasks/s).
+    assert results[1] < 20_000
+    # Adding shards scales the control plane back out.
+    assert results[2] > 1.7 * results[1]
+    assert results[8] > 6 * results[1]
+    # With enough shards the GCS is off the critical path entirely:
+    # within 25% of the unmodelled (infinite-GCS) cluster.
+    assert results[64] > 0.75 * results["infinite"]

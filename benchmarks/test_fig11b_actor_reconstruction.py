@@ -1,0 +1,105 @@
+"""Figure 11b — actor reconstruction from checkpoints.
+
+Paper setup: 2000 actors across 10 nodes; at t = 200 s two nodes are
+killed, displacing 400 actors onto the survivors.  With checkpointing,
+only ~500 methods are re-executed; without it, ~10 k replays are needed,
+and checkpoint tasks appear as a third series.
+
+Regenerated on the actor-failure simulation at reduced scale (200 actors),
+preserving the 2-of-10-nodes failure fraction and the checkpointing
+comparison.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sim.actors import ActorFailureSimulation, ActorSimConfig
+
+NUM_ACTORS = 200  # paper: 2000 (scaled 10x)
+NUM_NODES = 10
+KILL_AT = 100.0
+HORIZON = 300.0
+CHECKPOINT_INTERVAL = 10
+
+
+def run(checkpoint_interval):
+    sim = ActorFailureSimulation(
+        ActorSimConfig(
+            num_nodes=NUM_NODES,
+            cores_per_node=8,
+            num_actors=NUM_ACTORS,
+            method_duration=0.4,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_duration=0.05,
+            timeline_bucket=10.0,
+        )
+    )
+    sim.run(horizon=HORIZON, kill_at=KILL_AT, kill_nodes=2)
+    return sim
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_checkpointing_bounds_reconstruction(benchmark):
+    def both():
+        return run(CHECKPOINT_INTERVAL), run(None)
+
+    with_ckpt, without = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_table(
+        "Figure 11b: actor reconstruction cost",
+        ["variant", "methods replayed", "checkpoints", "original methods"],
+        [
+            (
+                f"checkpoint every {CHECKPOINT_INTERVAL}",
+                with_ckpt.total_replayed,
+                with_ckpt.total_checkpoints,
+                with_ckpt.timeline.total["original"],
+            ),
+            (
+                "no checkpointing",
+                without.total_replayed,
+                0,
+                without.timeline.total["original"],
+            ),
+        ],
+    )
+    # 2 of 10 nodes → 20% of actors displaced (paper: 400 of 2000).
+    displaced_fraction = NUM_ACTORS // NUM_NODES * 2 / NUM_ACTORS
+    assert displaced_fraction == pytest.approx(0.2)
+    # Paper headline: checkpointing cuts replays by an order of magnitude
+    # (500 vs 10k ⇒ 20x there; ≥3x required at our scale).
+    assert without.total_replayed > 3 * with_ckpt.total_replayed
+    # Replay per displaced actor is bounded by the checkpoint interval.
+    displaced = NUM_ACTORS // NUM_NODES * 2
+    assert with_ckpt.total_replayed <= displaced * CHECKPOINT_INTERVAL
+    # The checkpoint series exists only in the checkpointing run.
+    assert with_ckpt.timeline.total.get("checkpoint", 0) > 0
+    assert without.timeline.total.get("checkpoint", 0) == 0
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_checkpoint_interval_sweep(benchmark):
+    """Design ablation (DESIGN.md §4): the checkpoint interval trades
+    steady-state checkpoint overhead against recovery replay cost."""
+    intervals = [2, 5, 10, 25, 50]
+
+    def sweep():
+        return {interval: run(interval) for interval in intervals}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig 11b ablation: checkpoint interval trade-off",
+        ["interval", "methods replayed", "checkpoints taken"],
+        [
+            (interval, sim.total_replayed, sim.total_checkpoints)
+            for interval, sim in results.items()
+        ],
+    )
+    replays = [results[i].total_replayed for i in intervals]
+    checkpoints = [results[i].total_checkpoints for i in intervals]
+    # Longer intervals ⇒ more replay on failure, fewer checkpoints.
+    assert replays[0] < replays[-1]
+    assert checkpoints[0] > checkpoints[-1]
+    # Replay per displaced actor stays bounded by the interval.
+    displaced = NUM_ACTORS // NUM_NODES * 2
+    for interval in intervals:
+        assert results[interval].total_replayed <= displaced * interval

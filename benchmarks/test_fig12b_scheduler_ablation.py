@@ -1,0 +1,99 @@
+"""Figure 12b — scheduler latency ablation on allreduce.
+
+Paper setup: 16-node, 100 MB ring allreduce with artificial task-execution
+delays of +0/+1/+5/+10 ms injected into scheduling; a few milliseconds of
+added latency nearly doubles completion time, which is why centralized
+schedulers (tens of ms) cannot run this workload.
+
+Regenerated with the same cost model used in Fig 12a plus the paper's
+Related-Work arithmetic for a Dask-like centralized scheduler (3 k tasks/s
+⇒ ~5 ms of scheduling per 16-task round).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baselines.centralized import CentralizedSchedulerModel
+from repro.sim.collectives import (
+    RingAllreduceConfig,
+    ring_allreduce_tasks,
+    ring_allreduce_time,
+)
+
+OBJECT_SIZE = 100_000_000
+DELAYS = [0.0, 1e-3, 5e-3, 10e-3]
+
+
+def run_figure_12b():
+    results = {}
+    for delay in DELAYS:
+        results[delay] = ring_allreduce_time(
+            OBJECT_SIZE, RingAllreduceConfig(scheduler_delay=delay)
+        )
+    # The centralized-scheduler comparison from Related Work.
+    dask_like = CentralizedSchedulerModel(service_time=1 / 3000, decision_latency=0.0)
+    per_round_penalty = dask_like.allreduce_round_penalty(16)
+    results["centralized"] = ring_allreduce_time(
+        OBJECT_SIZE, RingAllreduceConfig(scheduler_delay=per_round_penalty)
+    )
+    rows = [
+        (f"+{delay * 1e3:.0f} ms", f"{results[delay] * 1e3:.0f} ms",
+         f"{results[delay] / results[0.0]:.2f}x")
+        for delay in DELAYS
+    ]
+    rows.append(
+        (
+            "centralized (Dask-like)",
+            f"{results['centralized'] * 1e3:.0f} ms",
+            f"{results['centralized'] / results[0.0]:.2f}x",
+        )
+    )
+    print_table(
+        "Figure 12b: allreduce (16 nodes, 100 MB) vs injected scheduler latency",
+        ["added latency", "iteration time", "slowdown"],
+        rows,
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig12b")
+def test_fig12b_scheduler_latency_ablation(benchmark):
+    results = benchmark.pedantic(run_figure_12b, rounds=1, iterations=1)
+    base = results[0.0]
+    # Monotonically worse with injected latency.
+    assert results[1e-3] > base
+    assert results[5e-3] > results[1e-3]
+    assert results[10e-3] > results[5e-3]
+    # Paper headline: "performance drops nearly 2x with just a few ms".
+    assert results[5e-3] / base > 1.6
+    assert results[10e-3] / base > 2.0
+    # A centralized scheduler adds ≥5 ms/round → ~2x worse (Related Work).
+    assert results["centralized"] / base > 1.7
+    # Quadratic task pressure: the workload that makes throughput matter.
+    assert ring_allreduce_tasks(16) == 480
+
+
+@pytest.mark.benchmark(group="fig12b")
+def test_fig12b_mechanistic_cross_check(benchmark):
+    """The same experiment run *mechanistically* — the ring executed as
+    real tasks through the simulated bottom-up scheduler — must show the
+    same effect as the cost model."""
+    from repro.sim.allreduce_sim import scheduler_delay_sweep
+
+    def run():
+        return scheduler_delay_sweep(
+            [0.0, 1e-3, 5e-3, 10e-3], num_nodes=16, object_size=OBJECT_SIZE
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = sweep[0.0]
+    print_table(
+        "Figure 12b (mechanistic): ring executed through the sim scheduler",
+        ["added latency", "completion", "slowdown"],
+        [
+            (f"+{d * 1e3:.0f} ms", f"{t * 1e3:.0f} ms", f"{t / base:.2f}x")
+            for d, t in sweep.items()
+        ],
+    )
+    assert sweep[5e-3] / base > 1.6  # "nearly 2x with just a few ms"
+    assert sweep[10e-3] > sweep[5e-3] > sweep[1e-3] > base

@@ -1,0 +1,115 @@
+"""Figure 13 — distributed synchronous SGD throughput.
+
+Paper setup: ResNet-101 (TF benchmark model) on 4–64 V100 GPUs, 4 GPUs per
+node on 25 Gbps Ethernet; Ray's sharded-parameter-server SGD matches
+Horovod and stays within 10% of Distributed TensorFlow in
+``distributed_replicated`` mode.  The key Ray-side optimization is
+pipelining gradient computation/transfer/summation within an iteration.
+
+Regenerated with the shared compute-kernel cost model (all systems run the
+same kernel; only synchronization differs) plus an *executable* run of the
+real parameter-server SGD on the runtime to validate the system structure.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import print_table
+from repro.baselines.sgd_baselines import (
+    distributed_tf_images_per_second,
+    horovod_images_per_second,
+    ray_sgd_images_per_second,
+)
+from repro.rl.sgd import SyncSGDTrainer, make_dataset
+
+GPU_COUNTS = [4, 8, 16, 32, 64]
+
+
+def run_figure_13():
+    results = {}
+    rows = []
+    for gpus in GPU_COUNTS:
+        horovod = horovod_images_per_second(gpus)
+        dist_tf = distributed_tf_images_per_second(gpus)
+        ray = ray_sgd_images_per_second(gpus)
+        unpipelined = ray_sgd_images_per_second(gpus, pipelined=False)
+        results[gpus] = (horovod, dist_tf, ray, unpipelined)
+        rows.append(
+            (
+                gpus,
+                f"{horovod:.0f}",
+                f"{dist_tf:.0f}",
+                f"{ray:.0f}",
+                f"{unpipelined:.0f}",
+            )
+        )
+    print_table(
+        "Figure 13: images/s (ResNet-101-like kernel)",
+        ["GPUs", "Horovod+TF", "Distributed TF", "Ray+TF", "Ray unpipelined (ablation)"],
+        rows,
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_sgd_throughput_parity(benchmark):
+    results = benchmark.pedantic(run_figure_13, rounds=1, iterations=1)
+    for gpus, (horovod, dist_tf, ray, unpipelined) in results.items():
+        # Ray matches Horovod and is within 10% of Distributed TF.
+        assert abs(ray - horovod) / horovod < 0.10, f"{gpus} GPUs"
+        assert ray >= 0.90 * dist_tf, f"{gpus} GPUs"
+        # The pipelining optimization is what buys the parity.
+        assert unpipelined < ray
+    # Near-linear scaling 4 → 64 GPUs.
+    assert results[64][2] > 10 * results[4][2]
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_mechanistic_cross_check(benchmark):
+    """The PS-sharded structure *executed* through the simulated cluster
+    tracks the model's unpipelined variant and scales near-linearly."""
+    from repro.sim.sgd_sim import simulate_sync_sgd
+
+    def run():
+        return {gpus: simulate_sync_sgd(gpus) for gpus in (4, 16, 64)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 13 (mechanistic): PS-sharded SGD through the sim scheduler",
+        ["GPUs", "images/s (mechanistic)", "model unpipelined"],
+        [
+            (
+                gpus,
+                f"{r.images_per_second:.0f}",
+                f"{ray_sgd_images_per_second(gpus, pipelined=False):.0f}",
+            )
+            for gpus, r in results.items()
+        ],
+    )
+    for gpus, result in results.items():
+        model = ray_sgd_images_per_second(gpus, pipelined=False)
+        assert result.images_per_second == pytest.approx(model, rel=0.3)
+    assert results[64].images_per_second > 8 * results[4].images_per_second
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_executable_parameter_server_sgd(benchmark):
+    """The real sharded-PS pipeline on the runtime converges (structure
+    check at laptop scale; the model above carries the magnitudes)."""
+    repro.init(num_nodes=2, num_cpus_per_node=4)
+    try:
+        features, targets, _w = make_dataset(600, 12, seed=5)
+
+        def run():
+            trainer = SyncSGDTrainer(
+                features, targets, num_workers=3, num_ps_shards=2, learning_rate=0.3
+            )
+            losses = trainer.train(20)
+            trainer.close()
+            return losses
+
+        losses = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert losses[-1] < 0.05 * losses[0]
+    finally:
+        repro.shutdown()

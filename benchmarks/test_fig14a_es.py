@@ -1,0 +1,101 @@
+"""Figure 14a — Evolution Strategies on Humanoid-v1: Ray vs reference.
+
+Paper setup: time to reach a score of 6000, sweeping 256 → 8192 cores.
+The Ray implementation (aggregation tree of actors) scales throughout,
+reaching a median of 3.7 minutes at 8192 cores (2× the best published
+result); the special-purpose reference system fails beyond 1024 cores
+because its single driver saturates on result aggregation.
+
+Regenerated with the shared ES workload model (Ray = tree aggregation;
+reference = single-driver fold with queueing) plus an *executable* ES
+training run on the real runtime, including the hierarchical-aggregation
+code path, training CartPole to improvement.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baselines.reference_es import (
+    ray_es_time_to_solve,
+    reference_es_time_to_solve,
+)
+
+CORE_COUNTS = [256, 512, 1024, 2048, 4096, 8192]
+
+
+def run_figure_14a():
+    results = {}
+    rows = []
+    for cores in CORE_COUNTS:
+        reference = reference_es_time_to_solve(cores)
+        ray = ray_es_time_to_solve(cores, hierarchical=True)
+        results[cores] = (reference, ray)
+        rows.append(
+            (
+                cores,
+                "x (failed)" if math.isinf(reference) else f"{reference / 60:.1f} min",
+                f"{ray / 60:.1f} min",
+            )
+        )
+    print_table(
+        "Figure 14a: ES time to solve Humanoid (score 6000)",
+        ["cores", "Reference ES", "Ray ES (paper: 3.7 min @ 8192)"],
+        rows,
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig14a")
+def test_fig14a_es_scaling(benchmark):
+    results = benchmark.pedantic(run_figure_14a, rounds=1, iterations=1)
+    # The reference system completes at <=1024 cores and fails beyond.
+    assert math.isfinite(results[1024][0])
+    for cores in (2048, 4096, 8192):
+        assert math.isinf(results[cores][0]), f"reference should fail at {cores}"
+    # Ray scales all the way; paper median 3.7 min at 8192 cores.
+    assert math.isfinite(results[8192][1])
+    assert results[8192][1] / 60 == pytest.approx(3.7, rel=0.25)
+    # Each doubling buys roughly 1.6x (paper's reported average).
+    speedups = [
+        results[c][1] / results[2 * c][1] for c in (256, 512, 1024, 2048, 4096)
+    ]
+    mean_speedup = sum(speedups) / len(speedups)
+    assert 1.3 <= mean_speedup <= 1.9, f"mean doubling speedup {mean_speedup:.2f}"
+    # Where both run, Ray is at least as fast as the reference.
+    for cores in (256, 512, 1024):
+        assert results[cores][1] <= results[cores][0] * 1.05
+
+
+@pytest.mark.benchmark(group="fig14a")
+def test_fig14a_executable_hierarchical_es(benchmark):
+    """The real ES (with the aggregation-tree path) improves a policy."""
+    import repro
+    from repro.rl import ESConfig, EnvSpec, EvolutionStrategies, PolicySpec
+
+    repro.init(num_nodes=2, num_cpus_per_node=4)
+    try:
+        env_spec = EnvSpec("cartpole", max_steps=120)
+
+        def run():
+            es = EvolutionStrategies(
+                env_spec,
+                PolicySpec.for_env(env_spec, kind="linear"),
+                ESConfig(
+                    population_size=12,
+                    sigma=0.3,
+                    learning_rate=0.15,
+                    hierarchical=True,
+                    aggregation_fanout=4,
+                    seed=3,
+                ),
+            )
+            before = es.evaluate(episodes=3)
+            es.train(6)
+            return before, es.evaluate(episodes=3)
+
+        before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert after > before
+    finally:
+        repro.shutdown()

@@ -1,0 +1,71 @@
+"""Figure 8a — locality-aware task placement.
+
+Paper setup: 1000 tasks, each depending on one object pre-placed on one of
+two nodes, input sizes 100 KB → 100 MB.  With locality-aware placement,
+mean task latency stays flat in object size; without it (the placement
+quality actor methods get), latency blows up by 1–2 orders of magnitude at
+10–100 MB.
+
+Regenerated on the simulated cluster with the same placement policies as
+the real runtime.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sim import SimCluster, SimConfig
+from repro.sim.workloads import locality_tasks
+
+SIZES = [100_000, 1_000_000, 10_000_000, 100_000_000]
+NUM_TASKS = 400  # paper: 1000; scaled for bench runtime
+
+
+def mean_latency(object_size: int, locality_aware: bool) -> float:
+    cluster = SimCluster(
+        SimConfig(
+            num_nodes=2,
+            cpus_per_node=16,
+            locality_aware=locality_aware,
+            spillback_threshold=0,  # all placement through the global scheduler
+        )
+    )
+    tasks = locality_tasks(cluster, NUM_TASKS, object_size, seed=42)
+    latencies = cluster.run_all(tasks, origins=[0] * len(tasks))
+    return sum(latencies) / len(latencies)
+
+
+def run_figure_8a():
+    rows = []
+    results = {}
+    for size in SIZES:
+        aware = mean_latency(size, True)
+        unaware = mean_latency(size, False)
+        results[size] = (aware, unaware)
+        rows.append(
+            (
+                f"{size // 1000}KB" if size < 1e6 else f"{size // 1_000_000}MB",
+                f"{aware * 1e3:.2f} ms",
+                f"{unaware * 1e3:.2f} ms",
+                f"{unaware / aware:.1f}x",
+            )
+        )
+    print_table(
+        "Figure 8a: mean task latency vs input size (2 nodes)",
+        ["object size", "locality-aware", "unaware", "penalty"],
+        rows,
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_locality_aware_placement(benchmark):
+    results = benchmark.pedantic(run_figure_8a, rounds=1, iterations=1)
+    aware_small = results[SIZES[0]][0]
+    aware_large = results[SIZES[-1]][0]
+    # Paper shape 1: aware latency is ~independent of object size.
+    assert aware_large < aware_small * 3
+    # Paper shape 2: unaware latency is 1–2 orders worse at 10–100 MB.
+    for size in (10_000_000, 100_000_000):
+        aware, unaware = results[size]
+        assert unaware > 5 * aware, f"{size}: {unaware / aware:.1f}x"
+    assert results[100_000_000][1] / results[100_000_000][0] > 10

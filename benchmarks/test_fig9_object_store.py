@@ -1,0 +1,114 @@
+"""Figure 9 — object store write throughput and IOPS.
+
+Paper setup: a single client writes objects of 1 KB → 1 GB into the node's
+store; throughput exceeds 15 GB/s for large objects (8 copy threads) and
+18 K IOPS for small ones (overhead dominated by serialization + IPC).
+
+Two parts here:
+
+* a *model* sweep mirroring the paper's axes (threads × object size) with
+  memcpy bandwidth/IPC constants calibrated to the paper's hardware;
+* a *real* measurement of this repo's store (single-threaded Python, so
+  absolute numbers are lower; the shape — throughput rising with object
+  size, IOPS falling — is asserted).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.common.ids import NodeID, ObjectID
+from repro.common.serialization import serialize
+from repro.core.object_store import LocalObjectStore
+from repro.core.transfer import striped_copy
+
+SIZES = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000]
+THREAD_COUNTS = [1, 2, 4, 8, 16]
+
+# Calibrated to the paper's m4.4xlarge: one memcpy thread ≈ 2.6 GB/s,
+# saturating ~16 GB/s; per-put software overhead ≈ 52 µs.
+PER_THREAD_MEMCPY = 2.6e9
+MEMCPY_CAP = 16.5e9
+PUT_OVERHEAD = 52e-6
+SMALL_OBJECT_THRESHOLD = 500_000  # paper: >0.5 MB uses 8 threads
+
+
+def modeled_put_seconds(size: int, threads: int) -> float:
+    effective = min(threads * PER_THREAD_MEMCPY, MEMCPY_CAP)
+    return PUT_OVERHEAD + size / effective
+
+
+def run_model_sweep():
+    rows = []
+    results = {}
+    for size in SIZES:
+        by_threads = {}
+        for threads in THREAD_COUNTS:
+            used = threads if size > SMALL_OBJECT_THRESHOLD else 1
+            seconds = modeled_put_seconds(size, used)
+            by_threads[threads] = (size / seconds, 1.0 / seconds)
+        results[size] = by_threads
+        throughput, iops = by_threads[8]
+        rows.append(
+            (
+                f"{size:,} B",
+                f"{throughput / 1e9:.2f} GB/s",
+                f"{iops / 1e3:.1f} K IOPS",
+            )
+        )
+    print_table(
+        "Figure 9 (model): store write throughput / IOPS (8 threads)",
+        ["object size", "throughput (paper peak >15 GB/s)", "IOPS (paper ~18K small)"],
+        rows,
+    )
+    return results
+
+
+def run_real_measurement():
+    rows = []
+    results = {}
+    import numpy as np
+
+    for size in (1_000, 100_000, 10_000_000):
+        store = LocalObjectStore(NodeID.from_seed("bench"))
+        # numpy payloads go out-of-band, so striped_copy performs the same
+        # real memcpy the transfer service would.
+        payload = serialize(np.zeros(max(1, size // 8), dtype=np.float64))
+        count = max(3, min(200, 40_000_000 // max(size, 1)))
+        start = time.perf_counter()
+        for i in range(count):
+            store.put(ObjectID.from_seed(f"{size}-{i}"), striped_copy(payload))
+        elapsed = time.perf_counter() - start
+        throughput = count * size / elapsed
+        iops = count / elapsed
+        results[size] = (throughput, iops)
+        rows.append(
+            (f"{size:,} B", f"{throughput / 1e9:.3f} GB/s", f"{iops / 1e3:.2f} K IOPS")
+        )
+    print_table(
+        "Figure 9 (real store, 1 Python thread)",
+        ["object size", "throughput", "IOPS"],
+        rows,
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_model_reaches_paper_peaks(benchmark):
+    results = benchmark.pedantic(run_model_sweep, rounds=1, iterations=1)
+    # >15 GB/s for large objects with 8 threads.
+    assert results[1_000_000_000][8][0] > 15e9
+    # ≥18 K IOPS for small objects.
+    assert results[1_000][1][1] >= 18_000
+    # Thread scaling matters only for large objects.
+    assert results[1_000_000_000][8][0] > 4 * results[1_000_000_000][1][0]
+    assert results[1_000][8][1] == results[1_000][1][1]
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_real_store_shape(benchmark):
+    results = benchmark.pedantic(run_real_measurement, rounds=1, iterations=1)
+    # Shape: byte throughput grows with object size; IOPS shrinks.
+    assert results[10_000_000][0] > results[1_000][0]
+    assert results[1_000][1] > results[10_000_000][1]

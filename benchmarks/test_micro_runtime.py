@@ -1,0 +1,117 @@
+"""Microbenchmarks of the *real* in-process runtime (not in the paper).
+
+The paper's throughput numbers come from a C++ system layer on a cluster;
+these measure what our pure-Python reproduction actually sustains, so the
+per-figure benches can honestly say which substrate produced which number.
+Useful as a regression guard on runtime overhead too.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import print_table
+
+
+@repro.remote
+def noop():
+    return None
+
+
+@repro.remote
+def echo(x):
+    return x
+
+
+@repro.remote
+class CounterActor:
+    def __init__(self):
+        self.n = 0
+
+    def bump(self):
+        self.n += 1
+        return self.n
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_task_throughput(benchmark):
+    repro.init(num_nodes=1, num_cpus_per_node=4)
+    try:
+        repro.get(noop.remote())  # warm up function registration
+
+        def run():
+            refs = [noop.remote() for _ in range(300)]
+            repro.get(refs)
+            return len(refs)
+
+        count = benchmark(run)
+        assert count == 300
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_actor_method_throughput(benchmark):
+    repro.init(num_nodes=1, num_cpus_per_node=4)
+    try:
+        actor = CounterActor.remote()
+        repro.get(actor.bump.remote())
+
+        def run():
+            refs = [actor.bump.remote() for _ in range(300)]
+            return repro.get(refs)[-1]
+
+        last = benchmark(run)
+        assert last >= 300
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_object_roundtrip_1mb(benchmark):
+    repro.init(num_nodes=2, num_cpus_per_node=2)
+    try:
+        payload = np.zeros(125_000)  # 1 MB
+
+        def run():
+            return repro.get(echo.remote(payload)).nbytes
+
+        nbytes = benchmark(run)
+        assert nbytes == 1_000_000
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_summary(benchmark):
+    """Print a one-table overview of real-runtime rates."""
+    import time
+
+    repro.init(num_nodes=1, num_cpus_per_node=4)
+    try:
+        repro.get(noop.remote())
+        actor = CounterActor.remote()
+        repro.get(actor.bump.remote())
+
+        def measure():
+            start = time.perf_counter()
+            repro.get([noop.remote() for _ in range(400)])
+            task_rate = 400 / (time.perf_counter() - start)
+            start = time.perf_counter()
+            repro.get([actor.bump.remote() for _ in range(400)])
+            method_rate = 400 / (time.perf_counter() - start)
+            return task_rate, method_rate
+
+        task_rate, method_rate = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print_table(
+            "Real-runtime microbenchmarks (pure Python, 1 node)",
+            ["metric", "rate"],
+            [
+                ("stateless tasks", f"{task_rate:,.0f} tasks/s"),
+                ("actor method calls", f"{method_rate:,.0f} calls/s"),
+            ],
+        )
+        assert task_rate > 200
+        assert method_rate > 200
+    finally:
+        repro.shutdown()

@@ -1,0 +1,226 @@
+"""Table 2 — tasks vs. actors tradeoffs, measured.
+
+The paper's Table 2 is qualitative; each row is demonstrated here as a
+measurement on the *real* runtime:
+
+| row | measurement |
+|---|---|
+| fine-grained load balancing (tasks) vs coarse (actors) | makespan of N slow calls as tasks (spread over nodes) vs methods on one actor (serialized) |
+| object locality (tasks) vs poor locality (actors) | bytes transferred when computing on a remote large object |
+| low overhead for small updates (actors) vs high (tasks) | time for a chain of tiny state updates held in an actor vs threaded through the object store |
+| efficient failure handling (tasks) vs checkpoint overhead (actors) | work re-executed after a failure |
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import print_table
+
+
+@repro.remote
+def slow_task(seconds):
+    time.sleep(seconds)
+    return 1
+
+
+@repro.remote
+class SlowActor:
+    def call(self, seconds):
+        time.sleep(seconds)
+        return 1
+
+
+@repro.remote
+def consume_payload(payload):
+    return len(payload)
+
+
+@repro.remote
+class PayloadActor:
+    def consume(self, payload):
+        return len(payload)
+
+
+@repro.remote
+def fold_task(state, x):
+    return state + x
+
+
+@repro.remote
+class FoldActor:
+    def __init__(self):
+        self.state = 0
+
+    def fold(self, x):
+        self.state += x
+        return self.state
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_load_balancing(benchmark):
+    """Row 1: stateless calls parallelize; one actor's methods serialize."""
+    repro.init(num_nodes=2, num_cpus_per_node=4)
+    try:
+        def run():
+            count, duration = 16, 0.05
+            start = time.perf_counter()
+            repro.get([slow_task.remote(duration) for _ in range(count)], timeout=30)
+            task_seconds = time.perf_counter() - start
+            actor = SlowActor.remote()
+            start = time.perf_counter()
+            repro.get([actor.call.remote(duration) for _ in range(count)], timeout=60)
+            actor_seconds = time.perf_counter() - start
+            repro.kill(actor)
+            return task_seconds, actor_seconds
+
+        task_seconds, actor_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "Table 2 row: load balancing (16 x 50 ms calls, 8 CPUs)",
+            ["abstraction", "makespan"],
+            [
+                ("tasks (load-balanced)", f"{task_seconds * 1e3:.0f} ms"),
+                ("one actor (serialized)", f"{actor_seconds * 1e3:.0f} ms"),
+            ],
+        )
+        # Tasks use the whole cluster; the actor is a serial bottleneck.
+        assert actor_seconds > 2.5 * task_seconds
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_locality(benchmark):
+    """Row 2: tasks chase data; an actor's data must chase the actor."""
+    rt = repro.init(num_nodes=2, num_cpus_per_node=4, spillback_threshold=0)
+    try:
+        def place_payload_on(node, size):
+            """Pre-place a large object on a chosen node (adversarial to
+            the actor, reachable by tasks)."""
+            from repro.common.ids import ObjectID
+            from repro.common.serialization import serialize
+
+            oid = ObjectID.from_seed(f"payload-{node.node_id.hex()[:6]}-{size}")
+            blob = serialize(b"x" * size)
+            node.store.put(oid, blob)
+            rt.gcs.add_object_location(oid, node.node_id)
+            rt.gcs.add_object(oid, blob.total_bytes, None)
+            return repro.ObjectRef(oid)
+
+        def run():
+            size = 20_000_000
+            # The actor is placed first; the data then appears on the
+            # *other* node — the "actors can't move to the data" scenario.
+            actor = PayloadActor.remote()
+            actor_node = rt.actors.get_state(actor.actor_id).node
+            other = [n for n in rt.nodes() if n is not actor_node][0]
+            payload = place_payload_on(other, size)
+
+            before = rt.transfer.bytes_transferred
+            repro.get([consume_payload.remote(payload) for _ in range(4)], timeout=60)
+            task_bytes = rt.transfer.bytes_transferred - before
+
+            before = rt.transfer.bytes_transferred
+            repro.get([actor.consume.remote(payload) for _ in range(4)], timeout=60)
+            actor_bytes = rt.transfer.bytes_transferred - before
+            repro.kill(actor)
+            return task_bytes, actor_bytes
+
+        task_bytes, actor_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "Table 2 row: locality (4 consumers of a 20 MB object)",
+            ["abstraction", "bytes moved between stores"],
+            [
+                ("tasks (move to the data)", f"{task_bytes:,}"),
+                ("actor (data moves to it)", f"{actor_bytes:,}"),
+            ],
+        )
+        # Tasks chase the data (little or no transfer); the pinned actor
+        # must pull the object across nodes.
+        assert actor_bytes >= 20_000_000
+        assert task_bytes < actor_bytes
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_small_updates(benchmark):
+    """Row 3: actors mutate internal state; tasks must round-trip every
+    update through the object store."""
+    repro.init(num_nodes=1, num_cpus_per_node=2)
+    try:
+        def run():
+            updates = 150
+            actor = FoldActor.remote()
+            start = time.perf_counter()
+            for i in range(updates):
+                last = actor.fold.remote(1)
+            assert repro.get(last, timeout=30) == updates
+            actor_seconds = time.perf_counter() - start
+            repro.kill(actor)
+
+            start = time.perf_counter()
+            state = repro.put(0)
+            for i in range(updates):
+                state = fold_task.remote(state, 1)
+            assert repro.get(state, timeout=60) == updates
+            task_seconds = time.perf_counter() - start
+            return actor_seconds, task_seconds
+
+        actor_seconds, task_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "Table 2 row: 150 tiny sequential state updates",
+            ["abstraction", "total time", "per update"],
+            [
+                ("actor (internal state)", f"{actor_seconds * 1e3:.0f} ms",
+                 f"{actor_seconds / 150 * 1e3:.2f} ms"),
+                ("tasks (state through store)", f"{task_seconds * 1e3:.0f} ms",
+                 f"{task_seconds / 150 * 1e3:.2f} ms"),
+            ],
+        )
+        assert actor_seconds < task_seconds
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_failure_handling(benchmark):
+    """Row 4: task lineage replays only what is needed; an un-checkpointed
+    actor replays its whole method chain."""
+    rt = repro.init(num_nodes=2, num_cpus_per_node=4)
+    try:
+        def run():
+            # Tasks: a 12-deep chain; lose only the head object.
+            ref = fold_task.remote(repro.put(0), 1)
+            for _ in range(11):
+                ref = fold_task.remote(ref, 1)
+            assert repro.get(ref, timeout=30) == 12
+            before = rt.reconstruction.reconstructed_tasks
+            repro.free(ref)  # only the final object is lost
+            assert repro.get(ref, timeout=30) == 12
+            task_replays = rt.reconstruction.reconstructed_tasks - before
+
+            # Actor: 12 methods, no checkpoints, crash-restart.
+            actor = FoldActor.options(checkpoint_interval=None).remote()
+            repro.get([actor.fold.remote(1) for _ in range(12)], timeout=30)
+            before = rt.actors.replayed_methods
+            repro.kill(actor, restart=True)
+            assert repro.get(actor.fold.remote(1), timeout=60) == 13
+            actor_replays = rt.actors.replayed_methods - before
+            return task_replays, actor_replays
+
+        task_replays, actor_replays = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table(
+            "Table 2 row: recovery work after losing the latest state",
+            ["abstraction", "work re-executed"],
+            [
+                ("tasks (replay the lost object only)", task_replays),
+                ("actor, no checkpoint (replay the chain)", actor_replays),
+            ],
+        )
+        assert task_replays <= 2
+        assert actor_replays >= 10
+    finally:
+        repro.shutdown()

@@ -1,0 +1,77 @@
+"""Table 3 — embedded serving throughput: Ray actor vs Clipper REST.
+
+Paper setup: client and server co-located on one machine.  Two workloads:
+a residual-network policy (10 ms eval, 4 KB states) and a small
+fully-connected policy (5 ms eval, 100 KB states), queried in batches of
+64.  Ray reaches 6200 / 6900 states/s; Clipper (over REST) reaches 4400 /
+290 — the large-input case collapses under REST serialization.
+
+Regenerated with both data paths *executed for real*: the Ray side runs an
+actor server on the runtime (shared-memory object path), the Clipper side
+runs the same fixed-cost model evaluation behind real JSON/base64
+encode-decode.  Model evaluation cost is identical across systems, as in
+the paper.
+"""
+
+import pytest
+
+import repro
+from benchmarks.conftest import print_table
+from repro.baselines.clipper import ClipperLikeServer
+from repro.rl.serving import PolicyServer, _busy_wait, measure_serving_throughput
+
+BATCH = 64
+DURATION = 0.6
+WORKLOADS = {
+    # name: (eval seconds per batch, state bytes)
+    "residual net, 4KB states": (0.010, 4_096),
+    "small FC net, 100KB states": (0.005, 102_400),
+}
+
+
+def run_table3():
+    results = {}
+    for name, (eval_seconds, state_bytes) in WORKLOADS.items():
+        states = [b"s" * state_bytes] * BATCH
+
+        clipper = ClipperLikeServer(
+            evaluate=lambda batch, t=eval_seconds: (_busy_wait(t), [0.0] * len(batch))[1],
+            http_overhead=0.8e-3,
+        )
+        clipper_rate = clipper.measure_throughput(states, duration_seconds=DURATION)
+
+        repro.init(num_nodes=1, num_cpus_per_node=4)
+        try:
+            server = PolicyServer.remote(eval_seconds=eval_seconds)
+            ray_rate = measure_serving_throughput(
+                server, states, duration_seconds=DURATION
+            )
+            repro.kill(server)
+        finally:
+            repro.shutdown()
+        results[name] = (ray_rate, clipper_rate)
+    print_table(
+        "Table 3: serving throughput (states/s)",
+        ["workload", "Ray (paper 6200/6900)", "Clipper (paper 4400/290)", "Ray/Clipper"],
+        [
+            (name, f"{ray:.0f}", f"{clipper:.0f}", f"{ray / clipper:.1f}x")
+            for name, (ray, clipper) in results.items()
+        ],
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_embedded_serving_beats_rest(benchmark):
+    results = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    small_ray, small_clipper = results["residual net, 4KB states"]
+    large_ray, large_clipper = results["small FC net, 100KB states"]
+    # Ray wins both workloads.
+    assert small_ray > small_clipper
+    assert large_ray > large_clipper
+    # The large-input REST collapse: paper shows ~24x; require >3x and
+    # that Clipper's large-input rate collapses versus its own small-input
+    # rate while Ray's does not.
+    assert large_ray / large_clipper > 3
+    assert large_clipper < 0.5 * small_clipper
+    assert large_ray > 0.5 * small_ray

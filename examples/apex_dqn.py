@@ -1,0 +1,47 @@
+"""Ape-X-style distributed DQN: asynchronous actors + prioritized replay.
+
+One of the algorithm families the paper reports building on Ray
+(Section 7): experience actors step environments with ε-greedy policies
+and stream transitions into a replay-buffer actor, while the learner
+samples prioritized batches and feeds TD-error priorities back — all
+coupled through actor method futures and ``wait``.
+
+Run:  python examples/apex_dqn.py
+"""
+
+import repro
+from repro.rl import ApexDQNTrainer, DQNConfig, EnvSpec
+
+
+def main():
+    repro.init(num_nodes=2, num_cpus_per_node=4)
+
+    trainer = ApexDQNTrainer(
+        EnvSpec("cartpole", max_steps=200),
+        DQNConfig(
+            num_actors=3,
+            collect_steps_per_round=60,
+            learn_starts=300,
+            batch_size=64,
+            prioritized=True,
+            learning_rate=5e-3,
+            seed=0,
+        ),
+    )
+
+    print(f"{'round':>5} {'env steps':>10} {'td error':>9} {'recent reward':>14}")
+    for round_index in range(20):
+        stats = trainer.train_round()
+        if round_index % 2 == 1:
+            print(
+                f"{round_index + 1:>5} {stats['env_steps']:>10}"
+                f" {stats['mean_td_error']:>9.3f} {stats['recent_reward']:>14.1f}"
+            )
+
+    print(f"\ngreedy-policy episode reward: {trainer.greedy_episode_reward():.0f}")
+    trainer.close()
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

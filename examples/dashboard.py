@@ -1,0 +1,69 @@
+"""The GCS-backed tooling: inspector, profiler, timeline.
+
+Because every piece of system state lives in the Global Control Store,
+debugging tools need nothing from the components they observe (paper
+Sections 4.2.1 and 7).  This example runs a small mixed workload, then
+prints a cluster snapshot, a per-function profile, an ASCII execution
+timeline, and writes a Chrome-trace file you can open in
+``chrome://tracing``.
+
+Run:  python examples/dashboard.py
+"""
+
+import time
+
+import repro
+from repro.tools import ClusterInspector, Profiler, Timeline
+
+
+@repro.remote
+def preprocess(batch_id):
+    time.sleep(0.01)
+    return batch_id * 2
+
+
+@repro.remote
+def train_step(a, b):
+    time.sleep(0.03)
+    return a + b
+
+
+@repro.remote
+class MetricsActor:
+    def __init__(self):
+        self.values = []
+
+    def record(self, value):
+        self.values.append(value)
+        return len(self.values)
+
+
+def main():
+    runtime = repro.init(num_nodes=3, num_cpus_per_node=2)
+
+    metrics = MetricsActor.remote()
+    for round_index in range(4):
+        batches = [preprocess.remote(i) for i in range(6)]
+        merged = train_step.remote(batches[0], batches[1])
+        repro.get(metrics.record.remote(merged))
+    repro.get(merged)
+
+    print("── cluster snapshot ─────────────────────────────────")
+    print(ClusterInspector(runtime).snapshot().format())
+
+    print("\n── per-function profile ─────────────────────────────")
+    print(Profiler(runtime).format())
+
+    print("\n── execution timeline ───────────────────────────────")
+    timeline = Timeline(runtime)
+    print(timeline.render_ascii(width=64))
+
+    timeline.save_chrome_trace("/tmp/repro_trace.json")
+    print("\nChrome trace written to /tmp/repro_trace.json "
+          f"({timeline.span_count()} spans)")
+
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Fault tolerance demo: lose a node mid-computation, keep going.
+
+Shows the two recovery paths of paper Section 4.2.3 / Figure 11 running
+for real in the in-process cluster:
+
+1. **Task lineage replay** — intermediate objects lost with a node are
+   reconstructed by re-executing their producing tasks from the GCS task
+   table.
+2. **Actor checkpoint replay** — an actor lost with its node is rebuilt
+   on a survivor from its last checkpoint, replaying only the methods
+   executed since.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+import repro
+
+
+@repro.remote
+def refine(x):
+    """One stage of a dependency chain (each output feeds the next)."""
+    return x + 1
+
+
+@repro.remote(checkpoint_interval=5)
+class TallyActor:
+    def __init__(self):
+        self.total = 0
+
+    def add(self, n):
+        self.total += n
+        return self.total
+
+
+def main():
+    runtime = repro.init(num_nodes=3, num_cpus_per_node=2)
+
+    # --- 1. task lineage -------------------------------------------------
+    ref = refine.remote(0)
+    for _ in range(9):
+        ref = refine.remote(ref)
+    print("chain result before failure:", repro.get(ref))
+
+    victim = [n for n in runtime.nodes() if n is not runtime.driver_node][0]
+    print(f"killing node {victim.node_id.hex()[:8]} "
+          f"(held {victim.store.num_objects()} objects)...")
+    runtime.kill_node(victim.node_id)
+
+    extended = refine.remote(ref)  # may need lost ancestors -> replay
+    print("chain result after failure: ", repro.get(extended))
+    print("tasks re-executed via lineage:",
+          runtime.reconstruction.reconstructed_tasks)
+
+    # --- 2. actor checkpoint replay --------------------------------------
+    tally = TallyActor.remote()
+    for i in range(12):
+        last = tally.add.remote(1)
+    print("\nactor total before failure:", repro.get(last))
+
+    state = runtime.actors.get_state(tally.actor_id)
+    print(f"killing the actor's node {state.node.node_id.hex()[:8]}...")
+    runtime.kill_node(state.node.node_id)
+
+    print("actor total after restart: ", repro.get(tally.add.remote(1)))
+    print("methods replayed (checkpoint every 5):",
+          runtime.actors.replayed_methods)
+
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

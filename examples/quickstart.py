@@ -1,0 +1,82 @@
+"""Quickstart: the Ray API of Table 1 in two minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import repro
+
+
+# A remote function: invoked with .remote(), returns a future immediately.
+@repro.remote
+def square(x):
+    return x * x
+
+
+# Remote functions can be nested and can block on their children.
+@repro.remote
+def sum_of_squares(n):
+    futures = [square.remote(i) for i in range(n)]
+    return sum(repro.get(futures))
+
+
+# A class becomes an actor: stateful, methods execute serially.
+@repro.remote
+class RunningMean:
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value):
+        self.count += 1
+        self.total += value
+        return self.total / self.count
+
+
+@repro.remote
+def slow_task(seconds, label):
+    time.sleep(seconds)
+    return label
+
+
+def main():
+    repro.init(num_nodes=2, num_cpus_per_node=4)
+
+    # --- tasks ---------------------------------------------------------
+    future = square.remote(7)  # non-blocking
+    print("square(7) =", repro.get(future))  # blocking
+
+    print("sum of squares 0..9 =", repro.get(sum_of_squares.remote(10)))
+
+    # Futures chain without ever materializing intermediates locally.
+    chained = square.remote(square.remote(3))
+    print("square(square(3)) =", repro.get(chained))
+
+    # --- put: share a large object by reference -------------------------
+    big = repro.put(list(range(100_000)))
+
+    @repro.remote
+    def length(values):
+        return len(values)
+
+    print("len(big) =", repro.get(length.remote(big)))
+
+    # --- actors ----------------------------------------------------------
+    mean = RunningMean.remote()
+    for value in (10.0, 20.0, 30.0):
+        last = mean.add.remote(value)
+    print("running mean =", repro.get(last))
+
+    # --- wait: react to whichever task finishes first --------------------
+    futures = [slow_task.remote(0.5, "tortoise"), slow_task.remote(0.05, "hare")]
+    ready, pending = repro.wait(futures, num_returns=1)
+    print("first finisher:", repro.get(ready[0]), f"({len(pending)} still running)")
+    repro.get(pending)  # drain
+
+    repro.shutdown()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

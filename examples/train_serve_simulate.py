@@ -1,0 +1,66 @@
+"""The paper's Figure 1 loop: training + serving + simulation, coupled.
+
+This is the program the whole paper argues for: one application that
+*simulates* (Simulator actors stepping an environment), *serves* (a policy
+server answering action queries inside the same cluster), and *trains*
+(policy updates from the gathered rollouts) — with no frameworks stitched
+together and no data leaving the object store.
+
+Run:  python examples/train_serve_simulate.py
+"""
+
+import numpy as np
+
+import repro
+from repro.rl import EnvSpec, PolicySpec, PolicyServer
+from repro.rl.es import centered_ranks
+from repro.rl.rollout import SimulatorActor
+
+
+@repro.remote
+def update_policy(params, rewards, noises, sigma=0.25, learning_rate=0.1):
+    """ES-style policy improvement from the rollout scores (Training)."""
+    rewards = np.asarray(rewards)
+    weights = centered_ranks(rewards)
+    gradient = sum(w * n for w, n in zip(weights, noises)) / (
+        sigma * len(noises)
+    )
+    return np.asarray(params) + learning_rate * gradient
+
+
+def main():
+    repro.init(num_nodes=2, num_cpus_per_node=4)
+
+    env_spec = EnvSpec("cartpole", max_steps=200)
+    policy_spec = PolicySpec.for_env(env_spec, kind="linear")
+    params = policy_spec.build(seed=0).get_flat()
+    rng = np.random.default_rng(0)
+
+    # Simulation: a pool of stateful Simulator actors (paper Figure 3).
+    simulators = [SimulatorActor.remote(env_spec, policy_spec) for _ in range(4)]
+
+    for iteration in range(10):
+        params_ref = repro.put(params)  # broadcast once
+        noises = [rng.standard_normal(params.size) for _ in simulators]
+        # Each simulator evaluates a perturbed policy (Simulation+Serving).
+        rollout_refs = [
+            sim.rollout.remote(repro.put(params + 0.25 * noise), None)
+            for sim, noise in zip(simulators, noises)
+        ]
+        rewards = [reward for reward, _len in repro.get(rollout_refs)]
+        # Training: improve the policy from the trajectories.
+        params = repro.get(update_policy.remote(params_ref, rewards, noises))
+        print(f"iteration {iteration + 1:2d}: rewards {[f'{r:5.0f}' for r in rewards]}")
+
+    # Serving: expose the trained policy to clients in the same cluster.
+    server = PolicyServer.remote(policy_spec, params)
+    states = [np.zeros(4) for _ in range(8)]
+    actions = repro.get(server.serve.remote(states))
+    print("served actions for 8 fresh states:", actions)
+
+    repro.kill(server)
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

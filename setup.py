@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package
+(this environment is offline and has no bdist_wheel support)."""
+
+from setuptools import setup
+
+setup()

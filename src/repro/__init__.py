@@ -1,0 +1,92 @@
+"""repro — a reproduction of "Ray: A Distributed Framework for Emerging AI
+Applications" (OSDI 2018).
+
+The public API mirrors the paper's Table 1:
+
+    import repro
+
+    repro.init(num_nodes=4)
+
+    @repro.remote
+    def f(x):
+        return x * 2
+
+    futures = [f.remote(i) for i in range(4)]
+    print(repro.get(futures))
+
+    repro.shutdown()
+
+Packages:
+
+* :mod:`repro.core` — the real in-process multi-node runtime.
+* :mod:`repro.gcs` — the sharded, chain-replicated Global Control Store.
+* :mod:`repro.sim` — discrete-event cluster simulator for the paper's
+  scale experiments.
+* :mod:`repro.rl` — RL workloads built on the API (allreduce, parameter
+  server, ES, PPO, serving, environments).
+* :mod:`repro.baselines` — the comparison systems (BSP/MPI, centralized
+  scheduler, OpenMPI allreduce, Clipper-style serving, reference ES).
+"""
+
+from repro.api import (
+    ActorClass,
+    ActorHandle,
+    ObjectRef,
+    RemoteFunction,
+    available_resources,
+    cluster_resources,
+    free,
+    get,
+    get_runtime,
+    init,
+    is_initialized,
+    kill,
+    method,
+    put,
+    remote,
+    shutdown,
+    wait,
+)
+from repro.common.serialization import deregister_serializer, register_serializer
+from repro.common.errors import (
+    ActorDiedError,
+    GetTimeoutError,
+    ObjectLostError,
+    ObjectStoreFullError,
+    ReproError,
+    TaskExecutionError,
+)
+from repro.core.runtime import Runtime, RuntimeConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "init",
+    "shutdown",
+    "is_initialized",
+    "get_runtime",
+    "remote",
+    "get",
+    "put",
+    "wait",
+    "kill",
+    "free",
+    "method",
+    "cluster_resources",
+    "available_resources",
+    "register_serializer",
+    "deregister_serializer",
+    "ObjectRef",
+    "RemoteFunction",
+    "ActorClass",
+    "ActorHandle",
+    "Runtime",
+    "RuntimeConfig",
+    "ReproError",
+    "TaskExecutionError",
+    "ObjectLostError",
+    "ObjectStoreFullError",
+    "ActorDiedError",
+    "GetTimeoutError",
+    "__version__",
+]

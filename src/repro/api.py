@@ -1,0 +1,459 @@
+"""Public Ray-like API (paper Table 1).
+
+    import repro
+
+    repro.init(num_nodes=4)
+
+    @repro.remote
+    def add(a, b):
+        return a + b
+
+    ref = add.remote(1, 2)
+    assert repro.get(ref) == 3
+
+    @repro.remote(num_gpus=1)
+    class Counter:
+        def __init__(self):
+            self.value = 0
+        def incr(self):
+            self.value += 1
+            return self.value
+
+    counter = Counter.remote()
+    assert repro.get(counter.incr.remote()) == 1
+
+All of Table 1 is implemented: ``f.remote(args)`` (non-blocking, returns
+futures), ``get(futures)`` (blocking), ``wait(futures, num_returns,
+timeout)``, ``Class.remote(args)`` / ``actor.method.remote(args)``, plus
+``put``, nested remote functions, and per-task/per-actor resource
+requirements (``num_cpus``, ``num_gpus``, ``resources``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import RuntimeNotInitializedError
+from repro.common.ids import ActorID, FunctionID, ObjectID
+from repro.core import context
+from repro.core.resources import normalize_resources
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.core.task_spec import ArgRef
+
+_runtime_lock = threading.Lock()
+_global_runtime: Optional[Runtime] = None
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+def init(config: Optional[RuntimeConfig] = None, **overrides: Any) -> Runtime:
+    """Start an in-process cluster and install it as the global runtime.
+
+    Accepts either a :class:`RuntimeConfig` or its fields as keyword
+    arguments (``num_nodes``, ``num_cpus_per_node``, ``num_gpus_per_node``,
+    ``object_store_capacity_bytes``, ``gcs_shards``, ``locality_aware``, …).
+    """
+    global _global_runtime
+    with _runtime_lock:
+        if _global_runtime is not None:
+            raise RuntimeError("repro.init() called twice; call shutdown() first")
+        _global_runtime = Runtime(config, **overrides)
+        return _global_runtime
+
+
+def shutdown() -> None:
+    """Stop the global runtime (idempotent)."""
+    global _global_runtime
+    with _runtime_lock:
+        if _global_runtime is not None:
+            _global_runtime.shutdown()
+            _global_runtime = None
+
+
+def is_initialized() -> bool:
+    return _global_runtime is not None
+
+
+def get_runtime() -> Runtime:
+    """The active runtime (the one servicing this thread, if in a task)."""
+    runtime = context.current_runtime() or _global_runtime
+    if runtime is None:
+        raise RuntimeNotInitializedError("call repro.init() first")
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Futures
+# ---------------------------------------------------------------------------
+
+
+class ObjectRef:
+    """A future for an object produced by a task, method, or ``put``."""
+
+    __slots__ = ("object_id",)
+
+    def __init__(self, object_id: ObjectID):
+        self.object_id = object_id
+
+    def __hash__(self) -> int:
+        return hash(self.object_id)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ObjectRef) and other.object_id == self.object_id
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.object_id.hex()[:12]})"
+
+    def __reduce__(self):
+        return (ObjectRef, (self.object_id,))
+
+
+def _encode_arg(value: Any) -> Any:
+    if isinstance(value, ObjectRef):
+        return ArgRef(value.object_id)
+    return value
+
+
+def _encode_args(
+    args: Sequence[Any], kwargs: Dict[str, Any]
+) -> Tuple[Tuple[Any, ...], Tuple[Tuple[str, Any], ...]]:
+    encoded_args = tuple(_encode_arg(a) for a in args)
+    encoded_kwargs = tuple(sorted((k, _encode_arg(v)) for k, v in kwargs.items()))
+    return encoded_args, encoded_kwargs
+
+
+def _to_ids(refs: Union[ObjectRef, Sequence[ObjectRef]]):
+    if isinstance(refs, ObjectRef):
+        return refs.object_id
+    return [r.object_id for r in refs]
+
+
+# ---------------------------------------------------------------------------
+# Data plane
+# ---------------------------------------------------------------------------
+
+
+def put(value: Any) -> ObjectRef:
+    """Store ``value`` in the local object store and return a future."""
+    return ObjectRef(get_runtime().put(value))
+
+
+def get(refs: Union[ObjectRef, Sequence[ObjectRef]], timeout: Optional[float] = None):
+    """Blocking: return the value(s) for one future or a list of futures."""
+    return get_runtime().get(_to_ids(refs), timeout=timeout)
+
+
+def wait(
+    refs: Sequence[ObjectRef],
+    num_returns: int = 1,
+    timeout: Optional[float] = None,
+) -> Tuple[List[ObjectRef], List[ObjectRef]]:
+    """Block until ``num_returns`` futures are complete or timeout expires."""
+    ready, pending = get_runtime().wait(
+        [r.object_id for r in refs], num_returns=num_returns, timeout=timeout
+    )
+    return [ObjectRef(i) for i in ready], [ObjectRef(i) for i in pending]
+
+
+# ---------------------------------------------------------------------------
+# Remote functions
+# ---------------------------------------------------------------------------
+
+
+def _function_id_for(func) -> FunctionID:
+    """Stable ID from the function's identity *and* code, so distinct
+    same-named functions (common in tests) do not collide."""
+    code = getattr(func, "__code__", None)
+    if code is not None:
+        # Bytecode alone is not enough: same-shaped functions differing only
+        # in constants (x+1 vs x+2) share co_code.
+        payload = code.co_code + repr(code.co_consts).encode() + repr(
+            code.co_names
+        ).encode()
+        code_digest = hashlib.sha1(payload).hexdigest()
+    else:
+        code_digest = "builtin"
+    return FunctionID.from_seed(
+        f"{func.__module__}.{getattr(func, '__qualname__', repr(func))}:{code_digest}"
+    )
+
+
+class RemoteFunction:
+    """A function invocable with ``.remote(args)`` returning futures."""
+
+    def __init__(
+        self,
+        func,
+        num_returns: int = 1,
+        num_cpus: Optional[float] = None,
+        num_gpus: Optional[float] = None,
+        resources: Optional[Dict[str, float]] = None,
+    ):
+        self._func = func
+        self._num_returns = num_returns
+        self._resources = normalize_resources(num_cpus, num_gpus, resources)
+        self._function_id = _function_id_for(func)
+        self.__name__ = getattr(func, "__name__", "remote_function")
+        self.__doc__ = func.__doc__
+
+    def options(
+        self,
+        num_returns: Optional[int] = None,
+        num_cpus: Optional[float] = None,
+        num_gpus: Optional[float] = None,
+        resources: Optional[Dict[str, float]] = None,
+    ) -> "RemoteFunction":
+        """A copy of this remote function with overridden invocation options."""
+        clone = RemoteFunction(
+            self._func,
+            num_returns=self._num_returns if num_returns is None else num_returns,
+        )
+        clone._resources = (
+            self._resources
+            if num_cpus is None and num_gpus is None and resources is None
+            else normalize_resources(num_cpus, num_gpus, resources)
+        )
+        return clone
+
+    def remote(self, *args: Any, **kwargs: Any):
+        """Invoke remotely; returns one ObjectRef or a tuple of them."""
+        runtime = get_runtime()
+        runtime.ensure_function_registered(self._function_id, self._func)
+        encoded_args, encoded_kwargs = _encode_args(args, kwargs)
+        return_ids = runtime.submit_task(
+            self._function_id,
+            self.__name__,
+            encoded_args,
+            encoded_kwargs,
+            num_returns=self._num_returns,
+            resources=dict(self._resources),
+        )
+        refs = tuple(ObjectRef(i) for i in return_ids)
+        if self._num_returns == 1:
+            return refs[0]
+        return refs
+
+    def __call__(self, *args: Any, **kwargs: Any):
+        raise TypeError(
+            f"remote function {self.__name__} cannot be called directly; "
+            "use .remote()"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Actors
+# ---------------------------------------------------------------------------
+
+
+class ActorMethod:
+    """Bound ``actor.method`` supporting ``.remote(args)``."""
+
+    def __init__(self, handle: "ActorHandle", method_name: str, num_returns: int = 1):
+        self._handle = handle
+        self._method_name = method_name
+        self._num_returns = num_returns
+
+    def options(self, num_returns: int) -> "ActorMethod":
+        return ActorMethod(self._handle, self._method_name, num_returns)
+
+    def remote(self, *args: Any, **kwargs: Any):
+        runtime = get_runtime()
+        encoded_args, encoded_kwargs = _encode_args(args, kwargs)
+        return_ids = runtime.submit_actor_method(
+            self._handle.actor_id,
+            self._method_name,
+            encoded_args,
+            encoded_kwargs,
+            num_returns=self._num_returns,
+        )
+        refs = tuple(ObjectRef(i) for i in return_ids)
+        if self._num_returns == 1:
+            return refs[0]
+        return refs
+
+
+class ActorHandle:
+    """A handle to a remote actor; can be passed to tasks and other actors."""
+
+    def __init__(self, actor_id: ActorID):
+        self.actor_id = actor_id
+
+    def __getattr__(self, name: str) -> ActorMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return ActorMethod(self, name)
+
+    def __repr__(self) -> str:
+        return f"ActorHandle({self.actor_id.hex()[:12]})"
+
+    def __reduce__(self):
+        return (ActorHandle, (self.actor_id,))
+
+
+class ActorClass:
+    """A class invocable with ``.remote(args)`` returning an ActorHandle."""
+
+    def __init__(
+        self,
+        cls: type,
+        num_cpus: Optional[float] = None,
+        num_gpus: Optional[float] = None,
+        resources: Optional[Dict[str, float]] = None,
+        checkpoint_interval: Optional[int] = None,
+        max_restarts: int = 4,
+    ):
+        self._cls = cls
+        self._resources = normalize_resources(num_cpus, num_gpus, resources)
+        self._checkpoint_interval = checkpoint_interval
+        self._max_restarts = max_restarts
+        self.__name__ = cls.__name__
+        self.__doc__ = cls.__doc__
+
+    def options(
+        self,
+        num_cpus: Optional[float] = None,
+        num_gpus: Optional[float] = None,
+        resources: Optional[Dict[str, float]] = None,
+        checkpoint_interval: Optional[int] = None,
+        max_restarts: Optional[int] = None,
+    ) -> "ActorClass":
+        return ActorClass(
+            self._cls,
+            num_cpus=num_cpus,
+            num_gpus=num_gpus,
+            resources=resources,
+            checkpoint_interval=(
+                self._checkpoint_interval
+                if checkpoint_interval is None
+                else checkpoint_interval
+            ),
+            max_restarts=self._max_restarts if max_restarts is None else max_restarts,
+        )
+
+    def remote(self, *args: Any, **kwargs: Any) -> ActorHandle:
+        """Instantiate the class as a remote actor (paper Table 1)."""
+        runtime = get_runtime()
+        encoded_args, encoded_kwargs = _encode_args(args, kwargs)
+        actor_id = runtime.create_actor(
+            self._cls,
+            encoded_args,
+            encoded_kwargs,
+            resources=dict(self._resources),
+            checkpoint_interval=self._checkpoint_interval,
+            max_restarts=self._max_restarts,
+        )
+        return ActorHandle(actor_id)
+
+    def __call__(self, *args: Any, **kwargs: Any):
+        raise TypeError(
+            f"actor class {self.__name__} cannot be instantiated directly; "
+            "use .remote()"
+        )
+
+
+def cluster_resources() -> Dict[str, float]:
+    """Total resources of all live nodes (like ``ray.cluster_resources``)."""
+    return get_runtime().cluster_resources()
+
+
+def available_resources() -> Dict[str, float]:
+    """Currently unclaimed resources across all live nodes."""
+    return get_runtime().available_resources()
+
+
+def method(read_only: bool = False):
+    """Annotate an actor method (like ``ray.method``).
+
+    ``read_only=True`` declares that the method does not mutate the actor's
+    state, allowing reconstruction to skip replaying it when its outputs
+    still exist — the optimization the paper proposes in Section 5.1
+    ("allowing users to annotate methods that do not mutate state").
+
+        @repro.remote
+        class Store:
+            @repro.method(read_only=True)
+            def peek(self):
+                return self.value
+    """
+
+    def decorator(func):
+        func.__repro_read_only__ = read_only
+        return func
+
+    return decorator
+
+
+def free(
+    refs: Union[ObjectRef, Sequence[ObjectRef]], delete_lineage: bool = False
+) -> int:
+    """Drop all copies of the given objects from every object store.
+
+    With ``delete_lineage=True`` the producing tasks' GCS records are also
+    removed, permanently bounding GCS memory at the cost of making the
+    objects unrecoverable (see ``repro.core.gc``).
+    """
+    from repro.core.gc import free_objects
+
+    ids = _to_ids(refs)
+    if not isinstance(ids, list):
+        ids = [ids]
+    return free_objects(get_runtime(), ids, delete_lineage=delete_lineage)
+
+
+def kill(actor: ActorHandle, restart: bool = False) -> None:
+    """Terminate an actor (like ``ray.kill``).
+
+    Releases the actor's lifetime resources.  With ``restart=False`` the
+    actor is gone for good: pending and future method calls resolve to
+    :class:`~repro.common.errors.ActorDiedError`.  With ``restart=True``
+    this simulates a crash, exercising checkpoint-replay reconstruction.
+    """
+    get_runtime().actors.kill_actor(actor.actor_id, restart=restart)
+
+
+# ---------------------------------------------------------------------------
+# The @remote decorator
+# ---------------------------------------------------------------------------
+
+
+def remote(*args: Any, **kwargs: Any):
+    """Turn a function into a :class:`RemoteFunction` or a class into an
+    :class:`ActorClass`.
+
+    Usable bare (``@remote``) or with options
+    (``@remote(num_gpus=1, num_returns=2)``).
+    """
+    if len(args) == 1 and not kwargs and (callable(args[0]) or isinstance(args[0], type)):
+        return _wrap_remote(args[0])
+    if args:
+        raise TypeError("remote() options must be passed as keywords")
+
+    def decorator(target):
+        return _wrap_remote(target, **kwargs)
+
+    return decorator
+
+
+def _wrap_remote(target, **options: Any):
+    if isinstance(target, type):
+        allowed = {
+            "num_cpus",
+            "num_gpus",
+            "resources",
+            "checkpoint_interval",
+            "max_restarts",
+        }
+        unknown = set(options) - allowed
+        if unknown:
+            raise TypeError(f"unknown actor options: {sorted(unknown)}")
+        return ActorClass(target, **options)
+    allowed = {"num_returns", "num_cpus", "num_gpus", "resources"}
+    unknown = set(options) - allowed
+    if unknown:
+        raise TypeError(f"unknown task options: {sorted(unknown)}")
+    return RemoteFunction(target, **options)

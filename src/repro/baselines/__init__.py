@@ -1,0 +1,62 @@
+"""Baseline systems the paper compares against.
+
+Each baseline implements the *execution structure* of the system it stands
+in for — the structural property that drives the paper's comparison —
+rather than wrapping the (unavailable) original binary:
+
+* :mod:`repro.baselines.bsp` — bulk-synchronous-parallel execution with
+  global barriers between rounds (MPI-style; Table 4, Fig 14b).
+* :mod:`repro.baselines.centralized` — a single centralized scheduler with
+  bounded throughput and per-task latency (Spark/CIEL/Dask-style; the
+  Related-Work Dask comparison and the Fig 12b discussion).
+* :mod:`repro.baselines.mpi_allreduce` — OpenMPI's allreduce: sequential
+  single-threaded send/receive, with an algorithm switch for small
+  messages (Fig 12a).
+* :mod:`repro.baselines.clipper` — REST-style model serving with real
+  JSON/base64 encode-decode on the query path (Table 3).
+* :mod:`repro.baselines.reference_es` — the special-purpose ES system:
+  a single driver aggregates all rollout results and becomes the
+  bottleneck beyond ~1024 cores (Fig 14a).
+* :mod:`repro.baselines.sgd_baselines` — Horovod-style and Distributed-
+  TensorFlow-style synchronous SGD cost models (Fig 13).
+"""
+
+from repro.baselines.bsp import async_makespan, bsp_makespan, simulate_bsp_rounds
+from repro.baselines.centralized import CentralizedSchedulerModel
+from repro.baselines.mpi_allreduce import openmpi_allreduce_time
+from repro.baselines.clipper import ClipperLikeServer
+from repro.baselines.reference_es import (
+    ESWorkloadModel,
+    ray_es_time_to_solve,
+    reference_es_time_to_solve,
+)
+from repro.baselines.ppo_baseline import (
+    PPOWorkloadModel,
+    mpi_ppo_time_to_solve,
+    ray_ppo_time_to_solve,
+)
+from repro.baselines.sgd_baselines import (
+    SGDWorkloadModel,
+    distributed_tf_images_per_second,
+    horovod_images_per_second,
+    ray_sgd_images_per_second,
+)
+
+__all__ = [
+    "bsp_makespan",
+    "async_makespan",
+    "simulate_bsp_rounds",
+    "CentralizedSchedulerModel",
+    "openmpi_allreduce_time",
+    "ClipperLikeServer",
+    "ESWorkloadModel",
+    "reference_es_time_to_solve",
+    "ray_es_time_to_solve",
+    "PPOWorkloadModel",
+    "mpi_ppo_time_to_solve",
+    "ray_ppo_time_to_solve",
+    "SGDWorkloadModel",
+    "horovod_images_per_second",
+    "distributed_tf_images_per_second",
+    "ray_sgd_images_per_second",
+]

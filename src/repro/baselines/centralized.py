@@ -1,0 +1,55 @@
+"""Centralized-scheduler baseline (Spark / CIEL / Dask style).
+
+Most cluster computing frameworks route every task through one scheduler
+process.  That gives the scheduler a global view but caps task throughput
+at the scheduler's service rate and puts its latency on every task's
+critical path.  The paper cites centralized scheduler overheads in the
+tens of milliseconds (Spark, CIEL) and Dask's reported maximum of ~3 k
+tasks/s on 512 cores — versus Ray's 1.8 M tasks/s.
+
+The model is an M/D/1-style pipe: tasks arrive, are serviced sequentially
+at ``1 / service_time`` per second, then run on any of ``num_cores``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.bsp import async_makespan
+
+
+@dataclass(frozen=True)
+class CentralizedSchedulerModel:
+    """A single scheduler with fixed per-task service time and latency.
+
+    ``service_time`` bounds throughput (Dask ≈ 1/3000 s); ``decision
+    latency`` is added to each task's completion (Spark ≈ 10–30 ms).
+    """
+
+    service_time: float = 1.0 / 3000.0
+    decision_latency: float = 0.01
+
+    @property
+    def max_tasks_per_second(self) -> float:
+        return 1.0 / self.service_time
+
+    def makespan(self, durations: Sequence[float], num_cores: int) -> float:
+        """Makespan of a task set: scheduler-limited dispatch + execution.
+
+        Dispatch is serialized through the scheduler; cores execute with
+        list scheduling once tasks are released.
+        """
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        # Completion is bounded below both by the dispatch pipe draining and
+        # by the compute capacity; the pipe also delays the last task.
+        dispatch_done = len(durations) * self.service_time
+        compute = async_makespan(durations, num_cores)
+        return max(dispatch_done, compute) + self.decision_latency
+
+    def allreduce_round_penalty(self, tasks_per_round: int) -> float:
+        """Scheduling delay added to one allreduce round: the round's tasks
+        serialize through the central scheduler (the Related-Work Dask
+        arithmetic: 16 tasks ≈ 5 ms of scheduling per round)."""
+        return tasks_per_round * self.service_time + self.decision_latency

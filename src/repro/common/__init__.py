@@ -1,0 +1,42 @@
+"""Shared building blocks: identifiers, serialization, errors, configuration.
+
+Everything in :mod:`repro` — the real runtime (:mod:`repro.core`), the
+discrete-event simulator (:mod:`repro.sim`), and the GCS substrate
+(:mod:`repro.gcs`) — builds on the primitives defined here.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ObjectLostError,
+    ObjectStoreFullError,
+    TaskExecutionError,
+    ActorDiedError,
+    GetTimeoutError,
+    RuntimeNotInitializedError,
+    ResourceRequestError,
+)
+from repro.common.ids import (
+    ActorID,
+    BaseID,
+    FunctionID,
+    NodeID,
+    ObjectID,
+    TaskID,
+)
+
+__all__ = [
+    "ActorID",
+    "BaseID",
+    "FunctionID",
+    "NodeID",
+    "ObjectID",
+    "TaskID",
+    "ReproError",
+    "ObjectLostError",
+    "ObjectStoreFullError",
+    "TaskExecutionError",
+    "ActorDiedError",
+    "GetTimeoutError",
+    "RuntimeNotInitializedError",
+    "ResourceRequestError",
+]

@@ -1,0 +1,120 @@
+"""Serialization layer for the object store.
+
+The paper stores objects in Apache Arrow format in a shared-memory store so
+that workers on the same node read them zero-copy.  We reproduce the two
+properties that matter to the system:
+
+* **Out-of-band buffers.**  Large contiguous payloads (numpy arrays,
+  ``bytes``, ``bytearray``, ``memoryview``) are carried as separate buffers
+  next to a small pickled control message — the analogue of Arrow's
+  data/metadata split.  Copying an object between node stores is then a
+  buffer copy, not a re-encode.
+* **Exact size accounting.**  The store's capacity and LRU eviction operate
+  on the serialized size, so ``SerializedObject.total_bytes`` must be the
+  real footprint.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import threading
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+_PROTOCOL = 5
+
+# Custom serializer registry (Ray's register_serializer): lets
+# applications store types that pickle cannot handle (simulator handles,
+# objects holding locks/sockets) by providing their own encode/decode.
+_custom_lock = threading.Lock()
+_custom_serializers: Dict[Type, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {}
+
+
+def register_serializer(
+    cls: Type,
+    *,
+    serializer: Callable[[Any], Any],
+    deserializer: Callable[[Any], Any],
+) -> None:
+    """Register custom (de)serialization for ``cls``.
+
+    ``serializer(obj)`` must return a picklable representation;
+    ``deserializer(representation)`` must reconstruct the object.  Applies
+    to exact-type matches anywhere inside a stored value.
+    """
+    with _custom_lock:
+        _custom_serializers[cls] = (serializer, deserializer)
+
+
+def deregister_serializer(cls: Type) -> None:
+    with _custom_lock:
+        _custom_serializers.pop(cls, None)
+
+
+def _reconstruct_registered(cls: Type, payload: Any) -> Any:
+    with _custom_lock:
+        entry = _custom_serializers.get(cls)
+    if entry is None:
+        raise pickle.UnpicklingError(
+            f"no serializer registered for {cls.__name__}; "
+            "call repro.register_serializer in this process"
+        )
+    return entry[1](payload)
+
+
+def _reduce_registered(obj: Any):
+    serializer, _deserializer = _custom_serializers[type(obj)]
+    # The class is pickled by reference; the user deserializer is looked
+    # up from the registry at load time (so lambdas are fine).
+    return (_reconstruct_registered, (type(obj), serializer(obj)))
+
+
+class SerializedObject:
+    """An immutable serialized value: a control payload plus raw buffers."""
+
+    __slots__ = ("payload", "buffers", "total_bytes")
+
+    def __init__(self, payload: bytes, buffers: List[bytes]):
+        self.payload = payload
+        self.buffers = buffers
+        self.total_bytes = len(payload) + sum(len(b) for b in buffers)
+
+    def copy(self) -> "SerializedObject":
+        """A deep copy, modelling replication of the object to another store."""
+        return SerializedObject(self.payload, [bytes(b) for b in self.buffers])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SerializedObject({self.total_bytes} bytes, {len(self.buffers)} buffers)"
+
+
+def serialize(value: Any) -> SerializedObject:
+    """Serialize ``value`` using out-of-band buffers for large payloads."""
+    buffers: List[pickle.PickleBuffer] = []
+    with _custom_lock:
+        dispatch = {
+            cls: _reduce_registered for cls in _custom_serializers
+        }
+    if dispatch:
+        sink = io.BytesIO()
+        pickler = pickle.Pickler(
+            sink, protocol=_PROTOCOL, buffer_callback=buffers.append
+        )
+        pickler.dispatch_table = dispatch
+        pickler.dump(value)
+        payload = sink.getvalue()
+    else:
+        payload = pickle.dumps(
+            value, protocol=_PROTOCOL, buffer_callback=buffers.append
+        )
+    raw = [buf.raw().tobytes() for buf in buffers]
+    return SerializedObject(payload, raw)
+
+
+def deserialize(serialized: SerializedObject) -> Any:
+    """Reconstruct the value from its payload and buffers."""
+    return pickle.loads(serialized.payload, buffers=serialized.buffers)
+
+
+def object_size(value: Any) -> int:
+    """Serialized footprint of ``value`` in bytes."""
+    return serialize(value).total_bytes

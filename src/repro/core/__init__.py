@@ -1,0 +1,30 @@
+"""The real (executable) runtime: a multi-node Ray-like cluster in-process.
+
+Submodules:
+
+* :mod:`repro.core.runtime` — cluster assembly, nodes, driver context,
+  ``get``/``put``/``wait``, failure injection (``kill_node``).
+* :mod:`repro.core.task_spec` / :mod:`repro.core.task_graph` — the dynamic
+  task graph with data, control, and stateful edges.
+* :mod:`repro.core.object_store` / :mod:`repro.core.transfer` — per-node
+  immutable object stores with LRU eviction and inter-node replication.
+* :mod:`repro.core.local_scheduler` / :mod:`repro.core.global_scheduler` —
+  the bottom-up distributed scheduler.
+* :mod:`repro.core.worker` / :mod:`repro.core.actor` — stateless task and
+  stateful actor execution.
+* :mod:`repro.core.reconstruction` — lineage-based fault tolerance.
+"""
+
+from repro.core.runtime import Node, Runtime, RuntimeConfig
+from repro.core.task_spec import ArgRef, TaskSpec
+from repro.core.task_graph import EdgeType, TaskGraph
+
+__all__ = [
+    "Node",
+    "Runtime",
+    "RuntimeConfig",
+    "ArgRef",
+    "TaskSpec",
+    "EdgeType",
+    "TaskGraph",
+]

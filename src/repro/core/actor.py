@@ -1,0 +1,486 @@
+"""Actors: stateful computation with lineage-based reconstruction.
+
+An actor is a stateful process pinned to a node; its methods execute
+serially, each depending on the state left by the previous one (the
+*stateful edge* chain of Section 3.2).  The runtime records every method
+invocation in the GCS, so an actor lost to a node failure can be rebuilt:
+a new instance is created on a live node, its state is restored from the
+most recent checkpoint, and the methods after the checkpoint are replayed
+in order (paper Figure 11b).  Because method outputs are written under
+deterministic object IDs, replay is idempotent.
+
+Checkpointing is user-definable: classes may provide ``save_checkpoint()``
+returning an opaque state blob and ``restore_checkpoint(blob)``; otherwise
+the instance ``__dict__`` is snapshotted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.common.errors import ActorDiedError, TaskExecutionError
+from repro.common.ids import ActorID, NodeID
+from repro.common.serialization import deserialize, serialize
+from repro.core import context
+from repro.core.task_spec import TaskSpec
+from repro.core.worker import (
+    normalize_returns,
+    pin_inputs,
+    resolve_args,
+    store_outputs,
+)
+from repro.gcs.tables import TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Node, Runtime
+
+_ACTOR_LOG = "actor_log"
+_ACTOR_CKPT = "actor_ckpt"
+_ACTOR_CREATION = "actor_creation"
+
+
+class ActorState:
+    """Mutable bookkeeping for one actor (all incarnations)."""
+
+    def __init__(
+        self,
+        actor_id: ActorID,
+        cls: type,
+        class_name: str,
+        creation_spec: TaskSpec,
+        checkpoint_interval: Optional[int],
+        max_restarts: int,
+    ):
+        self.actor_id = actor_id
+        self.cls = cls
+        self.class_name = class_name
+        self.creation_spec = creation_spec
+        self.checkpoint_interval = checkpoint_interval
+        self.max_restarts = max_restarts
+
+        self.cond = threading.Condition()
+        self.node: Optional["Node"] = None
+        self.instance: Any = None
+        self.mailbox: Dict[int, TaskSpec] = {}
+        self.next_counter = 0  # next method counter to execute
+        self.submitted = 0  # next counter to assign at submission
+        self.incarnation = 0
+        self.restarts = 0
+        self.dead_forever = False
+        self.replay_boundary = 0  # counters below this are replays
+        self.ready = threading.Event()  # instance constructed at least once
+
+
+class ActorManager:
+    """Creates, drives, kills, and reconstructs actors."""
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+        self._lock = threading.Lock()
+        self.actors: Dict[ActorID, ActorState] = {}
+        self.replayed_methods = 0
+        self.checkpoints_taken = 0
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+
+    def create_actor(
+        self,
+        cls: type,
+        creation_spec: TaskSpec,
+        checkpoint_interval: Optional[int] = None,
+        max_restarts: int = 4,
+    ) -> ActorState:
+        actor_id = creation_spec.actor_id
+        assert actor_id is not None
+        state = ActorState(
+            actor_id,
+            cls,
+            cls.__name__,
+            creation_spec,
+            checkpoint_interval,
+            max_restarts,
+        )
+        with self._lock:
+            self.actors[actor_id] = state
+        gcs = self.runtime.gcs
+        gcs.register_actor(actor_id, cls.__name__, None)
+        gcs.kv.put((_ACTOR_CREATION, actor_id), creation_spec)
+        self._start_incarnation(state)
+        return state
+
+    def _choose_node(self, state: ActorState) -> "Node":
+        return self.runtime.global_scheduler_for(state.creation_spec).schedule(
+            state.creation_spec
+        )
+
+    def _start_incarnation(self, state: ActorState) -> None:
+        node = self._choose_node(state)
+        with state.cond:
+            state.node = node
+            state.incarnation += 1
+            incarnation = state.incarnation
+            state.cond.notify_all()
+        thread = threading.Thread(
+            target=self._actor_loop,
+            args=(state, incarnation),
+            name=f"actor-{state.class_name}-{state.actor_id.hex()[:6]}",
+            daemon=True,
+        )
+        thread.start()
+
+    # ------------------------------------------------------------------
+    # Method submission
+    # ------------------------------------------------------------------
+
+    def submit_method(self, state_spec_builder, actor_id: ActorID):
+        """Assign the next method counter and deliver the spec.
+
+        ``state_spec_builder(counter)`` builds the TaskSpec once the counter
+        is known (counters define the stateful-edge order).
+        """
+        with self._lock:
+            state = self.actors.get(actor_id)
+        if state is None:
+            raise ActorDiedError(f"unknown actor {actor_id!r}")
+        with state.cond:
+            counter = state.submitted
+            state.submitted += 1
+        spec = state_spec_builder(counter)
+        gcs = self.runtime.gcs
+        gcs.kv.append((_ACTOR_LOG, actor_id), spec)
+        if state.dead_forever:
+            self._store_method_error(state, spec)
+            return spec
+        with state.cond:
+            state.mailbox.setdefault(counter, spec)
+            state.cond.notify_all()
+        return spec
+
+    def _store_method_error(self, state: ActorState, spec: TaskSpec) -> None:
+        node = self.runtime.driver_node
+        error = TaskExecutionError(
+            spec.task_id,
+            ActorDiedError(f"actor {state.class_name} died permanently"),
+        )
+        store_outputs(self.runtime, node, spec, [error] * spec.num_returns)
+        # The runtime records the task after submit_method returns, so make
+        # sure a row exists before marking it failed.
+        self.runtime.gcs.add_task(spec.task_id, spec)
+        self.runtime.gcs.update_task_status(spec.task_id, TaskStatus.FAILED)
+
+    # ------------------------------------------------------------------
+    # The actor loop (one thread per incarnation)
+    # ------------------------------------------------------------------
+
+    def _stale(self, state: ActorState, incarnation: int) -> bool:
+        with state.cond:
+            return (
+                state.incarnation != incarnation
+                or state.dead_forever
+                or self.runtime.stopped
+            )
+
+    def _actor_loop(self, state: ActorState, incarnation: int) -> None:
+        runtime = self.runtime
+        node = state.node
+        gcs = runtime.gcs
+        # Acquire the actor's lifetime resources; keep trying (in short
+        # slices so a kill/restart can cancel us) until they free up.  If
+        # this node stays full, ask the global scheduler for a new
+        # placement — capacity may have opened up elsewhere.
+        attempts = 0
+        while not node.resources.acquire(state.creation_spec.resources, timeout=0.2):
+            if self._stale(state, incarnation) or not node.alive:
+                return
+            attempts += 1
+            if attempts % 10 == 0:
+                replacement = self._choose_node(state)
+                if replacement is not node:
+                    with state.cond:
+                        state.node = replacement
+                    node = replacement
+        try:
+            instance = self._construct_instance(state, incarnation, node)
+            if instance is None:
+                return
+            restored_counter = self._restore_checkpoint(state, instance)
+            with state.cond:
+                previously_executed = state.next_counter
+                state.instance = instance
+                state.next_counter = restored_counter
+                state.replay_boundary = max(previously_executed, restored_counter)
+                self._rebuild_mailbox(state, restored_counter)
+            gcs.update_actor(
+                state.actor_id,
+                node_id=node.node_id,
+                alive=True,
+                methods_executed=restored_counter,
+                checkpoint_index=restored_counter,
+            )
+            state.ready.set()
+            while True:
+                with state.cond:
+                    while (
+                        state.next_counter not in state.mailbox
+                        and not self._stale_locked(state, incarnation)
+                    ):
+                        state.cond.wait(timeout=0.1)
+                    if self._stale_locked(state, incarnation):
+                        return
+                    spec = state.mailbox.pop(state.next_counter)
+                self._execute_method(state, incarnation, node, instance, spec)
+                if self._stale(state, incarnation):
+                    return
+        finally:
+            node.resources.release(state.creation_spec.resources)
+
+    def _stale_locked(self, state: ActorState, incarnation: int) -> bool:
+        return (
+            state.incarnation != incarnation
+            or state.dead_forever
+            or self.runtime.stopped
+        )
+
+    def _construct_instance(
+        self, state: ActorState, incarnation: int, node: "Node"
+    ) -> Any:
+        runtime = self.runtime
+        spec = state.creation_spec
+        for dep in spec.dependencies():
+            if not runtime.fetch_to_node(
+                dep, node, cancelled=lambda: self._stale(state, incarnation)
+            ):
+                return None
+        args, kwargs, input_error = resolve_args(node, spec)
+        if input_error is not None:
+            self._kill_forever(state, cause=input_error)
+            return None
+        try:
+            with context.execution_scope(runtime, node, spec.task_id, None):
+                instance = state.cls(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001
+            self._kill_forever(
+                state, cause=TaskExecutionError(spec.task_id, exc)
+            )
+            return None
+        runtime.gcs.update_task_status(
+            spec.task_id, TaskStatus.FINISHED, node_id=node.node_id
+        )
+        return instance
+
+    def _restore_checkpoint(self, state: ActorState, instance: Any) -> int:
+        ckpt = self.runtime.gcs.kv.get((_ACTOR_CKPT, state.actor_id))
+        if ckpt is None:
+            return 0
+        counter, blob = ckpt
+        payload = deserialize(blob)
+        if hasattr(instance, "restore_checkpoint"):
+            instance.restore_checkpoint(payload)
+        else:
+            instance.__dict__.update(payload)
+        return counter
+
+    def _rebuild_mailbox(self, state: ActorState, from_counter: int) -> None:
+        """Refill the mailbox from the durable method log (lock held).
+
+        ``from_counter`` is the checkpoint we restored to.  Methods with
+        counters in [from_counter, replay_boundary) are replays; whether
+        each is actually re-executed (vs skipped as read-only) is decided
+        at execution time.
+        """
+        log = self.runtime.gcs.kv.log((_ACTOR_LOG, state.actor_id))
+        for spec in log:
+            if spec.actor_counter >= from_counter:
+                state.mailbox.setdefault(spec.actor_counter, spec)
+
+    def _execute_method(
+        self,
+        state: ActorState,
+        incarnation: int,
+        node: "Node",
+        instance: Any,
+        spec: TaskSpec,
+    ) -> None:
+        runtime = self.runtime
+        gcs = runtime.gcs
+        with state.cond:
+            is_replay = spec.actor_counter < state.replay_boundary
+        if is_replay and spec.is_read_only:
+            # Read-only methods do not mutate state: skip replaying them if
+            # their outputs still exist (the Section 5.1 optimization).
+            if all(
+                runtime.transfer.live_locations(oid) for oid in spec.return_ids
+            ):
+                with state.cond:
+                    state.next_counter = spec.actor_counter + 1
+                return
+        if is_replay:
+            with self._lock:
+                self.replayed_methods += 1
+        for dep in spec.dependencies():
+            if not runtime.fetch_to_node(
+                dep, node, cancelled=lambda: self._stale(state, incarnation)
+            ):
+                return
+        gcs.update_task_status(spec.task_id, TaskStatus.RUNNING, node_id=node.node_id)
+        started = time.perf_counter()
+        status = TaskStatus.FINISHED
+        deps = spec.dependencies()
+        pin_inputs(runtime, node, deps)
+        args, kwargs, input_error = resolve_args(node, spec)
+        if input_error is not None:
+            values = [input_error] * spec.num_returns
+        else:
+            method = getattr(instance, spec.actor_method)
+            try:
+                with context.execution_scope(
+                    runtime, node, spec.task_id, dict(spec.resources)
+                ):
+                    output = method(*args, **kwargs)
+                values = normalize_returns(spec, output)
+            except BaseException as exc:  # noqa: BLE001
+                status = TaskStatus.FAILED
+                values = [TaskExecutionError(spec.task_id, exc)] * spec.num_returns
+        store_outputs(runtime, node, spec, values)
+        for dep in deps:
+            node.store.unpin(dep)
+        with state.cond:
+            state.next_counter = spec.actor_counter + 1
+            executed = state.next_counter
+        gcs.update_task_status(spec.task_id, status, node_id=node.node_id)
+        gcs.update_actor(state.actor_id, methods_executed=executed)
+        duration = time.perf_counter() - started
+        runtime.report_task_duration(duration)
+        gcs.record_event(
+            "task_finished",
+            task=spec.task_id.hex()[:8],
+            name=spec.function_name,
+            node=node.node_id.hex()[:8],
+            start=started,
+            duration=duration,
+            status=status.value,
+            kind="actor_method",
+        )
+        if (
+            state.checkpoint_interval
+            and executed % state.checkpoint_interval == 0
+        ):
+            self._save_checkpoint(state, instance, executed)
+
+    def _save_checkpoint(self, state: ActorState, instance: Any, counter: int) -> None:
+        if hasattr(instance, "save_checkpoint"):
+            payload = instance.save_checkpoint()
+        else:
+            payload = dict(instance.__dict__)
+        blob = serialize(payload)
+        self.runtime.gcs.kv.put((_ACTOR_CKPT, state.actor_id), (counter, blob))
+        self.runtime.gcs.update_actor(state.actor_id, checkpoint_index=counter)
+        with self._lock:
+            self.checkpoints_taken += 1
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    def on_node_death(self, node_id: NodeID) -> None:
+        """Restart (or permanently fail) every actor that lived on the node."""
+        with self._lock:
+            victims = [
+                state
+                for state in self.actors.values()
+                if state.node is not None
+                and state.node.node_id == node_id
+                and not state.dead_forever
+            ]
+        for state in victims:
+            self.restart_actor(state)
+
+    def restart_actor(self, state: ActorState, count_restart: bool = True) -> None:
+        """Restart an actor's incarnation.
+
+        ``count_restart=False`` is used for reconstruction-driven replays
+        (lost outputs): they are part of normal recovery and must not eat
+        into the failure budget (``max_restarts``).
+        """
+        with state.cond:
+            if count_restart:
+                state.restarts += 1
+            if state.restarts > state.max_restarts:
+                state.dead_forever = True
+                state.incarnation += 1  # unblock any old loop
+                state.cond.notify_all()
+        if state.dead_forever:
+            self._fail_pending_methods(state)
+            self.runtime.gcs.update_actor(state.actor_id, alive=False)
+            return
+        self.runtime.gcs.update_actor(state.actor_id, alive=False)
+        self._start_incarnation(state)
+
+    def kill_actor(self, actor_id: ActorID, restart: bool = True) -> None:
+        """Simulate an actor process crash (without killing the node)."""
+        with self._lock:
+            state = self.actors.get(actor_id)
+        if state is None:
+            raise ActorDiedError(f"unknown actor {actor_id!r}")
+        if restart:
+            self.restart_actor(state)
+        else:
+            with state.cond:
+                state.dead_forever = True
+                state.incarnation += 1
+                state.cond.notify_all()
+            self._fail_pending_methods(state)
+            self.runtime.gcs.update_actor(state.actor_id, alive=False)
+
+    def _kill_forever(self, state: ActorState, cause: TaskExecutionError) -> None:
+        with state.cond:
+            state.dead_forever = True
+            state.cond.notify_all()
+        self.runtime.gcs.update_task_status(
+            state.creation_spec.task_id, TaskStatus.FAILED
+        )
+        self.runtime.gcs.update_actor(state.actor_id, alive=False)
+        self._fail_pending_methods(state, cause)
+
+    def _fail_pending_methods(
+        self, state: ActorState, cause: Optional[BaseException] = None
+    ) -> None:
+        """Write ActorDiedError outputs for methods that will never run."""
+        log = self.runtime.gcs.kv.log((_ACTOR_LOG, state.actor_id))
+        node = self.runtime.driver_node
+        with state.cond:
+            executed = state.next_counter
+        for spec in log:
+            if spec.actor_counter >= executed and not any(
+                self.runtime.transfer.live_locations(oid)
+                for oid in spec.return_ids
+            ):
+                error = TaskExecutionError(
+                    spec.task_id,
+                    cause
+                    or ActorDiedError(
+                        f"actor {state.class_name} died permanently"
+                    ),
+                )
+                store_outputs(self.runtime, node, spec, [error] * spec.num_returns)
+
+    # ------------------------------------------------------------------
+    # Reconstruction entry point (object fetch path)
+    # ------------------------------------------------------------------
+
+    def reconstruct_for_object(self, actor_id: ActorID) -> None:
+        """An actor method output was lost: replay the actor from its last
+        checkpoint (stateful-edge reconstruction)."""
+        with self._lock:
+            state = self.actors.get(actor_id)
+        if state is None or state.dead_forever:
+            return
+        self.restart_actor(state, count_restart=False)
+
+    def get_state(self, actor_id: ActorID) -> Optional[ActorState]:
+        with self._lock:
+            return self.actors.get(actor_id)

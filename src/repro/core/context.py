@@ -1,0 +1,110 @@
+"""Per-thread execution context.
+
+Every thread that can call the API — the driver thread, worker threads
+executing tasks, actor threads executing methods — carries a context
+identifying the runtime, the node it runs on, the task on whose behalf it
+executes, and the resources it currently holds.  The context provides:
+
+* **deterministic child task IDs** (parent task ID + submission index), so
+  replaying a task regenerates identical lineage;
+* **blocked-worker resource release**: a worker that blocks in ``get`` /
+  ``wait`` returns its CPUs to the node so other tasks can run, preventing
+  the classic nested-parallelism deadlock (Ray does the same).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.common.ids import NodeID, TaskID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Node, Runtime
+
+
+class _ContextState(threading.local):
+    def __init__(self):
+        self.runtime: Optional["Runtime"] = None
+        self.node: Optional["Node"] = None
+        self.task_id: Optional[TaskID] = None
+        self.submission_index: int = 0
+        self.put_index: int = 0
+        self.held_resources: Optional[Dict[str, float]] = None
+
+
+_state = _ContextState()
+
+
+def current_runtime() -> Optional["Runtime"]:
+    return _state.runtime
+
+
+def current_node() -> Optional["Node"]:
+    return _state.node
+
+
+def current_task_id() -> Optional[TaskID]:
+    return _state.task_id
+
+
+def next_submission_index() -> int:
+    index = _state.submission_index
+    _state.submission_index += 1
+    return index
+
+
+def next_put_index() -> int:
+    index = _state.put_index
+    _state.put_index += 1
+    return index
+
+
+@contextlib.contextmanager
+def execution_scope(runtime, node, task_id, held_resources=None):
+    """Install the context for the duration of one task/method execution."""
+    previous = (
+        _state.runtime,
+        _state.node,
+        _state.task_id,
+        _state.submission_index,
+        _state.put_index,
+        _state.held_resources,
+    )
+    _state.runtime = runtime
+    _state.node = node
+    _state.task_id = task_id
+    _state.submission_index = 0
+    _state.put_index = 0
+    _state.held_resources = held_resources
+    try:
+        yield
+    finally:
+        (
+            _state.runtime,
+            _state.node,
+            _state.task_id,
+            _state.submission_index,
+            _state.put_index,
+            _state.held_resources,
+        ) = previous
+
+
+@contextlib.contextmanager
+def blocked():
+    """Release held resources while blocking; reacquire before resuming.
+
+    Used by ``get``/``wait`` so that a worker waiting on child tasks does
+    not hold CPUs the children need.
+    """
+    node = _state.node
+    resources = _state.held_resources
+    if node is None or not resources:
+        yield
+        return
+    node.resources.release(resources)
+    try:
+        yield
+    finally:
+        node.resources.acquire(resources)

@@ -1,0 +1,199 @@
+"""Per-node local scheduler (the "bottom" of the bottom-up scheduler).
+
+Tasks created on a node are submitted to the node's local scheduler first
+(paper Section 4.2.2).  The local scheduler schedules the task locally
+*unless*:
+
+* the node's dispatch backlog exceeds the spillback threshold (the node is
+  overloaded), or
+* the node can never satisfy the task's resource request (e.g. no GPU).
+
+In either case the task is forwarded to a global scheduler, which picks a
+node by lowest estimated waiting time.  Once a task is *placed* on a node,
+the local scheduler pulls any missing inputs via the object fetcher and
+dispatches the task to a worker when all inputs are local and its resources
+are available.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.common.ids import ObjectID, TaskID
+from repro.core.task_spec import TaskSpec
+from repro.gcs.tables import TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Node
+
+
+class LocalScheduler:
+    """Bottom-up local scheduler for a single node."""
+
+    def __init__(
+        self,
+        node: "Node",
+        gcs,
+        fetcher,
+        forward_to_global: Callable[[TaskSpec], None],
+        execute: Callable[["Node", TaskSpec, Dict[str, float]], None],
+        spillback_threshold: int = 16,
+    ):
+        self.node = node
+        self.gcs = gcs
+        self.fetcher = fetcher
+        self._forward_to_global = forward_to_global
+        self._execute = execute
+        self.spillback_threshold = spillback_threshold
+
+        self._cond = threading.Condition()
+        self._ready: deque = deque()
+        self._waiting: Dict[TaskID, Set[ObjectID]] = {}
+        self._waiting_specs: Dict[TaskID, TaskSpec] = {}
+        self._running: Set[TaskID] = set()
+        self._stopped = False
+
+        self.scheduled_locally = 0
+        self.forwarded = 0
+
+        node.resources.add_release_listener(self._notify)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"dispatcher-{node.node_id.hex()[:6]}",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # -- submission (bottom-up entry point) ----------------------------------
+
+    def submit(self, spec: TaskSpec) -> None:
+        """A co-located driver or worker created this task."""
+        if (
+            not self.node.alive
+            or not self.node.resources.can_ever_satisfy(spec.resources)
+            or self.backlog() >= self.spillback_threshold
+        ):
+            self.forwarded += 1
+            self._forward_to_global(spec)
+            return
+        self.scheduled_locally += 1
+        self.place(spec)
+
+    # -- placement ------------------------------------------------------------
+
+    def place(self, spec: TaskSpec) -> None:
+        """This node has been chosen to run ``spec``."""
+        if not self.node.alive:
+            # Placed on a node that died in the meantime: bounce to global.
+            self._forward_to_global(spec)
+            return
+        self.gcs.update_task_status(
+            spec.task_id, TaskStatus.SCHEDULED, node_id=self.node.node_id
+        )
+        missing = {
+            dep
+            for dep in spec.dependencies()
+            if not self.node.store.contains(dep)
+        }
+        if not missing:
+            self._enqueue_ready(spec)
+            return
+        with self._cond:
+            self._waiting[spec.task_id] = set(missing)
+            self._waiting_specs[spec.task_id] = spec
+        for dep in missing:
+            self.node.store.on_available(
+                dep, lambda oid, tid=spec.task_id: self._input_ready(tid, oid)
+            )
+            self.fetcher.ensure_local(dep, self.node)
+
+    def _input_ready(self, task_id: TaskID, object_id: ObjectID) -> None:
+        with self._cond:
+            pending = self._waiting.get(task_id)
+            if pending is None:
+                return
+            pending.discard(object_id)
+            if pending:
+                return
+            del self._waiting[task_id]
+            spec = self._waiting_specs.pop(task_id)
+            self._ready.append(spec)
+            self._cond.notify_all()
+
+    def _enqueue_ready(self, spec: TaskSpec) -> None:
+        with self._cond:
+            self._ready.append(spec)
+            self._cond.notify_all()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _notify(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                spec = self._pick_dispatchable()
+                while spec is None and not self._stopped:
+                    # Timed wait: resource releases notify us, but a timeout
+                    # bounds any missed wakeup.
+                    self._cond.wait(timeout=0.05)
+                    spec = self._pick_dispatchable()
+                if self._stopped:
+                    return
+                self._running.add(spec.task_id)
+            worker = threading.Thread(
+                target=self._run_task,
+                args=(spec,),
+                name=f"worker-{spec.function_name[:24]}",
+                daemon=True,
+            )
+            worker.start()
+
+    def _pick_dispatchable(self) -> Optional[TaskSpec]:
+        """First ready task whose resources fit right now (lock held)."""
+        for index, spec in enumerate(self._ready):
+            if self.node.resources.try_acquire(spec.resources):
+                del self._ready[index]
+                return spec
+        return None
+
+    def _run_task(self, spec: TaskSpec) -> None:
+        try:
+            self._execute(self.node, spec, dict(spec.resources))
+        finally:
+            self.node.resources.release(spec.resources)
+            with self._cond:
+                self._running.discard(spec.task_id)
+                self._cond.notify_all()
+
+    # -- load info (heartbeats to the global scheduler) --------------------------
+
+    def backlog(self) -> int:
+        """Dispatch backlog: tasks placed here but not yet finished."""
+        with self._cond:
+            return len(self._ready) + len(self._waiting) + len(self._running)
+
+    def queue_length(self) -> int:
+        with self._cond:
+            return len(self._ready) + len(self._waiting)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def drain(self) -> List[TaskSpec]:
+        """Remove and return all not-yet-running tasks (node failure path)."""
+        with self._cond:
+            drained = list(self._ready)
+            drained.extend(self._waiting_specs.values())
+            self._ready.clear()
+            self._waiting.clear()
+            self._waiting_specs.clear()
+            return drained
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()

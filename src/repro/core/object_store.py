@@ -1,0 +1,278 @@
+"""Per-node in-memory object store.
+
+Each node runs one store holding immutable, serialized objects (paper
+Section 4.2.3).  Properties reproduced from the paper:
+
+* **Immutability** — a ``put`` for an ID that already exists is a no-op
+  (and is how replayed tasks stay idempotent).
+* **Locality** — tasks only ever read inputs from their node's store; the
+  transfer service replicates remote inputs in first.
+* **LRU eviction** — when capacity is exceeded, the least-recently-used
+  unpinned objects are evicted.  With a ``spill_directory`` configured the
+  evicted copy goes to disk and is transparently reloaded on access (the
+  paper: "we keep objects entirely in memory and evict them as needed to
+  disk using an LRU policy"); without one the copy is dropped and lineage
+  reconstruction recovers it on demand.  Objects pinned by executing
+  tasks are never evicted.
+* **Availability notifications** — readers can register a callback or wait
+  on an event for an object to become local (Figure 7b).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ObjectStoreFullError
+from repro.common.ids import NodeID, ObjectID
+from repro.common.serialization import SerializedObject
+
+
+class LocalObjectStore:
+    """Thread-safe LRU object store for one node."""
+
+    def __init__(
+        self,
+        node_id: NodeID,
+        capacity_bytes: Optional[int] = None,
+        on_evict: Optional[Callable[[ObjectID], None]] = None,
+        spill_directory: Optional[str] = None,
+    ):
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self._on_evict = on_evict
+        self._lock = threading.RLock()
+        self._objects: "OrderedDict[ObjectID, SerializedObject]" = OrderedDict()
+        self._pins: Dict[ObjectID, int] = {}
+        self._used_bytes = 0
+        self._events: Dict[ObjectID, threading.Event] = {}
+        self._listeners: Dict[ObjectID, List[Callable[[ObjectID], None]]] = {}
+        self.put_count = 0
+        self.eviction_count = 0
+        self.spill_count = 0
+        self.restore_count = 0
+        self._spill_directory = spill_directory
+        self._spilled: Dict[ObjectID, str] = {}
+        if spill_directory is not None:
+            import os
+
+            os.makedirs(spill_directory, exist_ok=True)
+
+    # -- core operations -----------------------------------------------------
+
+    def put(self, object_id: ObjectID, value: SerializedObject) -> bool:
+        """Store ``value`` under ``object_id``.
+
+        Returns True if stored, False if the object was already present
+        (objects are immutable, so a duplicate put is a no-op).  Raises
+        :class:`ObjectStoreFullError` if eviction cannot make room.
+        """
+        listeners: List[Callable[[ObjectID], None]] = []
+        with self._lock:
+            if object_id in self._objects or object_id in self._spilled:
+                return False
+            if self.capacity_bytes is not None:
+                if value.total_bytes > self.capacity_bytes:
+                    raise ObjectStoreFullError(
+                        f"object ({value.total_bytes} B) exceeds store capacity "
+                        f"({self.capacity_bytes} B)"
+                    )
+                self._evict_until(self.capacity_bytes - value.total_bytes)
+            self._objects[object_id] = value
+            self._used_bytes += value.total_bytes
+            self.put_count += 1
+            event = self._events.get(object_id)
+            if event is not None:
+                event.set()
+            listeners = self._listeners.pop(object_id, [])
+        for listener in listeners:
+            listener(object_id)
+        return True
+
+    def get(self, object_id: ObjectID) -> Optional[SerializedObject]:
+        with self._lock:
+            value = self._objects.get(object_id)
+            if value is not None:
+                self._objects.move_to_end(object_id)  # LRU touch
+                return value
+            if object_id in self._spilled:
+                return self._restore_from_disk(object_id)
+            return None
+
+    def contains(self, object_id: ObjectID) -> bool:
+        with self._lock:
+            return object_id in self._objects or object_id in self._spilled
+
+    def is_spilled(self, object_id: ObjectID) -> bool:
+        with self._lock:
+            return object_id in self._spilled
+
+    def delete(self, object_id: ObjectID) -> bool:
+        """Explicitly drop an object (used when a node's copy is invalidated)."""
+        with self._lock:
+            had_spill = object_id in self._spilled
+            self._remove_spill_file(object_id)
+            value = self._objects.pop(object_id, None)
+            if value is None and not had_spill:
+                return False
+            if value is not None:
+                self._used_bytes -= value.total_bytes
+            event = self._events.get(object_id)
+            if event is not None:
+                event.clear()  # waiters re-arm; a re-put sets it again
+            return True
+
+    # -- pinning (inputs of executing tasks must not be evicted) -------------
+
+    def pin(self, object_id: ObjectID) -> None:
+        with self._lock:
+            self._pins[object_id] = self._pins.get(object_id, 0) + 1
+
+    def unpin(self, object_id: ObjectID) -> None:
+        with self._lock:
+            count = self._pins.get(object_id, 0)
+            if count <= 1:
+                self._pins.pop(object_id, None)
+            else:
+                self._pins[object_id] = count - 1
+
+    def is_pinned(self, object_id: ObjectID) -> bool:
+        with self._lock:
+            return self._pins.get(object_id, 0) > 0
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict_until(self, target_bytes: int) -> None:
+        """Evict LRU unpinned objects until used <= target.  Lock held.
+
+        With a spill directory, evicted copies go to disk and stay
+        addressable (no location retraction); otherwise they are dropped
+        and the on_evict callback retracts the GCS location.
+        """
+        if self._used_bytes <= target_bytes:
+            return
+        evicted: List[ObjectID] = []
+        for object_id in list(self._objects.keys()):
+            if self._used_bytes <= target_bytes:
+                break
+            if self._pins.get(object_id, 0) > 0:
+                continue
+            value = self._objects.pop(object_id)
+            self._used_bytes -= value.total_bytes
+            self.eviction_count += 1
+            if self._spill_directory is not None:
+                self._spill_to_disk(object_id, value)
+                continue  # still available: no event clear, no callback
+            event = self._events.get(object_id)
+            if event is not None:
+                event.clear()
+            evicted.append(object_id)
+        if self._used_bytes > target_bytes:
+            raise ObjectStoreFullError(
+                "cannot make room: remaining objects are pinned"
+            )
+        if self._on_evict:
+            for object_id in evicted:
+                self._on_evict(object_id)
+
+    # -- disk spilling (paper §4.2.3: "evict them as needed to disk") ---------
+
+    def _spill_path(self, object_id: ObjectID) -> str:
+        import os
+
+        return os.path.join(self._spill_directory, object_id.hex())
+
+    def _spill_to_disk(self, object_id: ObjectID, value: SerializedObject) -> None:
+        import pickle
+
+        path = self._spill_path(object_id)
+        with open(path, "wb") as f:
+            pickle.dump((value.payload, value.buffers), f)
+        self._spilled[object_id] = path
+        self.spill_count += 1
+
+    def _restore_from_disk(self, object_id: ObjectID) -> Optional[SerializedObject]:
+        """Reload a spilled object into memory (lock held)."""
+        import pickle
+
+        path = self._spilled.get(object_id)
+        if path is None:
+            return None
+        with open(path, "rb") as f:
+            payload, buffers = pickle.load(f)
+        value = SerializedObject(payload, buffers)
+        if self.capacity_bytes is not None:
+            self._evict_until(self.capacity_bytes - value.total_bytes)
+        self._remove_spill_file(object_id)
+        self._objects[object_id] = value
+        self._used_bytes += value.total_bytes
+        self.restore_count += 1
+        return value
+
+    def _remove_spill_file(self, object_id: ObjectID) -> None:
+        import os
+
+        path = self._spilled.pop(object_id, None)
+        if path is not None:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # -- availability notifications -------------------------------------------
+
+    def availability_event(self, object_id: ObjectID) -> threading.Event:
+        """An event set when (or already set if) the object is local."""
+        with self._lock:
+            event = self._events.get(object_id)
+            if event is None:
+                event = threading.Event()
+                if object_id in self._objects or object_id in self._spilled:
+                    event.set()
+                self._events[object_id] = event
+            return event
+
+    def on_available(
+        self, object_id: ObjectID, callback: Callable[[ObjectID], None]
+    ) -> None:
+        """Run ``callback`` when the object becomes local (now if already)."""
+        with self._lock:
+            if object_id in self._objects:
+                run_now = True
+            else:
+                self._listeners.setdefault(object_id, []).append(callback)
+                run_now = False
+        if run_now:
+            callback(object_id)
+
+    # -- stats / lifecycle -------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used_bytes
+
+    def object_ids(self) -> List[ObjectID]:
+        with self._lock:
+            return list(self._objects.keys())
+
+    def num_objects(self) -> int:
+        with self._lock:
+            return len(self._objects)
+
+    def drop_all(self) -> List[ObjectID]:
+        """Simulate node loss (memory *and* node-local disk).
+
+        Returns the IDs that were lost."""
+        with self._lock:
+            lost = list(self._objects.keys())
+            lost.extend(self._spilled.keys())
+            for object_id in list(self._spilled.keys()):
+                self._remove_spill_file(object_id)
+            self._objects.clear()
+            self._pins.clear()
+            self._used_bytes = 0
+            for event in self._events.values():
+                event.clear()
+            return lost

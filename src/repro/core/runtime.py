@@ -1,0 +1,568 @@
+"""The Ray-like runtime: a multi-node cluster in one process.
+
+Every node has its own resource pool, object store, and local scheduler
+(with worker threads); nodes share nothing except the GCS.  Objects are
+physically copied between node stores by the transfer service.  This makes
+the control-plane protocols of the paper — bottom-up scheduling, GCS-
+mediated object location lookup, lineage reconstruction, actor replay —
+*real*, executable code paths rather than simulation, at laptop scale.
+
+The scale experiments (millions of tasks/second, GB/s transfers) live in
+:mod:`repro.sim`, which runs the same policies under a discrete-event
+clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import (
+    GetTimeoutError,
+    ObjectLostError,
+    RuntimeNotInitializedError,
+    TaskExecutionError,
+)
+from repro.common.ids import (
+    ActorID,
+    FunctionID,
+    NodeID,
+    ObjectID,
+    TaskID,
+    deterministic_task_id,
+)
+from repro.common.serialization import deserialize, serialize
+from repro.core import context
+from repro.core.actor import ActorManager
+from repro.core.global_scheduler import GlobalScheduler
+from repro.core.local_scheduler import LocalScheduler
+from repro.core.object_store import LocalObjectStore
+from repro.core.reconstruction import ReconstructionManager
+from repro.core.resources import ResourcePool, normalize_resources
+from repro.core.task_graph import TaskGraph
+from repro.core.task_spec import TaskSpec
+from repro.core.transfer import ObjectFetcher, TransferService
+from repro.core.worker import execute_task
+from repro.gcs.client import GlobalControlStore
+from repro.gcs.tables import TaskStatus
+
+_POLL_INTERVAL = 0.02
+
+
+@dataclass
+class RuntimeConfig:
+    """Cluster shape and policy knobs for the in-process runtime."""
+
+    num_nodes: int = 2
+    num_cpus_per_node: float = 4
+    num_gpus_per_node: float = 0
+    custom_resources: Dict[str, float] = field(default_factory=dict)
+    object_store_capacity_bytes: Optional[int] = None
+    # When set, LRU eviction spills to per-node subdirectories here instead
+    # of dropping copies (paper §4.2.3: "evict them as needed to disk").
+    object_spill_directory: Optional[str] = None
+    gcs_shards: int = 4
+    gcs_replicas: int = 1
+    num_global_schedulers: int = 1
+    locality_aware: bool = True
+    spillback_threshold: int = 16
+    scheduler_delay: float = 0.0  # Fig 12b-style latency injection
+    # GCS flushing (Fig 10b): when set, finished-task lineage is moved to
+    # this file whenever in-memory entries exceed the threshold.  Flushed
+    # lineage remains usable: reconstruction falls back to the disk
+    # snapshot for collected task records.
+    gcs_flush_path: Optional[str] = None
+    gcs_flush_threshold: int = 10_000
+
+
+class Node:
+    """One cluster node: resources, an object store, a local scheduler."""
+
+    def __init__(
+        self,
+        node_id: NodeID,
+        resources: Dict[str, float],
+        runtime: "Runtime",
+        capacity_bytes: Optional[int],
+    ):
+        self.node_id = node_id
+        self.alive = True
+        self.resources = ResourcePool(resources)
+        spill_directory = None
+        if runtime.config.object_spill_directory:
+            import os
+
+            spill_directory = os.path.join(
+                runtime.config.object_spill_directory, node_id.hex()[:12]
+            )
+        self.store = LocalObjectStore(
+            node_id,
+            capacity_bytes=capacity_bytes,
+            on_evict=lambda oid: runtime.gcs.remove_object_location(oid, node_id),
+            spill_directory=spill_directory,
+        )
+        self.local_scheduler = LocalScheduler(
+            node=self,
+            gcs=runtime.gcs,
+            fetcher=runtime.fetcher,
+            forward_to_global=runtime.route_and_place,
+            execute=lambda node, spec, held: execute_task(runtime, node, spec, held),
+            spillback_threshold=runtime.config.spillback_threshold,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id.hex()[:8]}, alive={self.alive})"
+
+
+class Runtime:
+    """A running cluster plus the driver's submission context."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None, **overrides: Any):
+        if config is None:
+            config = RuntimeConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides")
+        self.config = config
+        self.stopped = False
+
+        self.gcs = GlobalControlStore(
+            num_shards=config.gcs_shards, num_replicas=config.gcs_replicas
+        )
+        self.transfer = TransferService(self.gcs)
+        self.fetcher = ObjectFetcher(self.gcs, self.transfer)
+        self.graph = TaskGraph()
+        self.global_schedulers = [
+            GlobalScheduler(
+                self.gcs,
+                get_nodes=self.live_nodes,
+                locality_aware=config.locality_aware,
+                decision_delay=config.scheduler_delay,
+            )
+            for _ in range(max(1, config.num_global_schedulers))
+        ]
+        self._scheduler_rr = 0
+
+        self._nodes: Dict[NodeID, Node] = {}
+        self._node_order: List[NodeID] = []
+        node_resources = {"CPU": float(config.num_cpus_per_node)}
+        if config.num_gpus_per_node:
+            node_resources["GPU"] = float(config.num_gpus_per_node)
+        node_resources.update(config.custom_resources)
+        for _ in range(config.num_nodes):
+            self.add_node(dict(node_resources), config.object_store_capacity_bytes)
+
+        self.actors = ActorManager(self)
+        self.reconstruction = ReconstructionManager(self)
+        self.fetcher.reconstruct = self.reconstruction.maybe_reconstruct
+
+        self.flusher = None
+        if config.gcs_flush_path:
+            from repro.gcs.flush import GcsFlusher
+
+            self.flusher = GcsFlusher(
+                self.gcs,
+                config.gcs_flush_path,
+                max_entries_in_memory=config.gcs_flush_threshold,
+            )
+
+        # Driver submission context (the driver is task "root").
+        self.driver_task_id = TaskID.from_random()
+        self._driver_lock = threading.Lock()
+        self._driver_submission_index = 0
+        self._driver_put_index = 0
+        self._flush_lock = threading.Lock()
+        self._completions_since_flush_check = 0
+
+    # ------------------------------------------------------------------
+    # Cluster membership
+    # ------------------------------------------------------------------
+
+    @property
+    def driver_node(self) -> Node:
+        for node_id in self._node_order:
+            node = self._nodes[node_id]
+            if node.alive:
+                return node
+        raise RuntimeNotInitializedError("no live nodes in the cluster")
+
+    def nodes(self) -> List[Node]:
+        return [self._nodes[nid] for nid in self._node_order]
+
+    def live_nodes(self) -> List[Node]:
+        return [n for n in self.nodes() if n.alive]
+
+    def node(self, node_id: NodeID) -> Node:
+        return self._nodes[node_id]
+
+    def add_node(
+        self,
+        resources: Optional[Dict[str, float]] = None,
+        capacity_bytes: Optional[int] = None,
+    ) -> Node:
+        if resources is None:
+            resources = {"CPU": float(self.config.num_cpus_per_node)}
+            if self.config.num_gpus_per_node:
+                resources["GPU"] = float(self.config.num_gpus_per_node)
+        node = Node(NodeID.from_random(), resources, self, capacity_bytes)
+        self._nodes[node.node_id] = node
+        self._node_order.append(node.node_id)
+        self.transfer.register_node(node)
+        return node
+
+    def kill_node(self, node_id: NodeID) -> None:
+        """Fail a node: drop its store, reroute its queue, restart actors."""
+        node = self._nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        node.local_scheduler.stop()
+        drained = node.local_scheduler.drain()
+        lost = node.store.drop_all()
+        for object_id in lost:
+            self.gcs.remove_object_location(object_id, node_id)
+        self.gcs.record_event("node_death", node=node_id.hex()[:8], lost=len(lost))
+        for spec in drained:
+            if spec.actor_id is None:
+                self.gcs.update_task_status(spec.task_id, TaskStatus.PENDING)
+                self.route_and_place(spec)
+        self.actors.on_node_death(node_id)
+
+    # ------------------------------------------------------------------
+    # Scheduling entry points
+    # ------------------------------------------------------------------
+
+    def global_scheduler_for(self, spec: TaskSpec) -> GlobalScheduler:
+        index = self._scheduler_rr % len(self.global_schedulers)
+        self._scheduler_rr += 1
+        return self.global_schedulers[index]
+
+    def route_and_place(self, spec: TaskSpec) -> None:
+        node = self.global_scheduler_for(spec).schedule(spec)
+        node.local_scheduler.place(spec)
+
+    def report_task_duration(self, seconds: float) -> None:
+        for scheduler in self.global_schedulers:
+            scheduler.report_task_duration(seconds)
+        if self.flusher is not None:
+            with self._flush_lock:
+                self._completions_since_flush_check += 1
+                due = self._completions_since_flush_check >= 100
+                if due:
+                    self._completions_since_flush_check = 0
+            if due:
+                self.flusher.maybe_flush()
+
+    def lookup_task(self, task_id: TaskID):
+        """Task-table lookup with fallback to flushed (on-disk) lineage.
+
+        A flushed record found on disk is re-admitted to the in-memory
+        table so the reconstruction path can update its status.
+        """
+        entry = self.gcs.get_task(task_id)
+        if entry is not None or self.flusher is None:
+            return entry
+        restored = self.flusher.restore_task(task_id)
+        if restored is None:
+            return None
+        self.gcs.add_task(task_id, restored.spec)
+        self.gcs.update_task_status(task_id, restored.status)
+        return self.gcs.get_task(task_id)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _submission_context(self) -> Tuple[TaskID, int, Node]:
+        """(parent task, submission index, submitting node) for this thread."""
+        task_id = context.current_task_id()
+        if task_id is not None:
+            node = context.current_node()
+            return task_id, context.next_submission_index(), node
+        with self._driver_lock:
+            index = self._driver_submission_index
+            self._driver_submission_index += 1
+        return self.driver_task_id, index, self.driver_node
+
+    def ensure_function_registered(self, function_id: FunctionID, function: Callable) -> None:
+        try:
+            self.gcs.get_function(function_id)
+        except KeyError:
+            self.gcs.register_function(function_id, function)
+
+    def submit_task(
+        self,
+        function_id: FunctionID,
+        function_name: str,
+        args: Tuple[Any, ...],
+        kwargs: Tuple[Tuple[str, Any], ...],
+        num_returns: int = 1,
+        resources: Optional[Dict[str, float]] = None,
+    ) -> Tuple[ObjectID, ...]:
+        """Create and route a task; returns its future object IDs.
+
+        Args must already be encoded (ObjectRefs replaced by ArgRef).
+        """
+        parent, index, node = self._submission_context()
+        task_id = deterministic_task_id(parent, index)
+        spec = TaskSpec(
+            task_id=task_id,
+            function_id=function_id,
+            function_name=function_name,
+            args=tuple(args),
+            kwargs=tuple(kwargs),
+            num_returns=num_returns,
+            resources=resources or normalize_resources(),
+            parent_task_id=parent,
+        )
+        existing = self.gcs.get_task(task_id)
+        if existing is not None:
+            # Replay of a task we have already seen (a re-executed parent
+            # resubmitting children).  Skip if its outputs still exist or it
+            # is in flight on a live node.
+            if existing.status == TaskStatus.FINISHED and all(
+                self.transfer.live_locations(oid) for oid in spec.return_ids
+            ):
+                return spec.return_ids
+            if existing.status in (
+                TaskStatus.PENDING,
+                TaskStatus.SCHEDULED,
+                TaskStatus.RUNNING,
+            ):
+                running_node = (
+                    self.transfer.node(existing.node_id) if existing.node_id else None
+                )
+                if running_node is not None and running_node.alive:
+                    return spec.return_ids
+            self.gcs.update_task_status(task_id, TaskStatus.PENDING)
+        else:
+            self.gcs.add_task(task_id, spec)
+        self.graph.add_task(spec)
+        node.local_scheduler.submit(spec)
+        return spec.return_ids
+
+    def create_actor(
+        self,
+        cls: type,
+        args: Tuple[Any, ...],
+        kwargs: Tuple[Tuple[str, Any], ...],
+        resources: Optional[Dict[str, float]] = None,
+        checkpoint_interval: Optional[int] = None,
+        max_restarts: int = 4,
+    ) -> ActorID:
+        parent, index, _node = self._submission_context()
+        task_id = deterministic_task_id(parent, index, salt="actor")
+        actor_id = ActorID(task_id.binary())
+        function_id = FunctionID.from_function(cls.__module__, cls.__qualname__)
+        self.ensure_function_registered(function_id, cls)
+        spec = TaskSpec(
+            task_id=task_id,
+            function_id=function_id,
+            function_name=f"{cls.__name__}.__init__",
+            args=tuple(args),
+            kwargs=tuple(kwargs),
+            num_returns=0,
+            resources=resources or normalize_resources(),
+            parent_task_id=parent,
+            actor_id=actor_id,
+            is_actor_creation=True,
+        )
+        self.gcs.add_task(task_id, spec)
+        self.graph.add_task(spec)
+        self.actors.create_actor(
+            cls,
+            spec,
+            checkpoint_interval=checkpoint_interval,
+            max_restarts=max_restarts,
+        )
+        return actor_id
+
+    def submit_actor_method(
+        self,
+        actor_id: ActorID,
+        method_name: str,
+        args: Tuple[Any, ...],
+        kwargs: Tuple[Tuple[str, Any], ...],
+        num_returns: int = 1,
+    ) -> Tuple[ObjectID, ...]:
+        parent, index, _node = self._submission_context()
+        state = self.actors.get_state(actor_id)
+        if state is None:
+            raise ObjectLostError(actor_id, f"unknown actor {actor_id!r}")
+        function_id = FunctionID.from_function(
+            state.cls.__module__, state.cls.__qualname__
+        )
+
+        read_only = bool(
+            getattr(getattr(state.cls, method_name, None), "__repro_read_only__", False)
+        )
+
+        def build(counter: int) -> TaskSpec:
+            task_id = deterministic_task_id(parent, index, salt=f"m{counter}")
+            return TaskSpec(
+                task_id=task_id,
+                function_id=function_id,
+                function_name=f"{state.class_name}.{method_name}",
+                args=tuple(args),
+                kwargs=tuple(kwargs),
+                num_returns=num_returns,
+                resources={},  # methods run inside the actor's reservation
+                parent_task_id=parent,
+                actor_id=actor_id,
+                actor_method=method_name,
+                actor_counter=counter,
+                is_read_only=read_only,
+            )
+
+        spec = self.actors.submit_method(build, actor_id)
+        self.gcs.add_task(spec.task_id, spec)
+        self.graph.add_task(spec)
+        return spec.return_ids
+
+    # ------------------------------------------------------------------
+    # Data plane: put / get / wait
+    # ------------------------------------------------------------------
+
+    def put(self, value: Any) -> ObjectID:
+        task_id = context.current_task_id()
+        if task_id is not None:
+            node = context.current_node()
+            put_index = context.next_put_index()
+        else:
+            node = self.driver_node
+            task_id = self.driver_task_id
+            with self._driver_lock:
+                put_index = self._driver_put_index
+                self._driver_put_index += 1
+        object_id = ObjectID.for_put(task_id, put_index)
+        serialized = serialize(value)
+        self.gcs.add_object(object_id, serialized.total_bytes, None)
+        if node.store.put(object_id, serialized):
+            self.gcs.add_object_location(object_id, node.node_id)
+        return object_id
+
+    def fetch_to_node(
+        self,
+        object_id: ObjectID,
+        node: Node,
+        timeout: Optional[float] = None,
+        cancelled: Optional[Callable[[], bool]] = None,
+    ) -> bool:
+        """Block until ``object_id`` is in ``node``'s store.
+
+        Returns False if ``cancelled()`` fired; raises GetTimeoutError /
+        ObjectLostError as appropriate.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # Re-fetch each round: eviction clears the event, and the fetch
+            # path (or reconstruction) must then be re-triggered.
+            event = node.store.availability_event(object_id)
+            if event.is_set():
+                return True
+            if cancelled is not None and cancelled():
+                return False
+            self.fetcher.ensure_local(object_id, node)
+            if event.wait(_POLL_INTERVAL):
+                return True
+            entry = self.gcs.get_object_entry(object_id)
+            if (
+                entry is not None
+                and entry.task_id is None
+                and not self.transfer.live_locations(object_id)
+            ):
+                raise ObjectLostError(object_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise GetTimeoutError(
+                    f"object {object_id!r} not available within timeout"
+                )
+
+    def get(self, object_ids, timeout: Optional[float] = None):
+        """Blocking retrieval of one object or a list of objects."""
+        single = not isinstance(object_ids, (list, tuple))
+        id_list = [object_ids] if single else list(object_ids)
+        node = context.current_node() or self.driver_node
+        deadline = None if timeout is None else time.monotonic() + timeout
+        values: List[Any] = []
+        with context.blocked():
+            for object_id in id_list:
+                while True:
+                    remaining = (
+                        None if deadline is None else max(0.0, deadline - time.monotonic())
+                    )
+                    self.fetch_to_node(object_id, node, timeout=remaining)
+                    serialized = node.store.get(object_id)
+                    if serialized is not None:
+                        break
+                    # Evicted between availability and read: retry the fetch.
+                value = deserialize(serialized)
+                if isinstance(value, TaskExecutionError):
+                    raise value
+                values.append(value)
+        return values[0] if single else values
+
+    def object_available(self, object_id: ObjectID) -> bool:
+        """Has the object been created (any live copy in the cluster)?"""
+        return bool(self.transfer.live_locations(object_id))
+
+    def wait(
+        self,
+        object_ids: Sequence[ObjectID],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[ObjectID], List[ObjectID]]:
+        """Paper ``ray.wait``: block until ``num_returns`` objects are ready
+        or the timeout expires; returns (ready, not_ready)."""
+        id_list = list(object_ids)
+        if num_returns > len(id_list):
+            raise ValueError("num_returns exceeds number of futures")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        ready: List[ObjectID] = []
+        pending: List[ObjectID] = list(id_list)
+        with context.blocked():
+            while True:
+                still_pending = []
+                for object_id in pending:
+                    # Return *exactly* num_returns ready futures (like
+                    # ray.wait): extras stay pending for the next call.
+                    if len(ready) < num_returns and self.object_available(object_id):
+                        ready.append(object_id)
+                    else:
+                        still_pending.append(object_id)
+                pending = still_pending
+                if len(ready) >= num_returns or not pending:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                time.sleep(0.002)
+        return ready, pending
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def cluster_resources(self) -> Dict[str, float]:
+        """Total resources across live nodes (like ``ray.cluster_resources``)."""
+        totals: Dict[str, float] = {}
+        for node in self.live_nodes():
+            for name, amount in node.resources.total.items():
+                totals[name] = totals.get(name, 0.0) + amount
+        return totals
+
+    def available_resources(self) -> Dict[str, float]:
+        """Currently unclaimed resources across live nodes."""
+        available: Dict[str, float] = {}
+        for node in self.live_nodes():
+            for name, amount in node.resources.available().items():
+                available[name] = available.get(name, 0.0) + amount
+        return available
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self.stopped = True
+        for node in self.nodes():
+            node.local_scheduler.stop()

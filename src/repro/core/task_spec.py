@@ -1,0 +1,88 @@
+"""Task specifications — the durable unit of lineage.
+
+A :class:`TaskSpec` fully describes one remote function invocation or actor
+method call: which function, which arguments (by value or by object
+reference), how many return values, and what resources it needs.  Specs are
+stored in the GCS task table; re-submitting a spec re-executes the task and
+— because return object IDs are a pure function of the task ID — rewrites
+exactly the objects the original execution produced.  That property is what
+makes lineage replay idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.ids import ActorID, FunctionID, ObjectID, TaskID
+
+
+@dataclass(frozen=True)
+class ArgRef:
+    """Marks an argument passed by object reference (a future)."""
+
+    object_id: ObjectID
+
+    def __repr__(self) -> str:
+        return f"ArgRef({self.object_id.hex()[:10]})"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of one task (or actor method / creation)."""
+
+    task_id: TaskID
+    function_id: FunctionID
+    function_name: str
+    args: Tuple[Any, ...]
+    kwargs: Tuple[Tuple[str, Any], ...]
+    num_returns: int
+    resources: Dict[str, float] = field(default_factory=lambda: {"CPU": 1.0})
+    parent_task_id: Optional[TaskID] = None
+    # Actor fields: exactly one incarnation of {plain task, actor creation,
+    # actor method} applies.
+    actor_id: Optional[ActorID] = None
+    actor_method: Optional[str] = None
+    actor_counter: int = -1
+    is_actor_creation: bool = False
+    # Read-only methods do not mutate actor state, so reconstruction can
+    # skip replaying them (the paper's Section 5.1 future-work item).
+    is_read_only: bool = False
+
+    def __post_init__(self):
+        if self.num_returns < 0:
+            raise ValueError("num_returns must be >= 0")
+        if self.actor_method is not None and self.actor_id is None:
+            raise ValueError("actor method spec requires an actor_id")
+
+    @property
+    def is_actor_method(self) -> bool:
+        return self.actor_method is not None
+
+    @property
+    def return_ids(self) -> Tuple[ObjectID, ...]:
+        return tuple(
+            ObjectID.for_task_return(self.task_id, i)
+            for i in range(self.num_returns)
+        )
+
+    def dependencies(self) -> Tuple[ObjectID, ...]:
+        """Object IDs this task needs before it can execute (data edges in)."""
+        deps = []
+        for arg in self.args:
+            if isinstance(arg, ArgRef):
+                deps.append(arg.object_id)
+        for _name, value in self.kwargs:
+            if isinstance(value, ArgRef):
+                deps.append(value.object_id)
+        return tuple(deps)
+
+    def describe(self) -> str:
+        kind = (
+            "actor_creation"
+            if self.is_actor_creation
+            else "actor_method"
+            if self.is_actor_method
+            else "task"
+        )
+        return f"{kind}:{self.function_name}#{self.task_id.hex()[:8]}"

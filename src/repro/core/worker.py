@@ -1,0 +1,153 @@
+"""Stateless worker execution of tasks.
+
+A worker executes one task at a time: it pins and deserializes the task's
+inputs from the local object store (they are guaranteed local by the local
+scheduler), runs the function, and writes outputs back to the local store,
+registering them in the GCS object table.
+
+Error semantics follow Ray: an exception raised by a task is captured as a
+:class:`TaskExecutionError` stored *in place of* the return value; every
+``get`` of that object re-raises, and any downstream task consuming it
+propagates the error instead of running.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import TaskExecutionError
+from repro.common.serialization import deserialize, serialize
+from repro.core import context
+from repro.core.task_spec import ArgRef, TaskSpec
+from repro.gcs.tables import TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Node, Runtime
+
+
+def resolve_args(
+    node: "Node", spec: TaskSpec
+) -> Tuple[List[Any], Dict[str, Any], Optional[TaskExecutionError]]:
+    """Deserialize the task's arguments from the local store.
+
+    Returns (args, kwargs, input_error); ``input_error`` is the first
+    upstream error found among the inputs, which the task must propagate.
+    """
+
+    def resolve(value: Any) -> Any:
+        if isinstance(value, ArgRef):
+            serialized = node.store.get(value.object_id)
+            if serialized is None:
+                raise RuntimeError(
+                    f"input {value.object_id!r} not local on {node.node_id!r}"
+                )
+            return deserialize(serialized)
+        return value
+
+    args: List[Any] = []
+    kwargs: Dict[str, Any] = {}
+    input_error: Optional[TaskExecutionError] = None
+    for value in spec.args:
+        resolved = resolve(value)
+        if isinstance(resolved, TaskExecutionError) and input_error is None:
+            input_error = resolved
+        args.append(resolved)
+    for name, value in spec.kwargs:
+        resolved = resolve(value)
+        if isinstance(resolved, TaskExecutionError) and input_error is None:
+            input_error = resolved
+        kwargs[name] = resolved
+    return args, kwargs, input_error
+
+
+def normalize_returns(spec: TaskSpec, output: Any) -> List[Any]:
+    """Split a function's return value according to ``num_returns``."""
+    if spec.num_returns == 0:
+        return []
+    if spec.num_returns == 1:
+        return [output]
+    if not isinstance(output, (tuple, list)) or len(output) != spec.num_returns:
+        raise TypeError(
+            f"{spec.function_name} declared num_returns={spec.num_returns} "
+            f"but returned {type(output).__name__} of length "
+            f"{len(output) if isinstance(output, (tuple, list)) else 'n/a'}"
+        )
+    return list(output)
+
+
+def store_outputs(runtime: "Runtime", node: "Node", spec: TaskSpec, values: List[Any]) -> None:
+    """Write outputs to the local store and the GCS object table."""
+    for object_id, value in zip(spec.return_ids, values):
+        serialized = serialize(value)
+        # Location first, metadata second: once the object-table entry is
+        # visible, a concurrent reader that sees it with *no* locations may
+        # legitimately trigger reconstruction, so the location must already
+        # be published (or the store put must have genuinely failed).
+        if node.alive and node.store.put(object_id, serialized):
+            runtime.gcs.add_object_location(object_id, node.node_id)
+        runtime.gcs.add_object(object_id, serialized.total_bytes, spec.task_id)
+
+
+def pin_inputs(runtime: "Runtime", node: "Node", deps) -> None:
+    """Pin each input, re-fetching any that was evicted after readiness.
+
+    Pin-then-verify: once an object is pinned *while present*, LRU eviction
+    cannot remove it, so the subsequent read is safe.
+    """
+    for dep in deps:
+        while True:
+            node.store.pin(dep)
+            if node.store.contains(dep):
+                break
+            node.store.unpin(dep)
+            runtime.fetch_to_node(dep, node)
+
+
+def execute_task(
+    runtime: "Runtime",
+    node: "Node",
+    spec: TaskSpec,
+    held_resources: Dict[str, float],
+) -> None:
+    """Run one stateless task on ``node`` (called on a worker thread)."""
+    gcs = runtime.gcs
+    gcs.update_task_status(spec.task_id, TaskStatus.RUNNING, node_id=node.node_id)
+    deps = spec.dependencies()
+    pin_inputs(runtime, node, deps)
+    started = time.perf_counter()
+    status = TaskStatus.FINISHED
+    try:
+        args, kwargs, input_error = resolve_args(node, spec)
+        if input_error is not None:
+            values = [input_error] * spec.num_returns
+        else:
+            function = gcs.get_function(spec.function_id)
+            try:
+                with context.execution_scope(
+                    runtime, node, spec.task_id, held_resources
+                ):
+                    output = function(*args, **kwargs)
+                values = normalize_returns(spec, output)
+            except BaseException as exc:  # noqa: BLE001 - error channel
+                status = TaskStatus.FAILED
+                error = TaskExecutionError(spec.task_id, exc)
+                values = [error] * spec.num_returns
+        store_outputs(runtime, node, spec, values)
+    finally:
+        for dep in deps:
+            node.store.unpin(dep)
+        duration = time.perf_counter() - started
+        gcs.update_task_status(spec.task_id, status, node_id=node.node_id)
+        runtime.report_task_duration(duration)
+        runtime.reconstruction.task_finished(spec.task_id)
+        gcs.record_event(
+            "task_finished",
+            task=spec.task_id.hex()[:8],
+            name=spec.function_name,
+            node=node.node_id.hex()[:8],
+            start=started,
+            duration=duration,
+            status=status.value,
+            kind="task",
+        )

@@ -1,0 +1,221 @@
+"""The Global Control Store facade.
+
+Every stateless component (local schedulers, global schedulers, object
+stores, workers) shares system state exclusively through this interface:
+object locations, task lineage, function definitions, actor liveness, and
+the event log.  All operations are single-key against the sharded,
+chain-replicated KV store, mirroring the paper's Redis usage.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.common.ids import ActorID, FunctionID, NodeID, ObjectID, TaskID
+from repro.gcs.shard import ShardedKV
+from repro.gcs.tables import (
+    ActorTableEntry,
+    EventRecord,
+    ObjectTableEntry,
+    TaskStatus,
+    TaskTableEntry,
+)
+
+_OBJ = "object"  # object metadata (size, producing task)
+_OBJ_LOC = "object_loc"  # per-object location log
+_TASK = "task"  # task table (lineage)
+_FUNC = "function"  # function table
+_ACTOR = "actor"  # actor table
+_EVENT = "event"  # event log
+
+
+class GlobalControlStore:
+    """Typed tables over :class:`ShardedKV` (the system's only state)."""
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        num_replicas: int = 2,
+        hop_delay: float = 0.0,
+    ):
+        self.kv = ShardedKV(
+            num_shards=num_shards,
+            num_replicas=num_replicas,
+            hop_delay=hop_delay,
+        )
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Function table
+    # ------------------------------------------------------------------
+
+    def register_function(self, function_id: FunctionID, function: Any) -> None:
+        """Publish a remote function to all workers.
+
+        In the paper the pickled function is broadcast to every node; in our
+        single-process cluster the function table *is* the distribution
+        mechanism — workers look functions up here by ID.
+        """
+        self.kv.put((_FUNC, function_id), function)
+
+    def get_function(self, function_id: FunctionID) -> Any:
+        fn = self.kv.get((_FUNC, function_id))
+        if fn is None:
+            raise KeyError(f"function {function_id!r} not registered")
+        return fn
+
+    # ------------------------------------------------------------------
+    # Object table
+    # ------------------------------------------------------------------
+
+    def add_object(
+        self, object_id: ObjectID, size: int, task_id: Optional[TaskID]
+    ) -> None:
+        """Record object metadata (idempotent across reconstruction)."""
+        self.kv.put((_OBJ, object_id), (size, task_id))
+
+    def add_object_location(self, object_id: ObjectID, node_id: NodeID) -> None:
+        self.kv.append((_OBJ_LOC, object_id), ("add", node_id))
+
+    def remove_object_location(self, object_id: ObjectID, node_id: NodeID) -> None:
+        self.kv.append((_OBJ_LOC, object_id), ("remove", node_id))
+
+    def get_object_locations(self, object_id: ObjectID) -> Set[NodeID]:
+        locations: Set[NodeID] = set()
+        for op, node_id in self.kv.log((_OBJ_LOC, object_id)):
+            if op == "add":
+                locations.add(node_id)
+            else:
+                locations.discard(node_id)
+        return locations
+
+    def get_object_entry(self, object_id: ObjectID) -> Optional[ObjectTableEntry]:
+        meta = self.kv.get((_OBJ, object_id))
+        if meta is None:
+            return None
+        size, task_id = meta
+        return ObjectTableEntry(
+            object_id=object_id,
+            size=size,
+            task_id=task_id,
+            locations=frozenset(self.get_object_locations(object_id)),
+        )
+
+    def subscribe_object_locations(
+        self, object_id: ObjectID, callback: Callable[[str, NodeID], None]
+    ) -> Callable[[], None]:
+        """Fire ``callback(op, node_id)`` whenever a location is added or
+        removed — the Figure 7b step-2 registration."""
+
+        def on_publish(_key: Any, entry: Any) -> None:
+            op, node_id = entry
+            callback(op, node_id)
+
+        return self.kv.subscribe((_OBJ_LOC, object_id), on_publish)
+
+    def creating_task(self, object_id: ObjectID) -> Optional[TaskID]:
+        """Lineage lookup: which task produces this object?"""
+        meta = self.kv.get((_OBJ, object_id))
+        return None if meta is None else meta[1]
+
+    # ------------------------------------------------------------------
+    # Task table (durable lineage)
+    # ------------------------------------------------------------------
+
+    def add_task(self, task_id: TaskID, spec: Any) -> None:
+        existing = self.kv.get((_TASK, task_id))
+        if existing is not None:
+            # Replay of an already-recorded task: keep the original spec so
+            # lineage stays stable (exactly-once bookkeeping).
+            return
+        self.kv.put(
+            (_TASK, task_id),
+            TaskTableEntry(task_id=task_id, spec=spec, status=TaskStatus.PENDING),
+        )
+
+    def update_task_status(
+        self,
+        task_id: TaskID,
+        status: TaskStatus,
+        node_id: Optional[NodeID] = None,
+    ) -> None:
+        entry = self.kv.get((_TASK, task_id))
+        if entry is None:
+            raise KeyError(f"task {task_id!r} not in task table")
+        self.kv.put(
+            (_TASK, task_id),
+            TaskTableEntry(
+                task_id=task_id,
+                spec=entry.spec,
+                status=status,
+                node_id=node_id if node_id is not None else entry.node_id,
+            ),
+        )
+
+    def get_task(self, task_id: TaskID) -> Optional[TaskTableEntry]:
+        return self.kv.get((_TASK, task_id))
+
+    def num_tasks(self) -> int:
+        return sum(
+            1 for key in self.kv.keys() if isinstance(key, tuple) and key[0] == _TASK
+        )
+
+    # ------------------------------------------------------------------
+    # Actor table
+    # ------------------------------------------------------------------
+
+    def register_actor(
+        self, actor_id: ActorID, class_name: str, node_id: Optional[NodeID]
+    ) -> None:
+        self.kv.put(
+            (_ACTOR, actor_id),
+            ActorTableEntry(actor_id=actor_id, class_name=class_name, node_id=node_id),
+        )
+
+    def update_actor(self, actor_id: ActorID, **changes: Any) -> ActorTableEntry:
+        entry = self.kv.get((_ACTOR, actor_id))
+        if entry is None:
+            raise KeyError(f"actor {actor_id!r} not registered")
+        updated = ActorTableEntry(
+            actor_id=entry.actor_id,
+            class_name=entry.class_name,
+            node_id=changes.get("node_id", entry.node_id),
+            alive=changes.get("alive", entry.alive),
+            methods_executed=changes.get("methods_executed", entry.methods_executed),
+            checkpoint_index=changes.get("checkpoint_index", entry.checkpoint_index),
+        )
+        self.kv.put((_ACTOR, actor_id), updated)
+        return updated
+
+    def get_actor(self, actor_id: ActorID) -> Optional[ActorTableEntry]:
+        return self.kv.get((_ACTOR, actor_id))
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+
+    def record_event(self, category: str, **payload: Any) -> None:
+        self.kv.append((_EVENT, category), EventRecord.make(category, **payload))
+
+    def events(self, category: str) -> List[EventRecord]:
+        return self.kv.log((_EVENT, category))
+
+    # ------------------------------------------------------------------
+    # Introspection (debugging tools ride on the GCS — paper Section 7)
+    # ------------------------------------------------------------------
+
+    def num_entries(self) -> int:
+        return self.kv.num_entries()
+
+    def approx_bytes(self) -> int:
+        return self.kv.approx_bytes()
+
+    def tasks_with_status(self, status: TaskStatus) -> List[TaskTableEntry]:
+        out = []
+        for key in self.kv.keys():
+            if isinstance(key, tuple) and key[0] == _TASK:
+                entry = self.kv.get(key)
+                if entry is not None and entry.status == status:
+                    out.append(entry)
+        return out

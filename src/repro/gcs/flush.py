@@ -1,0 +1,108 @@
+"""Periodic flushing of GCS contents to disk.
+
+Lineage for every task accumulates in the GCS forever; without bounding it
+the store eventually exhausts memory and the workload stalls (paper Figure
+10b).  Ray therefore flushes cold entries — finished tasks, object
+metadata for finished lineage, and event records — to disk, capping the
+in-memory footprint at a user-configurable level while keeping a durable
+snapshot of the lineage for long-running applications.
+
+The flusher moves entries for *finished* tasks out of the KV store into an
+append-only pickle file.  Entries can be re-read (``restore_tasks``) which
+is how a recovered component would consult flushed lineage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.gcs.client import _EVENT, _OBJ, _OBJ_LOC, _TASK, GlobalControlStore
+from repro.gcs.tables import TaskStatus, TaskTableEntry
+
+
+class GcsFlusher:
+    """Flush finished-task lineage and event logs from the GCS to disk."""
+
+    def __init__(
+        self,
+        gcs: GlobalControlStore,
+        path: str,
+        max_entries_in_memory: int = 10_000,
+    ):
+        self.gcs = gcs
+        self.path = path
+        self.max_entries_in_memory = max_entries_in_memory
+        self.flushed_entries = 0
+        self._lock = threading.Lock()
+        # Truncate any previous flush file.
+        with open(self.path, "wb"):
+            pass
+
+    # -- policy --------------------------------------------------------------
+
+    def should_flush(self) -> bool:
+        return self.gcs.num_entries() > self.max_entries_in_memory
+
+    def maybe_flush(self) -> int:
+        """Flush if over the memory cap.  Returns entries flushed."""
+        if self.should_flush():
+            return self.flush()
+        return 0
+
+    # -- mechanics -------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Move all finished/failed task records (and their object metadata
+        and event logs) to disk.  Returns the number of entries flushed."""
+        with self._lock:
+            flushed = 0
+            records: List[Tuple[str, Any, Any]] = []
+            for key in self.gcs.kv.keys():
+                if not isinstance(key, tuple):
+                    continue
+                table, entity = key
+                if table == _TASK:
+                    entry = self.gcs.kv.get(key)
+                    if entry is not None and entry.status in (
+                        TaskStatus.FINISHED,
+                        TaskStatus.FAILED,
+                    ):
+                        records.append((_TASK, entity, entry))
+                        self.gcs.kv.delete(key)
+                        flushed += 1
+                elif table == _EVENT:
+                    log = self.gcs.kv.log(key)
+                    if log:
+                        records.append((_EVENT, entity, log))
+                        self.gcs.kv.delete(key)
+                        flushed += len(log)
+            if records:
+                with open(self.path, "ab") as f:
+                    for record in records:
+                        pickle.dump(record, f)
+            self.flushed_entries += flushed
+            return flushed
+
+    def iter_flushed(self) -> Iterator[Tuple[str, Any, Any]]:
+        """Iterate over all records previously flushed to disk."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as f:
+            while True:
+                try:
+                    yield pickle.load(f)
+                except EOFError:
+                    return
+
+    def restore_task(self, task_id) -> Optional[TaskTableEntry]:
+        """Look up a flushed task record (consulting durable lineage)."""
+        for table, entity, value in self.iter_flushed():
+            if table == _TASK and entity == task_id:
+                return value
+        return None
+
+    def flushed_task_count(self) -> int:
+        return sum(1 for table, _e, _v in self.iter_flushed() if table == _TASK)

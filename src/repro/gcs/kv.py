@@ -1,0 +1,128 @@
+"""A single-shard key-value store with pub-sub.
+
+The paper uses one Redis instance per GCS shard with *entirely single-key
+operations*.  This class reproduces that surface: get/put/delete on single
+keys, append to per-key logs, and channel subscriptions that fire a
+callback on every publish to a key.
+
+The store is thread-safe; callbacks run on the publishing thread (as with
+Redis pub-sub, subscribers must be quick and must not block).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Callback = Callable[[Any, Any], None]
+
+
+class KVStore:
+    """Thread-safe in-memory KV store with per-key append logs and pub-sub."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._data: Dict[Any, Any] = {}
+        self._logs: Dict[Any, List[Any]] = {}
+        self._subscribers: Dict[Any, List[Callback]] = {}
+        self._put_count = 0
+
+    # -- single-key operations -------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._put_count += 1
+            callbacks = list(self._subscribers.get(key, ()))
+        for cb in callbacks:
+            cb(key, value)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.get(key, default)
+
+    def contains(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._data or key in self._logs
+
+    def delete(self, key: Any) -> bool:
+        with self._lock:
+            had = key in self._data
+            self._data.pop(key, None)
+            self._logs.pop(key, None)
+            return had
+
+    def append(self, key: Any, entry: Any) -> None:
+        """Append ``entry`` to the log at ``key`` and publish it."""
+        with self._lock:
+            self._logs.setdefault(key, []).append(entry)
+            self._put_count += 1
+            callbacks = list(self._subscribers.get(key, ()))
+        for cb in callbacks:
+            cb(key, entry)
+
+    def log(self, key: Any) -> List[Any]:
+        with self._lock:
+            return list(self._logs.get(key, ()))
+
+    # -- pub-sub -----------------------------------------------------------
+
+    def subscribe(self, key: Any, callback: Callback) -> Callable[[], None]:
+        """Invoke ``callback(key, value)`` on every put/append to ``key``.
+
+        Returns an unsubscribe function.
+        """
+        with self._lock:
+            self._subscribers.setdefault(key, []).append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                handlers = self._subscribers.get(key)
+                if handlers and callback in handlers:
+                    handlers.remove(callback)
+                    if not handlers:
+                        del self._subscribers[key]
+
+        return unsubscribe
+
+    # -- bulk access (state transfer, flushing, debugging) ----------------
+
+    def snapshot(self) -> Tuple[Dict[Any, Any], Dict[Any, List[Any]]]:
+        """A consistent copy of all state, for chain state transfer."""
+        with self._lock:
+            return dict(self._data), {k: list(v) for k, v in self._logs.items()}
+
+    def load_snapshot(
+        self, data: Dict[Any, Any], logs: Dict[Any, List[Any]]
+    ) -> None:
+        with self._lock:
+            self._data = dict(data)
+            self._logs = {k: list(v) for k, v in logs.items()}
+
+    def keys(self) -> List[Any]:
+        with self._lock:
+            return list(self._data.keys()) + [
+                k for k in self._logs if k not in self._data
+            ]
+
+    def num_entries(self) -> int:
+        with self._lock:
+            return len(self._data) + sum(len(v) for v in self._logs.values())
+
+    @property
+    def put_count(self) -> int:
+        with self._lock:
+            return self._put_count
+
+    def approx_bytes(self) -> int:
+        """Rough in-memory footprint (for the Fig 10b flushing experiment)."""
+        import sys
+
+        with self._lock:
+            total = 0
+            for k, v in self._data.items():
+                total += sys.getsizeof(k) + sys.getsizeof(v)
+            for k, entries in self._logs.items():
+                total += sys.getsizeof(k)
+                total += sum(sys.getsizeof(e) for e in entries)
+            return total

@@ -1,0 +1,97 @@
+"""Typed table entries stored in the GCS.
+
+The GCS holds four tables (paper Figure 5): the **object table** (object →
+locations, size, creating task), the **task table** (task spec and status —
+the durable lineage), the **function table** (registered remote functions),
+and the **event log** (profiling / debugging events).  This module defines
+the row types; :mod:`repro.gcs.client` implements the operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.common.ids import ActorID, NodeID, ObjectID, TaskID
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle of a task as recorded in the task table."""
+
+    PENDING = "pending"  # submitted, waiting for scheduling or inputs
+    SCHEDULED = "scheduled"  # placed on a node
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"  # application exception
+    LOST = "lost"  # node died while running; eligible for replay
+
+
+@dataclass(frozen=True)
+class ObjectTableEntry:
+    """Metadata for one immutable object.
+
+    ``locations`` is the set of nodes currently holding a copy; it is
+    derived by folding the per-object location log (adds and removals),
+    which keeps every GCS write a single-key operation.
+    """
+
+    object_id: ObjectID
+    size: int
+    task_id: Optional[TaskID]  # producing task (lineage pointer)
+    locations: FrozenSet[NodeID] = frozenset()
+
+
+@dataclass(frozen=True)
+class TaskTableEntry:
+    """A task's durable record: its spec (lineage) and current status."""
+
+    task_id: TaskID
+    spec: Any  # TaskSpec; kept opaque here to avoid a core<->gcs cycle
+    status: TaskStatus
+    node_id: Optional[NodeID] = None
+
+
+@dataclass(frozen=True)
+class ActorTableEntry:
+    """An actor's durable record used for reconstruction.
+
+    ``methods_executed`` counts method invocations applied to the current
+    incarnation; together with ``checkpoint_index`` it determines how many
+    methods must be replayed after a failure (paper Figure 11b).
+    """
+
+    actor_id: ActorID
+    class_name: str
+    node_id: Optional[NodeID]
+    alive: bool = True
+    methods_executed: int = 0
+    checkpoint_index: int = 0
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One entry of the GCS event log."""
+
+    category: str
+    payload: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, category: str, **payload: Any) -> "EventRecord":
+        return cls(category=category, payload=tuple(sorted(payload.items())))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.payload)
+
+
+@dataclass
+class EventLog:
+    """In-memory view over event records (the GCS stores the raw log)."""
+
+    records: list = field(default_factory=list)
+
+    def add(self, record: EventRecord) -> None:
+        self.records.append(record)
+
+    def by_category(self, category: str) -> list:
+        return [r for r in self.records if r.category == category]

@@ -1,0 +1,67 @@
+"""RL workloads built on the repro API — the paper's application layer.
+
+* :mod:`repro.rl.envs` — Pendulum / CartPole / Humanoid-surrogate
+  environments.
+* :mod:`repro.rl.policy`, :mod:`repro.rl.nn`, :mod:`repro.rl.optim` —
+  numpy policies, a backprop MLP, and optimizers.
+* :mod:`repro.rl.rollout` — the Figure 2 rollout loop and the Figure 3
+  ``Simulator`` actor.
+* :mod:`repro.rl.allreduce` — ring allreduce on the API (Section 5.1).
+* :mod:`repro.rl.parameter_server`, :mod:`repro.rl.sgd` — sharded
+  parameter server and synchronous data-parallel SGD (Section 5.2.1).
+* :mod:`repro.rl.serving` — embedded policy serving (Section 5.2.2).
+* :mod:`repro.rl.es` — Evolution Strategies with optional hierarchical
+  aggregation (Section 5.3.1).
+* :mod:`repro.rl.ppo` — asynchronous scatter-gather PPO (Section 5.3.2).
+"""
+
+from repro.rl.specs import EnvSpec, PolicySpec
+from repro.rl.policy import LinearPolicy, MLPPolicy, Policy
+from repro.rl.optim import SGD, Adam
+from repro.rl.rollout import SimulatorActor, Trajectory, rollout
+from repro.rl.allreduce import RingWorker, ring_allreduce
+from repro.rl.parameter_server import ParameterServerShard, ShardedParameterServer
+from repro.rl.sgd import ModelReplica, SyncSGDTrainer, make_dataset
+from repro.rl.es import ESConfig, EvolutionStrategies, centered_ranks
+from repro.rl.ppo import PPOConfig, PPOTrainer, compute_gae
+from repro.rl.serving import PolicyServer, measure_serving_throughput
+from repro.rl.replay_buffer import ReplayBufferActor
+from repro.rl.dqn import ApexDQNTrainer, DQNConfig, ExperienceActor
+from repro.rl.a3c import A3CConfig, A3CTrainer
+from repro.rl.ddpg import DDPGConfig, DDPGTrainer
+
+__all__ = [
+    "EnvSpec",
+    "PolicySpec",
+    "Policy",
+    "LinearPolicy",
+    "MLPPolicy",
+    "SGD",
+    "Adam",
+    "rollout",
+    "Trajectory",
+    "SimulatorActor",
+    "ring_allreduce",
+    "RingWorker",
+    "ParameterServerShard",
+    "ShardedParameterServer",
+    "ModelReplica",
+    "SyncSGDTrainer",
+    "make_dataset",
+    "ESConfig",
+    "EvolutionStrategies",
+    "centered_ranks",
+    "PPOConfig",
+    "PPOTrainer",
+    "compute_gae",
+    "PolicyServer",
+    "measure_serving_throughput",
+    "ReplayBufferActor",
+    "ApexDQNTrainer",
+    "DQNConfig",
+    "ExperienceActor",
+    "A3CConfig",
+    "A3CTrainer",
+    "DDPGConfig",
+    "DDPGTrainer",
+]

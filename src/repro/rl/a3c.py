@@ -1,0 +1,171 @@
+"""A3C — asynchronous advantage actor-critic on the repro API.
+
+Listed first among the algorithms the paper implemented on Ray
+(Section 7: "A3C, PPO, DQN, ES, DDPG, Ape-X").  The structure is pure
+asynchrony: each worker task grabs the *current* policy parameters,
+collects a short rollout, computes its own policy/value gradients locally,
+and the driver applies gradients as they arrive — no barriers, no
+synchronous rounds.  Stale gradients are inherent to the algorithm; the
+system's job (done by ``wait``) is to apply whatever is ready and keep
+every core busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro
+from repro.rl.nn import MLP, softmax
+from repro.rl.optim import Adam
+from repro.rl.specs import EnvSpec
+
+
+@repro.remote
+def a3c_rollout_gradient(
+    policy_params: np.ndarray,
+    value_params: np.ndarray,
+    env_spec: EnvSpec,
+    hidden_size: int,
+    rollout_steps: int,
+    gamma: float,
+    seed: int,
+) -> Tuple[np.ndarray, np.ndarray, float, int]:
+    """One worker step: rollout + local gradient computation.
+
+    Returns (policy_gradient, value_gradient, episode_reward, steps).
+    The gradient math runs *inside the task* — the paper's point that
+    application-level optimizations (here, shipping gradients rather than
+    trajectories) are expressible directly in the API.
+    """
+    rng = np.random.default_rng(seed)
+    policy = MLP(env_spec.observation_size, hidden_size, env_spec.action_size, seed=0)
+    value = MLP(env_spec.observation_size, hidden_size, 1, seed=1)
+    policy.set_flat(np.asarray(policy_params))
+    value.set_flat(np.asarray(value_params))
+
+    env = env_spec.build(seed=seed)
+    obs = env.reset()
+    observations, actions, rewards = [], [], []
+    total_reward = 0.0
+    for _ in range(rollout_steps):
+        probs = softmax(policy(obs[None, :]))[0]
+        action = int(rng.choice(len(probs), p=probs))
+        observations.append(obs)
+        actions.append(action)
+        obs, reward, done = env.step(action)
+        rewards.append(reward)
+        total_reward += reward
+        if done:
+            break
+
+    observations = np.stack(observations)
+    actions = np.asarray(actions)
+    rewards = np.asarray(rewards, dtype=np.float64)
+
+    # n-step returns with a bootstrap from the value net.
+    bootstrap = 0.0 if env.has_terminated() else float(value(obs[None, :])[0, 0])
+    returns = np.zeros(len(rewards))
+    running = bootstrap
+    for t in reversed(range(len(rewards))):
+        running = rewards[t] + gamma * running
+        returns[t] = running
+
+    values_pred, value_cache = value.forward(observations)
+    advantages = returns - values_pred.ravel()
+
+    # Policy gradient: ∇ Σ A·log π(a|s)  (ascent direction).
+    logits, policy_cache = policy.forward(observations)
+    probs = softmax(logits)
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(len(actions)), actions] = 1.0
+    grad_logits = advantages[:, None] * (onehot - probs) / len(actions)
+    policy_grad = policy.backward(policy_cache, grad_logits)
+
+    # Value gradient: descent on MSE(returns, V) == ascent on its negative.
+    grad_out = (returns[:, None] - values_pred) / len(returns)
+    value_grad = value.backward(value_cache, grad_out)
+    return policy_grad, value_grad, total_reward, len(rewards)
+
+
+@dataclass
+class A3CConfig:
+    num_workers: int = 4
+    hidden_size: int = 32
+    rollout_steps: int = 40
+    gamma: float = 0.99
+    policy_lr: float = 0.02
+    value_lr: float = 0.05
+    seed: int = 0
+
+
+class A3CTrainer:
+    """The asynchronous gradient loop (apply-as-ready via ``wait``)."""
+
+    def __init__(self, env_spec: EnvSpec, config: Optional[A3CConfig] = None):
+        if env_spec.continuous:
+            raise ValueError("this A3C implementation is categorical-action")
+        self.env_spec = env_spec
+        self.config = config or A3CConfig()
+        cfg = self.config
+        self.policy = MLP(
+            env_spec.observation_size, cfg.hidden_size, env_spec.action_size,
+            seed=cfg.seed,
+        )
+        self.value = MLP(env_spec.observation_size, cfg.hidden_size, 1, seed=cfg.seed + 1)
+        self.policy_opt = Adam(learning_rate=cfg.policy_lr)
+        self.value_opt = Adam(learning_rate=cfg.value_lr)
+        self.gradients_applied = 0
+        self.env_steps = 0
+        self.episode_rewards: List[float] = []
+        self._seed = cfg.seed * 7919
+
+    def _launch(self):
+        self._seed += 1
+        cfg = self.config
+        return a3c_rollout_gradient.remote(
+            repro.put(self.policy.get_flat()),
+            repro.put(self.value.get_flat()),
+            self.env_spec,
+            cfg.hidden_size,
+            cfg.rollout_steps,
+            cfg.gamma,
+            self._seed,
+        )
+
+    def train(self, total_gradient_steps: int) -> Dict[str, float]:
+        """Run until ``total_gradient_steps`` gradients have been applied.
+
+        Workers are relaunched with the *latest* parameters the moment
+        their previous gradient lands — the A3C hot loop.
+        """
+        cfg = self.config
+        inflight = [self._launch() for _ in range(cfg.num_workers)]
+        while self.gradients_applied < total_gradient_steps:
+            ready, inflight = repro.wait(inflight, num_returns=1)
+            policy_grad, value_grad, reward, steps = repro.get(ready[0])
+            self.policy.set_flat(self.policy_opt.step(self.policy.get_flat(), policy_grad))
+            self.value.set_flat(self.value_opt.step(self.value.get_flat(), value_grad))
+            self.gradients_applied += 1
+            self.env_steps += steps
+            self.episode_rewards.append(reward)
+            inflight.append(self._launch())
+        repro.get(inflight)  # drain stragglers
+        recent = self.episode_rewards[-20:]
+        return {
+            "gradients_applied": self.gradients_applied,
+            "env_steps": self.env_steps,
+            "recent_reward": float(np.mean(recent)) if recent else 0.0,
+        }
+
+    def greedy_episode_reward(self, seed: int = 4321) -> float:
+        env = self.env_spec.build(seed=seed)
+        obs = env.reset()
+        total = 0.0
+        while not env.has_terminated():
+            action = int(np.argmax(self.policy(obs[None, :])[0]))
+            obs, reward, _done = env.step(action)
+            total += reward
+        return total

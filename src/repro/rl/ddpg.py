@@ -1,0 +1,207 @@
+"""DDPG — deep deterministic policy gradient on the repro API.
+
+The last entry of the paper's Section 7 algorithm list (A3C, PPO, DQN, ES,
+DDPG, Ape-X) implemented here: continuous-control off-policy learning with
+
+* a deterministic actor μ(s) (tanh-squashed MLP scaled to the torque
+  range) and a critic Q(s, a) over concatenated state-action inputs;
+* target copies of both, Polyak-averaged toward the live networks;
+* exploration actors streaming OU/Gaussian-noised transitions into the
+  shared :class:`~repro.rl.replay_buffer.ReplayBufferActor`;
+* a learner sampling batches and taking critic (TD) and actor
+  (∂Q/∂a · ∂μ/∂θ chain-rule) steps.
+
+Runs on Pendulum, the paper's own continuous-control microbenchmark env.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+import repro
+from repro.rl.nn import MLP
+from repro.rl.replay_buffer import ReplayBufferActor
+from repro.rl.specs import EnvSpec
+
+
+@repro.remote
+class DDPGExplorer:
+    """Steps an env with the noisy deterministic policy."""
+
+    def __init__(self, env_spec: EnvSpec, hidden_size: int, action_scale: float, seed: int):
+        self.env_spec = env_spec
+        self.env = env_spec.build(seed=seed)
+        self.actor = MLP(
+            env_spec.observation_size, hidden_size, env_spec.action_size, seed=0
+        )
+        self.action_scale = action_scale
+        self.rng = np.random.default_rng(seed)
+        self._obs = self.env.reset()
+        self.episode_reward = 0.0
+
+    def collect(self, actor_params: np.ndarray, noise_scale: float, num_steps: int):
+        self.actor.set_flat(actor_params)
+        transitions = []
+        episode_rewards: List[float] = []
+        for _ in range(num_steps):
+            raw = self.actor(self._obs[None, :])[0]
+            action = self.action_scale * np.tanh(raw)
+            action = action + noise_scale * self.rng.standard_normal(action.shape)
+            action = np.clip(action, -self.action_scale, self.action_scale)
+            next_obs, reward, done = self.env.step(action)
+            transitions.append((self._obs, action, reward, next_obs, done))
+            self.episode_reward += reward
+            if done:
+                episode_rewards.append(self.episode_reward)
+                self.episode_reward = 0.0
+                next_obs = self.env.reset()
+            self._obs = next_obs
+        return transitions, episode_rewards
+
+
+@dataclass
+class DDPGConfig:
+    num_explorers: int = 2
+    hidden_size: int = 32
+    action_scale: float = 2.0  # Pendulum torque range
+    replay_capacity: int = 20_000
+    batch_size: int = 64
+    gamma: float = 0.98
+    actor_lr: float = 1e-3
+    critic_lr: float = 5e-3
+    tau: float = 0.01  # Polyak averaging rate
+    noise_scale: float = 0.3
+    collect_steps_per_round: int = 50
+    learn_starts: int = 200
+    learner_steps_per_round: int = 10
+    seed: int = 0
+
+
+class DDPGTrainer:
+    """Off-policy continuous control with actor-critic targets."""
+
+    def __init__(self, env_spec: EnvSpec, config: Optional[DDPGConfig] = None):
+        if not env_spec.continuous:
+            raise ValueError("DDPG requires a continuous-action environment")
+        self.env_spec = env_spec
+        self.config = config or DDPGConfig()
+        cfg = self.config
+        obs_size = env_spec.observation_size
+        act_size = env_spec.action_size
+        self.actor = MLP(obs_size, cfg.hidden_size, act_size, seed=cfg.seed)
+        self.critic = MLP(obs_size + act_size, cfg.hidden_size, 1, seed=cfg.seed + 1)
+        self.target_actor = MLP(obs_size, cfg.hidden_size, act_size, seed=cfg.seed)
+        self.target_critic = MLP(obs_size + act_size, cfg.hidden_size, 1, seed=cfg.seed + 1)
+        self.target_actor.set_flat(self.actor.get_flat())
+        self.target_critic.set_flat(self.critic.get_flat())
+        self.replay = ReplayBufferActor.remote(capacity=cfg.replay_capacity, seed=cfg.seed)
+        self.explorers = [
+            DDPGExplorer.remote(
+                env_spec, cfg.hidden_size, cfg.action_scale, seed=cfg.seed * 17 + i
+            )
+            for i in range(cfg.num_explorers)
+        ]
+        self.env_steps = 0
+        self.learner_steps = 0
+        self.episode_rewards: List[float] = []
+
+    # -- pieces -------------------------------------------------------------
+
+    def _act(self, network: MLP, obs: np.ndarray) -> np.ndarray:
+        return self.config.action_scale * np.tanh(network(obs))
+
+    def _learn_step(self, batch) -> float:
+        cfg = self.config
+        obs = np.stack([t[0] for t in batch])
+        actions = np.stack([t[1] for t in batch])
+        rewards = np.asarray([t[2] for t in batch])
+        next_obs = np.stack([t[3] for t in batch])
+        dones = np.asarray([t[4] for t in batch], dtype=bool)
+
+        # Critic TD step toward target-Q.
+        next_actions = self._act(self.target_actor, next_obs)
+        next_q = self.target_critic(np.hstack([next_obs, next_actions])).ravel()
+        targets = rewards + cfg.gamma * next_q * (~dones)
+        critic_in = np.hstack([obs, actions])
+        q_values, critic_cache = self.critic.forward(critic_in)
+        td_error = targets - q_values.ravel()
+        grad_out = (td_error / len(batch))[:, None]
+        critic_grad = self.critic.backward(critic_cache, grad_out)
+        self.critic.set_flat(self.critic.get_flat() + cfg.critic_lr * critic_grad)
+
+        # Actor ascent on Q(s, μ(s)): chain ∂Q/∂a through tanh into μ.
+        raw, actor_cache = self.actor.forward(obs)
+        mu = cfg.action_scale * np.tanh(raw)
+        actor_critic_in = np.hstack([obs, mu])
+        _q_mu, q_cache = self.critic.forward(actor_critic_in)
+        ones = np.ones((len(batch), 1)) / len(batch)
+        dq_dinput = self.critic.backward_input(q_cache, ones)
+        dq_da = dq_dinput[:, obs.shape[1]:]  # slice off the state block
+        dmu_draw = cfg.action_scale * (1.0 - np.tanh(raw) ** 2)
+        actor_grad = self.actor.backward(actor_cache, dq_da * dmu_draw)
+        self.actor.set_flat(self.actor.get_flat() + cfg.actor_lr * actor_grad)
+
+        # Polyak-average the targets.
+        for live, target in (
+            (self.actor, self.target_actor),
+            (self.critic, self.target_critic),
+        ):
+            target.set_flat(
+                (1 - cfg.tau) * target.get_flat() + cfg.tau * live.get_flat()
+            )
+        self.learner_steps += 1
+        return float(np.mean(np.abs(td_error)))
+
+    # -- the loop ----------------------------------------------------------------
+
+    def train_round(self) -> Dict[str, float]:
+        cfg = self.config
+        params_ref = repro.put(self.actor.get_flat())
+        collect_refs = [
+            explorer.collect.remote(params_ref, cfg.noise_scale, cfg.collect_steps_per_round)
+            for explorer in self.explorers
+        ]
+        pending = list(collect_refs)
+        td_errors = []
+        while pending:
+            ready, pending = repro.wait(pending, num_returns=1)
+            transitions, finished = repro.get(ready[0])
+            self.env_steps += len(transitions)
+            self.episode_rewards.extend(finished)
+            size = repro.get(self.replay.add.remote(transitions))
+            if size >= cfg.learn_starts:
+                for _ in range(cfg.learner_steps_per_round):
+                    _i, batch, _w = repro.get(self.replay.sample.remote(cfg.batch_size))
+                    if batch:
+                        td_errors.append(self._learn_step(batch))
+        return {
+            "env_steps": self.env_steps,
+            "learner_steps": self.learner_steps,
+            "mean_td_error": float(np.mean(td_errors)) if td_errors else 0.0,
+            "recent_reward": (
+                float(np.mean(self.episode_rewards[-5:]))
+                if self.episode_rewards
+                else float("nan")
+            ),
+        }
+
+    def train(self, rounds: int) -> List[Dict[str, float]]:
+        return [self.train_round() for _ in range(rounds)]
+
+    def policy_episode_reward(self, seed: int = 777) -> float:
+        env = self.env_spec.build(seed=seed)
+        obs = env.reset()
+        total = 0.0
+        while not env.has_terminated():
+            action = self._act(self.actor, obs[None, :])[0]
+            obs, reward, _done = env.step(action)
+            total += reward
+        return total
+
+    def close(self) -> None:
+        repro.kill(self.replay)
+        for explorer in self.explorers:
+            repro.kill(explorer)

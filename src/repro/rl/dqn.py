@@ -1,0 +1,204 @@
+"""Ape-X-style distributed DQN on the repro API.
+
+Distributed prioritized experience replay (Horgan et al., cited as [27] in
+the paper and listed in Section 7 among the algorithms implemented on
+Ray): experience actors step their own environments with ε-greedy copies
+of the Q-network and push transitions into a replay-buffer actor; the
+learner samples prioritized batches, takes TD steps on the Q-network, and
+feeds updated priorities back — all asynchronously, glued together by
+``wait`` over method futures.
+
+The Q-network is a one-hidden-layer numpy MLP with exact TD gradients;
+CartPole-scale by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+import repro
+from repro.rl.nn import MLP
+from repro.rl.replay_buffer import ReplayBufferActor
+from repro.rl.specs import EnvSpec
+
+
+@repro.remote
+class ExperienceActor:
+    """Steps an env with an ε-greedy policy, emitting transitions."""
+
+    def __init__(self, env_spec: EnvSpec, hidden_size: int, seed: int):
+        self.env_spec = env_spec
+        self.env = env_spec.build(seed=seed)
+        self.q_network = MLP(
+            env_spec.observation_size, hidden_size, env_spec.action_size, seed=0
+        )
+        self.rng = np.random.default_rng(seed)
+        self._obs = self.env.reset()
+        self.episode_reward = 0.0
+        self.episode_rewards: List[float] = []
+
+    def collect(self, params: np.ndarray, epsilon: float, num_steps: int):
+        """Run ``num_steps`` env steps; returns (transitions, done episodes)."""
+        self.q_network.set_flat(params)
+        transitions = []
+        finished: List[float] = []
+        for _ in range(num_steps):
+            if self.rng.random() < epsilon:
+                action = int(self.rng.integers(self.env_spec.action_size))
+            else:
+                action = int(np.argmax(self.q_network(self._obs[None, :])[0]))
+            next_obs, reward, done = self.env.step(action)
+            transitions.append((self._obs, action, reward, next_obs, done))
+            self.episode_reward += reward
+            if done:
+                finished.append(self.episode_reward)
+                self.episode_reward = 0.0
+                next_obs = self.env.reset()
+            self._obs = next_obs
+        self.episode_rewards.extend(finished)
+        return transitions, finished
+
+
+@dataclass
+class DQNConfig:
+    num_actors: int = 3
+    hidden_size: int = 32
+    replay_capacity: int = 20_000
+    prioritized: bool = True
+    batch_size: int = 64
+    gamma: float = 0.99
+    learning_rate: float = 5e-3
+    epsilon_start: float = 1.0
+    epsilon_final: float = 0.05
+    epsilon_decay_steps: int = 2_000
+    collect_steps_per_round: int = 50
+    target_sync_interval: int = 20  # learner steps between target syncs
+    learn_starts: int = 200  # buffer size before learning begins
+    seed: int = 0
+
+
+class ApexDQNTrainer:
+    """Asynchronous actors + prioritized replay + TD learner."""
+
+    def __init__(self, env_spec: EnvSpec, config: Optional[DQNConfig] = None):
+        if env_spec.continuous:
+            raise ValueError("DQN requires a discrete-action environment")
+        self.env_spec = env_spec
+        self.config = config or DQNConfig()
+        cfg = self.config
+        self.q_network = MLP(
+            env_spec.observation_size, cfg.hidden_size, env_spec.action_size,
+            seed=cfg.seed,
+        )
+        self.target_network = MLP(
+            env_spec.observation_size, cfg.hidden_size, env_spec.action_size,
+            seed=cfg.seed,
+        )
+        self.target_network.set_flat(self.q_network.get_flat())
+        self.replay = ReplayBufferActor.remote(
+            capacity=cfg.replay_capacity,
+            prioritized=cfg.prioritized,
+            seed=cfg.seed,
+        )
+        self.actors = [
+            ExperienceActor.remote(env_spec, cfg.hidden_size, seed=cfg.seed * 31 + i)
+            for i in range(cfg.num_actors)
+        ]
+        self.env_steps = 0
+        self.learner_steps = 0
+        self.episode_rewards: List[float] = []
+
+    # -- pieces -------------------------------------------------------------
+
+    def epsilon(self) -> float:
+        cfg = self.config
+        fraction = min(1.0, self.env_steps / cfg.epsilon_decay_steps)
+        return cfg.epsilon_start + fraction * (cfg.epsilon_final - cfg.epsilon_start)
+
+    def _td_step(self, indices, batch, weights) -> float:
+        """One TD update; returns mean |TD error| (for diagnostics)."""
+        cfg = self.config
+        obs = np.stack([t[0] for t in batch])
+        actions = np.asarray([t[1] for t in batch])
+        rewards = np.asarray([t[2] for t in batch])
+        next_obs = np.stack([t[3] for t in batch])
+        dones = np.asarray([t[4] for t in batch], dtype=bool)
+        weights = np.asarray(weights)
+
+        next_q = self.target_network(next_obs)
+        targets = rewards + cfg.gamma * np.max(next_q, axis=1) * (~dones)
+        q_values, cache = self.q_network.forward(obs)
+        chosen = q_values[np.arange(len(batch)), actions]
+        td_error = targets - chosen
+
+        # Gradient of weighted 0.5·Σ w·(target − Q(s,a))²: flows only into
+        # the chosen action's output.
+        grad_out = np.zeros_like(q_values)
+        grad_out[np.arange(len(batch)), actions] = weights * td_error / len(batch)
+        gradient = self.q_network.backward(cache, grad_out)
+        self.q_network.set_flat(
+            self.q_network.get_flat() + cfg.learning_rate * gradient
+        )
+
+        repro.get(self.replay.update_priorities.remote(indices, list(np.abs(td_error))))
+        self.learner_steps += 1
+        if self.learner_steps % cfg.target_sync_interval == 0:
+            self.target_network.set_flat(self.q_network.get_flat())
+        return float(np.mean(np.abs(td_error)))
+
+    # -- the asynchronous loop ------------------------------------------------
+
+    def train_round(self) -> Dict[str, float]:
+        """One async round: dispatch collection, learn while it runs."""
+        cfg = self.config
+        params_ref = repro.put(self.q_network.get_flat())
+        collect_refs = [
+            actor.collect.remote(params_ref, self.epsilon(), cfg.collect_steps_per_round)
+            for actor in self.actors
+        ]
+        td_errors = []
+        pending = list(collect_refs)
+        while pending:
+            ready, pending = repro.wait(pending, num_returns=1)
+            transitions, finished = repro.get(ready[0])
+            self.env_steps += len(transitions)
+            self.episode_rewards.extend(finished)
+            size = repro.get(self.replay.add.remote(transitions))
+            if size >= cfg.learn_starts:
+                indices, batch, weights = repro.get(
+                    self.replay.sample.remote(cfg.batch_size)
+                )
+                if batch:
+                    td_errors.append(self._td_step(indices, batch, weights))
+        return {
+            "env_steps": self.env_steps,
+            "learner_steps": self.learner_steps,
+            "mean_td_error": float(np.mean(td_errors)) if td_errors else 0.0,
+            "recent_reward": (
+                float(np.mean(self.episode_rewards[-10:]))
+                if self.episode_rewards
+                else 0.0
+            ),
+        }
+
+    def train(self, rounds: int) -> List[Dict[str, float]]:
+        return [self.train_round() for _ in range(rounds)]
+
+    def greedy_episode_reward(self, seed: int = 999) -> float:
+        """Evaluate the greedy policy for one episode."""
+        env = self.env_spec.build(seed=seed)
+        obs = env.reset()
+        total = 0.0
+        while not env.has_terminated():
+            action = int(np.argmax(self.q_network(obs[None, :])[0]))
+            obs, reward, _done = env.step(action)
+            total += reward
+        return total
+
+    def close(self) -> None:
+        repro.kill(self.replay)
+        for actor in self.actors:
+            repro.kill(actor)

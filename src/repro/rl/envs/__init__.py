@@ -1,0 +1,21 @@
+"""RL environments (numpy re-implementations of the paper's simulators).
+
+The paper evaluates on OpenAI Gym tasks (Pendulum-v0 for Table 4,
+Humanoid-v1 for Figure 14) backed by MuJoCo, which is unavailable here.
+Per the substitution rule we re-implement the environments the experiments
+actually exercise:
+
+* :mod:`repro.rl.envs.pendulum` — the exact classic-control Pendulum
+  dynamics (Table 4 measures raw simulation throughput of this env);
+* :mod:`repro.rl.envs.cartpole` — CartPole for fast-converging training
+  demos (ES / PPO examples and tests);
+* :mod:`repro.rl.envs.humanoid` — a surrogate with Humanoid-like *cost
+  structure* (expensive steps, long episodes, variable lengths), used
+  where the experiment depends on step cost rather than physics.
+"""
+
+from repro.rl.envs.pendulum import PendulumEnv
+from repro.rl.envs.cartpole import CartPoleEnv
+from repro.rl.envs.humanoid import HumanoidSurrogateEnv
+
+__all__ = ["PendulumEnv", "CartPoleEnv", "HumanoidSurrogateEnv"]

@@ -1,0 +1,78 @@
+"""CartPole-v0 dynamics (numpy re-implementation).
+
+Used by the training examples and tests because policies converge on it in
+seconds: a pole hinged on a cart must be balanced by pushing the cart left
+or right.  Observation ``[x, ẋ, θ, θ̇]``, actions {0, 1}, reward +1 per
+step; episode ends when the pole exceeds ±12° or the cart leaves ±2.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+GRAVITY = 9.8
+CART_MASS = 1.0
+POLE_MASS = 0.1
+TOTAL_MASS = CART_MASS + POLE_MASS
+POLE_HALF_LENGTH = 0.5
+POLE_MASS_LENGTH = POLE_MASS * POLE_HALF_LENGTH
+FORCE_MAG = 10.0
+DT = 0.02
+THETA_LIMIT = 12 * 2 * math.pi / 360
+X_LIMIT = 2.4
+
+
+class CartPoleEnv:
+    """The classic cart-pole balancing task."""
+
+    observation_size = 4
+    action_size = 2  # discrete: {push left, push right}
+    continuous = False
+
+    def __init__(self, seed: Optional[int] = None, max_steps: int = 200):
+        self._rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self._state = np.zeros(4)
+        self._steps = 0
+        self._done = False
+        self.reset()
+
+    def reset(self) -> np.ndarray:
+        self._state = self._rng.uniform(-0.05, 0.05, size=4)
+        self._steps = 0
+        self._done = False
+        return self._state.copy()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool]:
+        if self._done:
+            raise RuntimeError("step() called on terminated episode")
+        x, x_dot, theta, theta_dot = self._state
+        force = FORCE_MAG if action == 1 else -FORCE_MAG
+        cos_t = math.cos(theta)
+        sin_t = math.sin(theta)
+
+        temp = (force + POLE_MASS_LENGTH * theta_dot**2 * sin_t) / TOTAL_MASS
+        theta_acc = (GRAVITY * sin_t - cos_t * temp) / (
+            POLE_HALF_LENGTH * (4.0 / 3.0 - POLE_MASS * cos_t**2 / TOTAL_MASS)
+        )
+        x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_t / TOTAL_MASS
+
+        x += DT * x_dot
+        x_dot += DT * x_acc
+        theta += DT * theta_dot
+        theta_dot += DT * theta_acc
+        self._state = np.array([x, x_dot, theta, theta_dot])
+        self._steps += 1
+
+        failed = abs(x) > X_LIMIT or abs(theta) > THETA_LIMIT
+        self._done = failed or self._steps >= self.max_steps
+        return self._state.copy(), 1.0, self._done
+
+    def current_state(self) -> np.ndarray:
+        return self._state.copy()
+
+    def has_terminated(self) -> bool:
+        return self._done

@@ -1,0 +1,89 @@
+"""Humanoid-v1 surrogate environment.
+
+The paper's large-scale experiments (Figure 14) run Humanoid-v1 in MuJoCo,
+which is proprietary and unavailable.  Those experiments depend on the
+environment's *cost structure* — a large observation vector, expensive
+steps, variable episode lengths (policies that fall end episodes early) —
+rather than on the physics.  This surrogate preserves those properties:
+
+* 376-dimensional observation, 17-dimensional action (MuJoCo's shapes);
+* a configurable per-step compute cost (default calibrated to ~2.4 ms,
+  MuJoCo Humanoid's cost on the paper-era hardware);
+* episode length that grows with how well the action tracks an internal
+  target direction, so "better" policies yield longer episodes and higher
+  scores — preserving the variable-duration profile driving the BSP-vs-
+  async comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class HumanoidSurrogateEnv:
+    """A cost-structure-faithful stand-in for MuJoCo Humanoid-v1."""
+
+    observation_size = 376
+    action_size = 17
+    continuous = True
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        max_steps: int = 1000,
+        step_compute: int = 0,
+    ):
+        """``step_compute``: extra floating-point work per step (matrix size)
+        to emulate MuJoCo's step cost; 0 disables it for fast tests."""
+        self._rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self.step_compute = step_compute
+        self._work = (
+            self._rng.standard_normal((step_compute, step_compute))
+            if step_compute
+            else None
+        )
+        self._target = np.zeros(self.action_size)
+        self._obs = np.zeros(self.observation_size)
+        self._steps = 0
+        self._done = False
+        self.reset()
+
+    def reset(self) -> np.ndarray:
+        self._target = self._rng.standard_normal(self.action_size)
+        self._target /= np.linalg.norm(self._target) + 1e-8
+        self._obs = self._rng.standard_normal(self.observation_size) * 0.1
+        # Encode the target into the head of the observation so that a
+        # linear policy *can* learn to track it.
+        self._obs[: self.action_size] = self._target
+        self._steps = 0
+        self._done = False
+        return self._obs.copy()
+
+    def step(self, action) -> Tuple[np.ndarray, float, bool]:
+        if self._done:
+            raise RuntimeError("step() called on terminated episode")
+        action = np.asarray(action, dtype=np.float64).reshape(self.action_size)
+        if self._work is not None:  # burn MuJoCo-like compute
+            _ = self._work @ self._work[:, 0]
+        alignment = float(
+            np.dot(action, self._target)
+            / (np.linalg.norm(action) * np.linalg.norm(self._target) + 1e-8)
+        )
+        reward = 5.0 * alignment + 0.25  # alive bonus, ~[−4.75, 5.25]
+        self._steps += 1
+        # Poor alignment risks "falling": episode ends early.
+        fall_probability = max(0.0, 0.25 * (0.2 - alignment))
+        fell = self._rng.random() < fall_probability
+        self._done = fell or self._steps >= self.max_steps
+        self._obs = self._rng.standard_normal(self.observation_size) * 0.1
+        self._obs[: self.action_size] = self._target
+        return self._obs.copy(), reward, self._done
+
+    def current_state(self) -> np.ndarray:
+        return self._obs.copy()
+
+    def has_terminated(self) -> bool:
+        return self._done

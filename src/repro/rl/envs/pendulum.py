@@ -1,0 +1,80 @@
+"""Pendulum-v0: the classic-control swing-up task (Table 4's simulator).
+
+A faithful numpy re-implementation of OpenAI Gym's Pendulum-v0 dynamics:
+a torque-limited pendulum must be swung upright and balanced.  Observation
+is ``[cos θ, sin θ, θ̇]``, action is a single torque in [-2, 2], reward is
+``-(θ̂² + 0.1·θ̇² + 0.001·u²)`` where θ̂ is the angle normalized to
+[-π, π].
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+MAX_SPEED = 8.0
+MAX_TORQUE = 2.0
+DT = 0.05
+GRAVITY = 10.0
+MASS = 1.0
+LENGTH = 1.0
+
+
+def angle_normalize(theta: float) -> float:
+    """Wrap an angle into [-π, π]."""
+    return ((theta + np.pi) % (2 * np.pi)) - np.pi
+
+
+class PendulumEnv:
+    """Torque-limited pendulum swing-up."""
+
+    observation_size = 3
+    action_size = 1
+    continuous = True
+
+    def __init__(self, seed: Optional[int] = None, max_steps: int = 200):
+        self._rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self._theta = 0.0
+        self._theta_dot = 0.0
+        self._steps = 0
+        self.reset()
+
+    def reset(self) -> np.ndarray:
+        self._theta = self._rng.uniform(-np.pi, np.pi)
+        self._theta_dot = self._rng.uniform(-1.0, 1.0)
+        self._steps = 0
+        return self._observation()
+
+    def _observation(self) -> np.ndarray:
+        return np.array(
+            [np.cos(self._theta), np.sin(self._theta), self._theta_dot],
+            dtype=np.float64,
+        )
+
+    def step(self, action) -> Tuple[np.ndarray, float, bool]:
+        """Advance one timestep.  Returns (observation, reward, done)."""
+        u = float(np.clip(np.asarray(action).reshape(-1)[0], -MAX_TORQUE, MAX_TORQUE))
+        theta, theta_dot = self._theta, self._theta_dot
+
+        cost = angle_normalize(theta) ** 2 + 0.1 * theta_dot**2 + 0.001 * u**2
+
+        theta_dot = theta_dot + (
+            3 * GRAVITY / (2 * LENGTH) * np.sin(theta)
+            + 3.0 / (MASS * LENGTH**2) * u
+        ) * DT
+        theta_dot = float(np.clip(theta_dot, -MAX_SPEED, MAX_SPEED))
+        theta = theta + theta_dot * DT
+
+        self._theta = theta
+        self._theta_dot = theta_dot
+        self._steps += 1
+        done = self._steps >= self.max_steps
+        return self._observation(), -cost, done
+
+    def current_state(self) -> np.ndarray:
+        return self._observation()
+
+    def has_terminated(self) -> bool:
+        return self._steps >= self.max_steps

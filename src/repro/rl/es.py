@@ -1,0 +1,185 @@
+"""Evolution Strategies (Salimans et al.) on the repro API (Section 5.3.1).
+
+Each iteration broadcasts the current policy parameters (one ``put``, so
+workers on the same node share the copy through the object store), spawns
+a population of rollout *tasks* — each perturbs the parameters with noise
+reconstructed from a seed, evaluates mirrored perturbations, and returns
+``(seed, reward⁺, reward⁻)`` — and folds the results into a gradient
+estimate with centered-rank fitness shaping.
+
+Two aggregation modes reproduce the paper's Figure 14a comparison:
+
+* ``hierarchical=False`` — the driver folds every result itself (the
+  reference system's structure, which stops scaling when the driver
+  saturates);
+* ``hierarchical=True`` — aggregation *tasks* (nested remote calls) each
+  fold a slice of the population into a partial gradient; the driver only
+  sums the partials.  This is the paper's aggregation tree, "easy to
+  realize with Ray's support for nested tasks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+import repro
+from repro.rl.optim import Adam
+from repro.rl.rollout import rollout
+from repro.rl.specs import EnvSpec, PolicySpec
+
+
+def _noise_for_seed(seed: int, dim: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(dim)
+
+
+def centered_ranks(values: np.ndarray) -> np.ndarray:
+    """Map values to centered ranks in [-0.5, 0.5] (fitness shaping)."""
+    flat = values.ravel()
+    ranks = np.empty(flat.size, dtype=np.float64)
+    ranks[flat.argsort()] = np.arange(flat.size)
+    ranks = ranks / max(1, flat.size - 1) - 0.5
+    return ranks.reshape(values.shape)
+
+
+@repro.remote
+def es_rollout(
+    params: np.ndarray,
+    seed: int,
+    sigma: float,
+    env_spec: EnvSpec,
+    policy_spec: PolicySpec,
+    num_steps: Optional[int] = None,
+) -> Tuple[int, float, float]:
+    """Evaluate mirrored perturbations ±σ·ε(seed); returns (seed, r⁺, r⁻)."""
+    noise = _noise_for_seed(seed, params.size)
+    rewards = []
+    for sign in (1.0, -1.0):
+        policy = policy_spec.build(seed=0)
+        policy.set_flat(np.asarray(params) + sign * sigma * noise)
+        env = env_spec.build(seed=seed)
+        rewards.append(rollout(policy, env, num_steps=num_steps).total_reward)
+    return seed, rewards[0], rewards[1]
+
+
+@repro.remote
+def es_aggregate(
+    dim: int, sigma: float, shaped: List[Tuple[int, float]]
+) -> np.ndarray:
+    """Fold (seed, shaped-weight) pairs into a partial gradient sum.
+
+    Runs as a task so aggregation parallelizes into a tree: the driver
+    only ever sums the partial vectors.
+    """
+    total = np.zeros(dim)
+    for seed, weight in shaped:
+        total += weight * _noise_for_seed(seed, dim)
+    return total / sigma
+
+
+@dataclass
+class ESConfig:
+    population_size: int = 20  # mirrored pairs per iteration
+    sigma: float = 0.1
+    learning_rate: float = 0.05
+    episode_steps: Optional[int] = None
+    hierarchical: bool = False
+    aggregation_fanout: int = 8  # results per aggregation task
+    seed: int = 0
+
+
+class EvolutionStrategies:
+    """ES trainer over the repro API."""
+
+    def __init__(
+        self,
+        env_spec: EnvSpec,
+        policy_spec: Optional[PolicySpec] = None,
+        config: Optional[ESConfig] = None,
+    ):
+        self.env_spec = env_spec
+        self.policy_spec = policy_spec or PolicySpec.for_env(env_spec)
+        self.config = config or ESConfig()
+        self.policy = self.policy_spec.build(seed=self.config.seed)
+        self.theta = self.policy.get_flat()
+        self.optimizer = Adam(learning_rate=self.config.learning_rate)
+        self._seed_counter = self.config.seed * 1_000_003
+        self.history: List[float] = []
+
+    def _next_seeds(self, count: int) -> List[int]:
+        seeds = [self._seed_counter + i for i in range(count)]
+        self._seed_counter += count
+        return seeds
+
+    def train_iteration(self) -> float:
+        """One ES update; returns the population's mean episode reward."""
+        config = self.config
+        theta_ref = repro.put(self.theta)  # broadcast once per iteration
+        seeds = self._next_seeds(config.population_size)
+        result_refs = [
+            es_rollout.remote(
+                theta_ref,
+                seed,
+                config.sigma,
+                self.env_spec,
+                self.policy_spec,
+                config.episode_steps,
+            )
+            for seed in seeds
+        ]
+        # Gather as they finish (ray.wait-style), not in submission order.
+        results = []
+        pending = list(result_refs)
+        while pending:
+            ready, pending = repro.wait(pending, num_returns=min(8, len(pending)))
+            results.extend(repro.get(ready))
+        # Sort by seed so rank tie-breaking is independent of arrival order
+        # (updates are then bit-identical across gather schedules).
+        results.sort(key=lambda r: r[0])
+
+        seeds_out = np.array([r[0] for r in results])
+        pos = np.array([r[1] for r in results])
+        neg = np.array([r[2] for r in results])
+        shaped = centered_ranks(np.concatenate([pos, neg]))
+        weights = shaped[: len(results)] - shaped[len(results) :]
+
+        if config.hierarchical:
+            pairs = [(int(s), float(w)) for s, w in zip(seeds_out, weights)]
+            partial_refs = [
+                es_aggregate.remote(
+                    self.theta.size,
+                    config.sigma,
+                    pairs[i : i + config.aggregation_fanout],
+                )
+                for i in range(0, len(pairs), config.aggregation_fanout)
+            ]
+            gradient = np.sum(repro.get(partial_refs), axis=0)
+        else:
+            gradient = np.zeros_like(self.theta)
+            for seed, weight in zip(seeds_out, weights):
+                gradient += weight * _noise_for_seed(int(seed), self.theta.size)
+            gradient /= config.sigma
+        gradient /= config.population_size
+
+        self.theta = self.optimizer.step(self.theta, gradient)
+        mean_reward = float(np.mean(np.concatenate([pos, neg])))
+        self.history.append(mean_reward)
+        return mean_reward
+
+    def train(self, iterations: int) -> List[float]:
+        return [self.train_iteration() for _ in range(iterations)]
+
+    def evaluate(self, episodes: int = 3, seed: int = 12345) -> float:
+        """Mean reward of the *current* (unperturbed) policy."""
+        self.policy.set_flat(self.theta)
+        rewards = []
+        for episode in range(episodes):
+            env = self.env_spec.build(seed=seed + episode)
+            rewards.append(
+                rollout(
+                    self.policy, env, num_steps=self.config.episode_steps
+                ).total_reward
+            )
+        return float(np.mean(rewards))

@@ -1,0 +1,113 @@
+"""A small numpy MLP with manual backprop (for PPO's policy and value
+networks).
+
+One hidden tanh layer is enough for the classic-control tasks the examples
+train on; gradients are exact and flow through a flat parameter vector so
+the optimizers in :mod:`repro.rl.optim` apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class MLP:
+    """``out = W2 · tanh(W1 · x + b1) + b2`` with exact gradients."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        output_size: int,
+        seed: Optional[int] = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.output_size = output_size
+        s1 = 1.0 / np.sqrt(input_size)
+        s2 = 1.0 / np.sqrt(hidden_size)
+        self.w1 = rng.uniform(-s1, s1, size=(hidden_size, input_size))
+        self.b1 = np.zeros(hidden_size)
+        self.w2 = rng.uniform(-s2, s2, size=(output_size, hidden_size))
+        self.b2 = np.zeros(output_size)
+
+    # -- flat parameter interface ----------------------------------------------
+
+    def get_flat(self) -> np.ndarray:
+        return np.concatenate(
+            [self.w1.ravel(), self.b1, self.w2.ravel(), self.b2]
+        )
+
+    def set_flat(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64)
+        sizes = [self.w1.size, self.b1.size, self.w2.size, self.b2.size]
+        if theta.size != sum(sizes):
+            raise ValueError(f"expected {sum(sizes)} params, got {theta.size}")
+        offset = 0
+        parts = []
+        for size in sizes:
+            parts.append(theta[offset : offset + size])
+            offset += size
+        self.w1 = parts[0].reshape(self.w1.shape).copy()
+        self.b1 = parts[1].copy()
+        self.w2 = parts[2].reshape(self.w2.shape).copy()
+        self.b2 = parts[3].copy()
+
+    def num_params(self) -> int:
+        return self.w1.size + self.b1.size + self.w2.size + self.b2.size
+
+    # -- forward / backward ------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple]:
+        """Batch forward.  ``x`` is (batch, input); returns (out, cache)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        pre = x @ self.w1.T + self.b1
+        hidden = np.tanh(pre)
+        out = hidden @ self.w2.T + self.b2
+        return out, (x, hidden)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)[0]
+
+    def backward(self, cache: Tuple, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient of ``sum(grad_out * out)`` w.r.t. the flat parameters."""
+        x, hidden = cache
+        grad_out = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        grad_w2 = grad_out.T @ hidden
+        grad_b2 = grad_out.sum(axis=0)
+        grad_hidden = grad_out @ self.w2
+        grad_pre = grad_hidden * (1.0 - hidden**2)
+        grad_w1 = grad_pre.T @ x
+        grad_b1 = grad_pre.sum(axis=0)
+        return np.concatenate(
+            [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
+        )
+
+    def backward_input(self, cache: Tuple, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient of ``sum(grad_out * out)`` w.r.t. the *inputs*.
+
+        Needed when networks chain — e.g. DDPG's ∂Q(s, μ(s))/∂a flowing
+        into the actor.
+        """
+        _x, hidden = cache
+        grad_out = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        grad_hidden = grad_out @ self.w2
+        grad_pre = grad_hidden * (1.0 - hidden**2)
+        return grad_pre @ self.w1
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    logits = np.atleast_2d(logits)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def log_prob_categorical(logits: np.ndarray, actions: np.ndarray) -> np.ndarray:
+    """log π(a|s) for a batch under categorical logits."""
+    probs = softmax(logits)
+    batch = np.arange(len(probs))
+    return np.log(probs[batch, actions] + 1e-12)

@@ -1,0 +1,60 @@
+"""Optimizers over flat parameter vectors (used by ES, PPO, and the
+parameter server)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: np.ndarray | None = None
+
+    def step(self, theta: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return updated parameters for ascent along ``gradient``."""
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if self.momentum:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(gradient)
+            self._velocity = self.momentum * self._velocity + gradient
+            gradient = self._velocity
+        return theta + self.learning_rate * gradient
+
+
+class Adam:
+    """Adam (Kingma & Ba) on flat vectors; ascent convention."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, theta: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if self._m is None:
+            self._m = np.zeros_like(gradient)
+            self._v = np.zeros_like(gradient)
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * gradient
+        self._v = self.beta2 * self._v + (1 - self.beta2) * gradient**2
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return theta + self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,93 @@
+"""Sharded parameter server on the actor abstraction (paper Sections 2, 5.2.1).
+
+Parameters are split across ``num_shards`` :class:`ParameterServerShard`
+actors; workers pull the current shard values (futures — no copy until
+used), compute gradients, and push per-shard gradients back.  Each shard
+sums the gradients from all workers and applies the update — exactly the
+paper's synchronous parameter-server SGD, with transfer/summation
+parallelized across shards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+import repro
+
+
+@repro.remote
+class ParameterServerShard:
+    """One shard of the model parameters, updated by summed gradients."""
+
+    def __init__(self, initial: np.ndarray, learning_rate: float = 0.1):
+        self.params = np.asarray(initial, dtype=np.float64).copy()
+        self.learning_rate = learning_rate
+        self.updates_applied = 0
+
+    def get_params(self) -> np.ndarray:
+        return self.params
+
+    def apply_gradients(self, *gradients: np.ndarray) -> np.ndarray:
+        """Sum the workers' gradients and take one descent step; returns the
+        new shard values (so the next iteration can chain on the future)."""
+        total = np.zeros_like(self.params)
+        for gradient in gradients:
+            total += np.asarray(gradient, dtype=np.float64)
+        self.params = self.params - self.learning_rate * total / max(1, len(gradients))
+        self.updates_applied += 1
+        return self.params
+
+    def update_count(self) -> int:
+        return self.updates_applied
+
+
+class ShardedParameterServer:
+    """Driver-side convenience wrapper over the shard actors."""
+
+    def __init__(self, initial: np.ndarray, num_shards: int = 2, learning_rate: float = 0.1):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        initial = np.asarray(initial, dtype=np.float64)
+        self._sizes = [c.size for c in np.array_split(initial, num_shards)]
+        self.shards = [
+            ParameterServerShard.remote(chunk, learning_rate)
+            for chunk in np.array_split(initial, num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def get_param_refs(self) -> List:
+        """Futures for every shard's current values (no data movement)."""
+        return [shard.get_params.remote() for shard in self.shards]
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate(repro.get(self.get_param_refs()))
+
+    def split_gradient(self, gradient: np.ndarray) -> List[np.ndarray]:
+        gradient = np.asarray(gradient, dtype=np.float64)
+        out, offset = [], 0
+        for size in self._sizes:
+            out.append(gradient[offset : offset + size])
+            offset += size
+        return out
+
+    def apply(self, per_worker_shard_grads: Sequence[Sequence]) -> List:
+        """Apply one synchronous step.
+
+        ``per_worker_shard_grads[w][s]`` is worker w's gradient (value or
+        future) for shard s.  Returns futures of the new shard values.
+        """
+        futures = []
+        for s, shard in enumerate(self.shards):
+            grads = [worker_grads[s] for worker_grads in per_worker_shard_grads]
+            futures.append(shard.apply_gradients.remote(*grads))
+        return futures
+
+    def close(self) -> None:
+        """Terminate the shard actors, releasing their CPU reservations."""
+        for shard in self.shards:
+            repro.kill(shard)

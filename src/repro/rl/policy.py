@@ -1,0 +1,165 @@
+"""Policies: mappings from environment state to actions.
+
+Pure-numpy policies with flat parameter get/set — the interface both ES
+(which perturbs flat parameter vectors) and the parameter server (which
+ships flat weight deltas) work against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Policy:
+    """Base interface: act on observations, expose flat parameters."""
+
+    def act(self, observation: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def num_params(self) -> int:
+        return self.get_flat().size
+
+    def get_flat(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def set_flat(self, theta: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def perturbed(self, noise: np.ndarray, sigma: float) -> "Policy":
+        """A copy of this policy with ``theta + sigma * noise`` (ES)."""
+        clone = self.clone()
+        clone.set_flat(self.get_flat() + sigma * noise)
+        return clone
+
+    def clone(self) -> "Policy":
+        raise NotImplementedError
+
+
+class LinearPolicy(Policy):
+    """A linear map (plus bias) from observation to action.
+
+    Continuous outputs are squashed with tanh and scaled; discrete outputs
+    take the argmax (deterministic — the form ES uses).
+    """
+
+    def __init__(
+        self,
+        observation_size: int,
+        action_size: int,
+        continuous: bool = True,
+        action_scale: float = 2.0,
+        seed: Optional[int] = None,
+    ):
+        self.observation_size = observation_size
+        self.action_size = action_size
+        self.continuous = continuous
+        self.action_scale = action_scale
+        rng = np.random.default_rng(seed)
+        self.weights = rng.standard_normal((action_size, observation_size)) * 0.01
+        self.bias = np.zeros(action_size)
+
+    def act(self, observation: np.ndarray) -> np.ndarray:
+        raw = self.weights @ np.asarray(observation, dtype=np.float64) + self.bias
+        if self.continuous:
+            return self.action_scale * np.tanh(raw)
+        return int(np.argmax(raw))
+
+    def get_flat(self) -> np.ndarray:
+        return np.concatenate([self.weights.ravel(), self.bias])
+
+    def set_flat(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64)
+        w_size = self.weights.size
+        if theta.size != w_size + self.bias.size:
+            raise ValueError(
+                f"expected {w_size + self.bias.size} params, got {theta.size}"
+            )
+        self.weights = theta[:w_size].reshape(self.weights.shape).copy()
+        self.bias = theta[w_size:].copy()
+
+    def clone(self) -> "LinearPolicy":
+        clone = LinearPolicy(
+            self.observation_size,
+            self.action_size,
+            continuous=self.continuous,
+            action_scale=self.action_scale,
+        )
+        clone.set_flat(self.get_flat())
+        return clone
+
+
+class MLPPolicy(Policy):
+    """A tanh MLP policy (deterministic)."""
+
+    def __init__(
+        self,
+        observation_size: int,
+        action_size: int,
+        hidden: Sequence[int] = (32,),
+        continuous: bool = True,
+        action_scale: float = 2.0,
+        seed: Optional[int] = None,
+    ):
+        self.observation_size = observation_size
+        self.action_size = action_size
+        self.hidden: Tuple[int, ...] = tuple(hidden)
+        self.continuous = continuous
+        self.action_scale = action_scale
+        rng = np.random.default_rng(seed)
+        sizes = [observation_size, *self.hidden, action_size]
+        self.layers = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = 1.0 / np.sqrt(fan_in)
+            self.layers.append(
+                (
+                    rng.uniform(-scale, scale, size=(fan_out, fan_in)),
+                    np.zeros(fan_out),
+                )
+            )
+
+    def act(self, observation: np.ndarray) -> np.ndarray:
+        x = np.asarray(observation, dtype=np.float64)
+        for index, (weights, bias) in enumerate(self.layers):
+            x = weights @ x + bias
+            if index < len(self.layers) - 1:
+                x = np.tanh(x)
+        if self.continuous:
+            return self.action_scale * np.tanh(x)
+        return int(np.argmax(x))
+
+    def get_flat(self) -> np.ndarray:
+        return np.concatenate(
+            [w.ravel() for w, _b in self.layers] + [b for _w, b in self.layers]
+        )
+
+    def set_flat(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64)
+        offset = 0
+        new_layers = []
+        weights_list = []
+        for weights, _bias in self.layers:
+            count = weights.size
+            weights_list.append(theta[offset : offset + count].reshape(weights.shape))
+            offset += count
+        for index, (_weights, bias) in enumerate(self.layers):
+            count = bias.size
+            new_layers.append(
+                (weights_list[index].copy(), theta[offset : offset + count].copy())
+            )
+            offset += count
+        if offset != theta.size:
+            raise ValueError(f"expected {offset} params, got {theta.size}")
+        self.layers = new_layers
+
+    def clone(self) -> "MLPPolicy":
+        clone = MLPPolicy(
+            self.observation_size,
+            self.action_size,
+            hidden=self.hidden,
+            continuous=self.continuous,
+            action_scale=self.action_scale,
+        )
+        clone.set_flat(self.get_flat())
+        return clone

@@ -1,0 +1,242 @@
+"""Proximal Policy Optimization on the repro API (paper Section 5.3.2).
+
+The paper's PPO is an *asynchronous scatter-gather*: simulation actors
+produce rollouts; the driver assigns new rollout tasks to actors as
+results return (``wait``-based), until the step budget for the iteration
+is collected; then the policy is updated with several epochs of clipped-
+surrogate SGD and broadcast again.
+
+This implementation trains a categorical MLP policy (with a separate value
+network for GAE advantages) on CartPole — the same algorithm structure at
+laptop scale, with exact numpy gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro
+from repro.rl.nn import MLP, log_prob_categorical, softmax
+from repro.rl.optim import Adam
+from repro.rl.specs import EnvSpec
+
+
+@repro.remote
+class RolloutActor:
+    """A simulation actor producing on-policy rollouts."""
+
+    def __init__(self, env_spec: EnvSpec, hidden_size: int, seed: int):
+        self.env_spec = env_spec
+        self.env = env_spec.build(seed=seed)
+        self.policy = MLP(
+            env_spec.observation_size, hidden_size, env_spec.action_size, seed=0
+        )
+        self.rng = np.random.default_rng(seed)
+
+    def rollout(self, params: np.ndarray) -> Dict[str, np.ndarray]:
+        """One episode under the given policy parameters.
+
+        Returns arrays of observations, sampled actions, rewards, and the
+        behaviour log-probs (needed for the PPO ratio).
+        """
+        self.policy.set_flat(params)
+        observations, actions, rewards, log_probs = [], [], [], []
+        obs = self.env.reset()
+        done = False
+        while not done:
+            logits = self.policy(obs[None, :])
+            probs = softmax(logits)[0]
+            action = int(self.rng.choice(len(probs), p=probs))
+            observations.append(obs)
+            actions.append(action)
+            log_probs.append(float(np.log(probs[action] + 1e-12)))
+            obs, reward, done = self.env.step(action)
+            rewards.append(reward)
+        return {
+            "observations": np.asarray(observations),
+            "actions": np.asarray(actions, dtype=np.int64),
+            "rewards": np.asarray(rewards, dtype=np.float64),
+            "log_probs": np.asarray(log_probs, dtype=np.float64),
+        }
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float,
+    lam: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generalized advantage estimation over one episode.
+
+    ``values`` has one extra trailing entry (bootstrap, 0 for terminal).
+    Returns (advantages, returns).
+    """
+    length = len(rewards)
+    advantages = np.zeros(length)
+    last = 0.0
+    for t in reversed(range(length)):
+        delta = rewards[t] + gamma * values[t + 1] - values[t]
+        last = delta + gamma * lam * last
+        advantages[t] = last
+    return advantages, advantages + values[:length]
+
+
+@dataclass
+class PPOConfig:
+    num_actors: int = 4
+    steps_per_iteration: int = 1200  # paper: 320,000 at cluster scale
+    sgd_epochs: int = 8  # paper: 20
+    minibatch_size: int = 256
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_epsilon: float = 0.2
+    policy_lr: float = 0.01
+    value_lr: float = 0.02
+    hidden_size: int = 32
+    seed: int = 0
+
+
+class PPOTrainer:
+    """Asynchronous scatter-gather PPO."""
+
+    def __init__(self, env_spec: EnvSpec, config: Optional[PPOConfig] = None):
+        if env_spec.continuous:
+            raise ValueError("this PPO implementation is categorical-action")
+        self.env_spec = env_spec
+        self.config = config or PPOConfig()
+        cfg = self.config
+        self.policy = MLP(
+            env_spec.observation_size, cfg.hidden_size, env_spec.action_size, seed=cfg.seed
+        )
+        self.value = MLP(env_spec.observation_size, cfg.hidden_size, 1, seed=cfg.seed + 1)
+        self.policy_opt = Adam(learning_rate=cfg.policy_lr)
+        self.value_opt = Adam(learning_rate=cfg.value_lr)
+        self.actors = [
+            RolloutActor.remote(env_spec, cfg.hidden_size, seed=cfg.seed * 101 + i)
+            for i in range(cfg.num_actors)
+        ]
+        self.history: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Collection: tasks are assigned to actors as they return rollouts.
+    # ------------------------------------------------------------------
+
+    def collect(self, params_ref) -> List[Dict[str, np.ndarray]]:
+        cfg = self.config
+        inflight = {
+            actor.rollout.remote(params_ref): actor for actor in self.actors
+        }
+        episodes: List[Dict[str, np.ndarray]] = []
+        steps = 0
+        while steps < cfg.steps_per_iteration:
+            ready, _pending = repro.wait(list(inflight.keys()), num_returns=1)
+            ref = ready[0]
+            actor = inflight.pop(ref)
+            episode = repro.get(ref)
+            episodes.append(episode)
+            steps += len(episode["rewards"])
+            if steps < cfg.steps_per_iteration:
+                inflight[actor.rollout.remote(params_ref)] = actor
+        # Drain stragglers (they are still useful on-policy data).
+        for ref in list(inflight.keys()):
+            episodes.append(repro.get(ref))
+        return episodes
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+
+    def _prepare_batch(self, episodes) -> Dict[str, np.ndarray]:
+        all_obs, all_actions, all_logp, all_adv, all_ret = [], [], [], [], []
+        for episode in episodes:
+            obs = episode["observations"]
+            values = self.value(obs).ravel()
+            values = np.append(values, 0.0)  # terminal bootstrap
+            adv, ret = compute_gae(
+                episode["rewards"], values, self.config.gamma, self.config.gae_lambda
+            )
+            all_obs.append(obs)
+            all_actions.append(episode["actions"])
+            all_logp.append(episode["log_probs"])
+            all_adv.append(adv)
+            all_ret.append(ret)
+        advantages = np.concatenate(all_adv)
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        return {
+            "observations": np.concatenate(all_obs),
+            "actions": np.concatenate(all_actions),
+            "log_probs": np.concatenate(all_logp),
+            "advantages": advantages,
+            "returns": np.concatenate(all_ret),
+        }
+
+    def _policy_gradient(self, batch, index) -> np.ndarray:
+        """Exact gradient of the clipped surrogate (ascent direction)."""
+        cfg = self.config
+        obs = batch["observations"][index]
+        actions = batch["actions"][index]
+        old_logp = batch["log_probs"][index]
+        advantages = batch["advantages"][index]
+
+        logits, cache = self.policy.forward(obs)
+        probs = softmax(logits)
+        logp = log_prob_categorical(logits, actions)
+        ratio = np.exp(logp - old_logp)
+        # Clipped-surrogate mask: zero gradient where the clip is active.
+        active = ~(
+            ((advantages >= 0) & (ratio > 1 + cfg.clip_epsilon))
+            | ((advantages < 0) & (ratio < 1 - cfg.clip_epsilon))
+        )
+        coeff = advantages * ratio * active  # d surrogate / d logp
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(len(actions)), actions] = 1.0
+        grad_logits = coeff[:, None] * (onehot - probs) / len(actions)
+        return self.policy.backward(cache, grad_logits)
+
+    def _value_gradient(self, batch, index) -> np.ndarray:
+        obs = batch["observations"][index]
+        returns = batch["returns"][index]
+        predictions, cache = self.value.forward(obs)
+        # Descent on MSE == ascent on its negative.
+        grad_out = (returns[:, None] - predictions) / len(returns)
+        return self.value.backward(cache, grad_out)
+
+    def train_iteration(self) -> float:
+        """Collect → GAE → clipped-surrogate SGD.  Returns mean episode
+        reward of the collected batch."""
+        cfg = self.config
+        params_ref = repro.put(self.policy.get_flat())
+        episodes = self.collect(params_ref)
+        batch = self._prepare_batch(episodes)
+        num_samples = len(batch["actions"])
+        rng = np.random.default_rng(cfg.seed + len(self.history))
+        for _epoch in range(cfg.sgd_epochs):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, cfg.minibatch_size):
+                index = order[start : start + cfg.minibatch_size]
+                if index.size == 0:
+                    continue
+                policy_grad = self._policy_gradient(batch, index)
+                self.policy.set_flat(
+                    self.policy_opt.step(self.policy.get_flat(), policy_grad)
+                )
+                value_grad = self._value_gradient(batch, index)
+                self.value.set_flat(
+                    self.value_opt.step(self.value.get_flat(), value_grad)
+                )
+        mean_reward = float(
+            np.mean([episode["rewards"].sum() for episode in episodes])
+        )
+        self.history.append(mean_reward)
+        return mean_reward
+
+    def train(self, iterations: int) -> List[float]:
+        return [self.train_iteration() for _ in range(iterations)]
+
+    def close(self) -> None:
+        """Terminate the rollout actors."""
+        for actor in self.actors:
+            repro.kill(actor)

@@ -1,0 +1,95 @@
+"""A replay-buffer actor — shared mutable state behind the actor abstraction.
+
+The paper's Section 7 lists DQN and Ape-X among the algorithms built on
+Ray's API; both revolve around a replay buffer that experience actors
+write into and learners sample from.  The buffer is exactly the kind of
+"shared mutable state exposed to clients" the paper says actors exist for
+(like the parameter server): writers and readers interact with it purely
+through method futures.
+
+Supports uniform and proportional-prioritized sampling (the Ape-X
+variant), with priority updates from the learner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro
+
+Transition = Tuple[np.ndarray, int, float, np.ndarray, bool]
+
+
+@repro.remote
+class ReplayBufferActor:
+    """A bounded FIFO replay buffer with optional prioritization."""
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        prioritized: bool = False,
+        alpha: float = 0.6,
+        seed: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.prioritized = prioritized
+        self.alpha = alpha
+        self._storage: List[Transition] = []
+        self._priorities: List[float] = []
+        self._next = 0  # ring-buffer write cursor
+        self._max_priority = 1.0
+        self._rng = np.random.default_rng(seed)
+        self.total_added = 0
+
+    def add(self, transitions: Sequence[Transition]) -> int:
+        """Append transitions (new entries get max priority).  Returns the
+        buffer's current size."""
+        for transition in transitions:
+            if len(self._storage) < self.capacity:
+                self._storage.append(transition)
+                self._priorities.append(self._max_priority)
+            else:
+                self._storage[self._next] = transition
+                self._priorities[self._next] = self._max_priority
+                self._next = (self._next + 1) % self.capacity
+            self.total_added += 1
+        return len(self._storage)
+
+    def size(self) -> int:
+        return len(self._storage)
+
+    def sample(self, batch_size: int):
+        """Sample a batch; returns (indices, transitions, weights)."""
+        n = len(self._storage)
+        if n == 0:
+            return [], [], []
+        if self.prioritized:
+            scaled = np.asarray(self._priorities[:n]) ** self.alpha
+            probabilities = scaled / scaled.sum()
+            indices = self._rng.choice(n, size=min(batch_size, n), p=probabilities)
+            weights = (1.0 / (n * probabilities[indices])) ** 0.4
+            weights = weights / weights.max()
+        else:
+            indices = self._rng.integers(0, n, size=min(batch_size, n))
+            weights = np.ones(len(indices))
+        batch = [self._storage[i] for i in indices]
+        return [int(i) for i in indices], batch, [float(w) for w in weights]
+
+    def update_priorities(self, indices: Sequence[int], priorities: Sequence[float]) -> None:
+        """Learner feedback: set new TD-error-based priorities (Ape-X)."""
+        for index, priority in zip(indices, priorities):
+            if 0 <= index < len(self._priorities):
+                value = float(abs(priority)) + 1e-6
+                self._priorities[index] = value
+                self._max_priority = max(self._max_priority, value)
+
+    def stats(self):
+        return {
+            "size": len(self._storage),
+            "total_added": self.total_added,
+            "max_priority": self._max_priority,
+        }

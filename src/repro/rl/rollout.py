@@ -1,0 +1,94 @@
+"""Policy evaluation by rollout — the paper's Figure 2 pseudocode.
+
+``rollout(policy, env)`` is the serving+simulation inner loop: at each
+step the policy computes an action (serving) and the environment advances
+(simulation).  :class:`SimulatorActor` is exactly the ``Simulator`` actor
+of the paper's Figure 3: a stateful worker wrapping an environment whose
+``rollout`` method evaluates a policy shipped as an argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+import repro
+from repro.rl.policy import Policy
+
+
+@dataclass
+class Trajectory:
+    """A sequence of (state, action, reward) produced by one rollout."""
+
+    observations: List[np.ndarray] = field(default_factory=list)
+    actions: List = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(self.rewards))
+
+    @property
+    def length(self) -> int:
+        return len(self.rewards)
+
+
+def rollout(policy: Policy, env, num_steps: Optional[int] = None) -> Trajectory:
+    """Evaluate ``policy`` by interacting with ``env`` (Figure 2).
+
+    Runs until the environment terminates or ``num_steps`` is reached.
+    """
+    trajectory = Trajectory()
+    observation = env.reset()
+    steps = 0
+    while not env.has_terminated():
+        if num_steps is not None and steps >= num_steps:
+            break
+        action = policy.act(observation)  # Serving
+        trajectory.observations.append(observation)
+        trajectory.actions.append(action)
+        observation, reward, _done = env.step(action)  # Simulation
+        trajectory.rewards.append(reward)
+        steps += 1
+    return trajectory
+
+
+@repro.remote
+class SimulatorActor:
+    """The paper's Figure 3 ``Simulator``: a stateful env wrapper.
+
+    The environment object persists across method calls (it may be a
+    third-party simulator that does not expose its state); each actor has
+    its own env shared between all of its methods.
+    """
+
+    def __init__(self, env_factory: Callable, policy_factory: Callable):
+        self.env = env_factory()
+        self.policy = policy_factory()
+
+    def rollout(self, params: np.ndarray, num_steps: Optional[int] = None):
+        """Evaluate the policy with the given flat parameters.
+
+        Returns (total_reward, episode_length).
+        """
+        self.policy.set_flat(params)
+        trajectory = rollout(self.policy, self.env, num_steps=num_steps)
+        return trajectory.total_reward, trajectory.length
+
+    def sample_steps(self, params: np.ndarray, num_steps: int):
+        """Run exactly ``num_steps`` env steps (Table 4-style workload),
+        resetting the env as episodes end.  Returns steps executed."""
+        self.policy.set_flat(params)
+        executed = 0
+        observation = self.env.current_state()
+        if self.env.has_terminated():
+            observation = self.env.reset()
+        while executed < num_steps:
+            action = self.policy.act(observation)
+            observation, _reward, done = self.env.step(action)
+            executed += 1
+            if done:
+                observation = self.env.reset()
+        return executed

@@ -1,0 +1,111 @@
+"""Picklable factories for environments and policies.
+
+Tasks and actors receive their environment/policy *specs* rather than live
+objects: specs are small, picklable, and deterministic, so a replayed task
+(lineage reconstruction) rebuilds identical state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.rl.envs import CartPoleEnv, HumanoidSurrogateEnv, PendulumEnv
+from repro.rl.policy import LinearPolicy, MLPPolicy, Policy
+
+_ENVS = {
+    "pendulum": PendulumEnv,
+    "cartpole": CartPoleEnv,
+    "humanoid": HumanoidSurrogateEnv,
+}
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """Names one of the built-in environments plus its constructor args."""
+
+    name: str
+    max_steps: Optional[int] = None
+
+    def __post_init__(self):
+        if self.name not in _ENVS:
+            raise ValueError(f"unknown env {self.name!r}; choose from {sorted(_ENVS)}")
+
+    @property
+    def env_class(self):
+        return _ENVS[self.name]
+
+    def build(self, seed: Optional[int] = None):
+        kwargs = {}
+        if self.max_steps is not None:
+            kwargs["max_steps"] = self.max_steps
+        return self.env_class(seed=seed, **kwargs)
+
+    def __call__(self):  # usable directly as a factory
+        return self.build()
+
+    @property
+    def observation_size(self) -> int:
+        return self.env_class.observation_size
+
+    @property
+    def action_size(self) -> int:
+        return self.env_class.action_size
+
+    @property
+    def continuous(self) -> bool:
+        return self.env_class.continuous
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Describes a policy architecture; ``build()`` constructs it."""
+
+    kind: str  # "linear" or "mlp"
+    observation_size: int
+    action_size: int
+    continuous: bool = True
+    action_scale: float = 2.0
+    hidden: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.kind not in ("linear", "mlp"):
+            raise ValueError("kind must be 'linear' or 'mlp'")
+
+    @classmethod
+    def for_env(
+        cls,
+        env_spec: EnvSpec,
+        kind: str = "linear",
+        hidden: Tuple[int, ...] = (),
+        action_scale: float = 2.0,
+    ) -> "PolicySpec":
+        return cls(
+            kind=kind,
+            observation_size=env_spec.observation_size,
+            action_size=env_spec.action_size,
+            continuous=env_spec.continuous,
+            action_scale=action_scale,
+            hidden=tuple(hidden),
+        )
+
+    def build(self, seed: Optional[int] = 0) -> Policy:
+        if self.kind == "linear":
+            return LinearPolicy(
+                self.observation_size,
+                self.action_size,
+                continuous=self.continuous,
+                action_scale=self.action_scale,
+                seed=seed,
+            )
+        return MLPPolicy(
+            self.observation_size,
+            self.action_size,
+            hidden=self.hidden or (32,),
+            continuous=self.continuous,
+            action_scale=self.action_scale,
+            seed=seed,
+        )
+
+    def __call__(self) -> Policy:
+        return self.build()

@@ -1,0 +1,131 @@
+"""Simulated actors with checkpoint-based reconstruction (Figure 11b).
+
+Each actor is pinned to a node and executes a continuous stream of methods
+serially (its own stateful-edge chain).  Every ``checkpoint_interval``
+methods it writes a checkpoint (an extra task).  When a node dies, its
+actors are redistributed across the survivors and each replays the methods
+executed since its last checkpoint before accepting new work — exactly the
+recovery behaviour the paper measures: ~500 re-executed methods with
+checkpointing versus ~10 k without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.engine import Engine, SimResource
+from repro.sim.metrics import ThroughputTimeline
+
+
+@dataclass
+class ActorSimConfig:
+    num_nodes: int = 10
+    cores_per_node: int = 16
+    num_actors: int = 2000
+    method_duration: float = 0.25
+    checkpoint_interval: Optional[int] = None  # methods between checkpoints
+    checkpoint_duration: float = 0.05
+    timeline_bucket: float = 5.0
+
+
+class _SimActorNode:
+    def __init__(self, engine: Engine, index: int, cores: int):
+        self.index = index
+        self.alive = True
+        self.cores = SimResource(engine, cores)
+
+
+class _SimActor:
+    def __init__(self, actor_id: int, node: _SimActorNode):
+        self.actor_id = actor_id
+        self.node = node
+        self.executed = 0
+        self.last_checkpoint = 0
+        self.replayed = 0
+
+
+class ActorFailureSimulation:
+    """Drives a pool of simulated actors through a node-failure event."""
+
+    def __init__(self, config: ActorSimConfig, engine: Optional[Engine] = None):
+        self.config = config
+        self.engine = engine or Engine()
+        self.nodes = [
+            _SimActorNode(self.engine, i, config.cores_per_node)
+            for i in range(config.num_nodes)
+        ]
+        self.actors = [
+            _SimActor(i, self.nodes[i % config.num_nodes])
+            for i in range(config.num_actors)
+        ]
+        self.timeline = ThroughputTimeline(config.timeline_bucket)
+        self.total_replayed = 0
+        self.total_checkpoints = 0
+        self._rr = 0
+
+    # -- failure handling -------------------------------------------------------
+
+    def kill_nodes(self, indices: List[int]) -> int:
+        """Kill nodes; reassign their actors.  Returns actors displaced."""
+        for index in indices:
+            self.nodes[index].alive = False
+        survivors = [n for n in self.nodes if n.alive]
+        if not survivors:
+            raise RuntimeError("no surviving nodes")
+        displaced = 0
+        for actor in self.actors:
+            if not actor.node.alive:
+                actor.node = survivors[self._rr % len(survivors)]
+                self._rr += 1
+                # Replay everything since the last checkpoint.
+                actor.replayed = actor.executed - actor.last_checkpoint
+                actor.executed = actor.last_checkpoint
+                displaced += 1
+        return displaced
+
+    # -- the per-actor process -------------------------------------------------
+
+    def _actor_proc(self, actor: _SimActor, horizon: float):
+        config = self.config
+        engine = self.engine
+        while engine.now < horizon:
+            node = actor.node
+            yield node.cores.acquire()
+            yield engine.timeout(config.method_duration)
+            node.cores.release()
+            if not node.alive:
+                continue  # work lost with the node; kill_nodes set up replay
+            if actor.replayed > 0:
+                actor.replayed -= 1
+                actor.executed += 1
+                self.total_replayed += 1
+                self.timeline.record(engine.now, "reexecuted")
+                continue
+            actor.executed += 1
+            self.timeline.record(engine.now, "original")
+            if (
+                config.checkpoint_interval
+                and actor.executed - actor.last_checkpoint
+                >= config.checkpoint_interval
+            ):
+                yield node.cores.acquire()
+                yield engine.timeout(config.checkpoint_duration)
+                node.cores.release()
+                if node.alive:
+                    actor.last_checkpoint = actor.executed
+                    self.total_checkpoints += 1
+                    self.timeline.record(engine.now, "checkpoint")
+
+    def run(self, horizon: float, kill_at: Optional[float] = None, kill_nodes: int = 0):
+        """Run until ``horizon``; optionally kill ``kill_nodes`` nodes at
+        ``kill_at`` seconds."""
+        for actor in self.actors:
+            self.engine.process(self._actor_proc(actor, horizon))
+        if kill_at is not None and kill_nodes:
+            def do_kill() -> None:
+                self.kill_nodes(list(range(kill_nodes)))
+
+            self.engine._schedule(kill_at, do_kill)
+        self.engine.run(until=horizon)
+        return self.timeline

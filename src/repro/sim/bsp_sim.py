@@ -1,0 +1,83 @@
+"""BSP vs asynchronous execution, mechanistically on the simulated cluster.
+
+Table 4's comparison priced by the scheduling models in
+:mod:`repro.baselines.bsp` is re-run here through the simulator's actual
+machinery: the same heterogeneous simulation tasks either pass through a
+barrier-coordinated driver (the MPI program: submit one round per core,
+wait for *all* of it, repeat) or are all submitted up front and list-
+scheduled by the bottom-up scheduler (the Ray program).  Scheduler and
+GCS costs apply to both, so the remaining gap isolates the barrier
+effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.cluster import SimCluster, SimConfig, SimTask
+
+
+@dataclass(frozen=True)
+class BspSimResult:
+    makespan: float
+    rounds: int
+    tasks: int
+
+
+def _make_cluster(num_cpus: int) -> SimCluster:
+    # One big node: Table 4's comparison is about execution discipline,
+    # not placement; a single node keeps both variants identical there.
+    return SimCluster(
+        SimConfig(num_nodes=1, cpus_per_node=num_cpus, spillback_threshold=1 << 30)
+    )
+
+
+def simulate_bsp(durations: Sequence[float], num_cpus: int) -> BspSimResult:
+    """Barrier rounds of ``num_cpus`` tasks through the simulated cluster."""
+    cluster = _make_cluster(num_cpus)
+    rounds = 0
+
+    def driver():
+        nonlocal rounds
+        for start in range(0, len(durations), num_cpus):
+            block = durations[start : start + num_cpus]
+            events = [
+                cluster.submit(
+                    SimTask(f"bsp-{start + i}", duration=d), origin=0
+                )
+                for i, d in enumerate(block)
+            ]
+            rounds += 1
+            yield cluster.engine.all_of(events)  # the global barrier
+
+    done = cluster.engine.process(driver())
+    cluster.engine.run()
+    assert done.triggered
+    return BspSimResult(cluster.engine.now, rounds, len(durations))
+
+
+def simulate_async(durations: Sequence[float], num_cpus: int) -> BspSimResult:
+    """All tasks submitted immediately; cores backfill as they free up."""
+    cluster = _make_cluster(num_cpus)
+    events = [
+        cluster.submit(SimTask(f"async-{i}", duration=d), origin=0)
+        for i, d in enumerate(durations)
+    ]
+    cluster.engine.run()
+    assert all(e.triggered for e in events)
+    return BspSimResult(cluster.engine.now, 1, len(durations))
+
+
+def throughput_comparison(
+    durations: Sequence[float], steps: Sequence[int], num_cpus: int
+) -> dict:
+    """Timesteps/second for both disciplines over the same workload."""
+    total_steps = sum(steps)
+    bsp = simulate_bsp(list(durations), num_cpus)
+    asynchronous = simulate_async(list(durations), num_cpus)
+    return {
+        "bsp_steps_per_second": total_steps / bsp.makespan,
+        "async_steps_per_second": total_steps / asynchronous.makespan,
+        "speedup": bsp.makespan / asynchronous.makespan,
+    }

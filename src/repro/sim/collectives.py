@@ -1,0 +1,64 @@
+"""Ring allreduce cost model (Figures 12a and 12b).
+
+Ring allreduce over ``n`` participants performs ``2(n-1)`` rounds; in each
+round every node sends and receives one chunk of ``size/n`` bytes.  Per
+round, a Ray implementation pays:
+
+* the chunk transfer over the NIC (striped across ``streams`` TCP
+  connections — Ray's multithreaded transfer; the single-stream variant is
+  the paper's "Ray*");
+* two object-store memcpys (write the received chunk, read the reduced
+  chunk) at shared-memory bandwidth;
+* the scheduling cost of the round's tasks (each round submits one task
+  per node; rounds are latency-bound on the scheduler — Figure 12b shows
+  that adding a few ms of scheduler latency nearly doubles completion
+  time);
+* any injected ``scheduler_delay``, plus an extra GCS round trip per round
+  when ``coupled_dispatch`` models a design where object locations live in
+  the scheduler (the ablation argued in Related Work).
+
+The OpenMPI baseline (see :mod:`repro.baselines.mpi_allreduce`) sends and
+receives sequentially on one thread and has no store or scheduler costs
+but a small per-round software overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RingAllreduceConfig:
+    num_nodes: int = 16
+    streams: int = 8  # Ray stripes transfers; 1 = the paper's "Ray*"
+    per_stream_bandwidth: float = 1.2e9  # bytes/s per TCP stream
+    nic_bandwidth: float = 3.1e9  # 25 Gbps
+    store_bandwidth: float = 10e9  # shared-memory memcpy
+    task_overhead: float = 3e-3  # scheduling+IPC per round of tasks
+    scheduler_delay: float = 0.0  # Fig 12b injection (per scheduled round)
+    gcs_rtt: float = 300e-6  # extra per-round RTT if dispatch is coupled
+    coupled_dispatch: bool = False  # ablation: scheduler on transfer path
+
+
+def ring_allreduce_time(object_size: int, config: RingAllreduceConfig) -> float:
+    """Completion time (seconds) of one allreduce of ``object_size`` bytes."""
+    n = config.num_nodes
+    if n < 2:
+        return 0.0
+    chunk = object_size / n
+    bandwidth = min(
+        config.streams * config.per_stream_bandwidth, config.nic_bandwidth
+    )
+    rounds = 2 * (n - 1)
+    transfer = chunk / bandwidth
+    store = 2 * chunk / config.store_bandwidth  # write received + read reduced
+    per_round = transfer + store + config.task_overhead + config.scheduler_delay
+    if config.coupled_dispatch:
+        per_round += config.gcs_rtt
+    return rounds * per_round
+
+
+def ring_allreduce_tasks(num_nodes: int) -> int:
+    """Number of tasks one allreduce submits (scheduler load; the paper
+    notes ring reduce scales quadratically in total tasks across rounds)."""
+    return 2 * (num_nodes - 1) * num_nodes

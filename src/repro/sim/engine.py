@@ -1,0 +1,203 @@
+"""A minimal discrete-event simulation engine.
+
+The paper's scale results (1.8 M tasks/s across 100 nodes, GB/s NIC
+transfers, thousands of cores) cannot be executed on one machine, so the
+scale experiments run on a simulated cluster under this engine.  It is a
+small process-based event simulator in the style of SimPy:
+
+* :class:`SimEvent` — a one-shot event that processes can wait on;
+* :class:`Engine.process` — drives a generator; ``yield event`` suspends
+  the process until the event triggers, ``yield engine.timeout(d)``
+  sleeps for ``d`` simulated seconds;
+* :class:`SimResource` — a counted resource with FIFO queueing (cores,
+  NIC slots, …).
+
+Simulated time never touches the wall clock, so every simulation is
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimEvent:
+    """A one-shot event; processes yielding it resume when it succeeds."""
+
+    __slots__ = ("engine", "callbacks", "triggered", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: List[Callable[["SimEvent"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        # Deliver at the current instant, via the queue, to preserve a
+        # deterministic global event order.
+        self.engine._schedule(0.0, self._deliver)
+        return self
+
+    def _deliver(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        if self.triggered:
+            self.engine._schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Process(SimEvent):
+    """A running simulation process; also an event that fires on return."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, engine: "Engine", generator: Generator):
+        super().__init__(engine)
+        self._generator = generator
+        engine._schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, SimEvent):
+            raise TypeError(
+                f"process yielded {type(target).__name__}; expected SimEvent"
+            )
+        target.add_callback(lambda event: self._step(event.value))
+
+
+class Engine:
+    """The simulation clock and event queue."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: List = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), callback))
+
+    def timeout(self, delay: float, value: Any = None) -> SimEvent:
+        """An event that fires ``delay`` simulated seconds from now."""
+        event = SimEvent(self)
+
+        def fire() -> None:
+            event.triggered = True
+            event.value = value
+            event._deliver()
+
+        self._schedule(delay, fire)
+        return event
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """An event that fires when every given event has fired."""
+        events = list(events)
+        done = self.event()
+        if not events:
+            return self.timeout(0.0)
+        remaining = {"count": len(events)}
+
+        def on_fire(_event: SimEvent) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                done.succeed([e.value for e in events])
+
+        for event in events:
+            event.add_callback(on_fire)
+        return done
+
+    def any_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """An event that fires when the first of the given events fires."""
+        done = self.event()
+
+        def on_fire(event: SimEvent) -> None:
+            if not done.triggered:
+                done.succeed(event.value)
+
+        for event in events:
+            event.add_callback(on_fire)
+        return done
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the simulated time."""
+        processed = 0
+        while self._queue:
+            event_time, _seq, callback = self._queue[0]
+            if until is not None and event_time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = event_time
+            callback()
+            self.events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return self.now
+
+
+class SimResource:
+    """A counted resource (e.g. CPU cores) with FIFO acquisition."""
+
+    def __init__(self, engine: Engine, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.engine = engine
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: List[SimEvent] = []
+
+    def acquire(self) -> SimEvent:
+        """An event that fires when one unit is granted to the caller."""
+        event = self.engine.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter.succeed()
+        else:
+            if self.in_use <= 0:
+                raise RuntimeError("release without acquire")
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self) -> float:
+        return self.in_use / self.capacity if self.capacity else 0.0

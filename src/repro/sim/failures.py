@@ -1,0 +1,57 @@
+"""Failure-injection schedules for simulation experiments.
+
+The Figure 10/11 experiments are defined by *when* components die and
+join; this module expresses those schedules declaratively so benchmarks
+read like the paper's experiment descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.sim.cluster import SimCluster
+
+
+@dataclass
+class FailurePlan:
+    """Kill and add events to apply to a cluster at simulated times."""
+
+    kills: List[Tuple[float, int]] = field(default_factory=list)  # (time, node)
+    additions: List[float] = field(default_factory=list)  # times
+
+    def kill(self, at: float, node_index: int) -> "FailurePlan":
+        self.kills.append((at, node_index))
+        return self
+
+    def add_node(self, at: float) -> "FailurePlan":
+        self.additions.append(at)
+        return self
+
+    def apply(self, cluster: SimCluster) -> None:
+        """Arm every event on the cluster's engine."""
+        for at, node_index in self.kills:
+            cluster.engine._schedule(
+                at, lambda idx=node_index: cluster.kill_node(idx)
+            )
+        for at in self.additions:
+            cluster.engine._schedule(at, cluster.add_node)
+
+    @property
+    def total_kills(self) -> int:
+        return len(self.kills)
+
+
+def remove_and_restore(
+    kill_times: List[float],
+    restore_time: float,
+    first_victim: int = 1,
+) -> FailurePlan:
+    """The Figure 11a schedule: remove one node at each kill time, then
+    add the same number back at ``restore_time``."""
+    plan = FailurePlan()
+    for offset, at in enumerate(kill_times):
+        plan.kill(at, first_victim + offset)
+    for _ in kill_times:
+        plan.add_node(restore_time)
+    return plan

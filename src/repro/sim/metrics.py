@@ -1,0 +1,79 @@
+"""Measurement helpers for simulation experiments.
+
+:class:`ThroughputTimeline` buckets completion events per second per
+category (e.g. "original" vs "re-executed" tasks — Figures 11a/11b).
+:class:`LatencyStats` collects latency samples (Figure 8a, 10a).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+
+class ThroughputTimeline:
+    """Completion counts bucketed by (time bucket, category)."""
+
+    def __init__(self, bucket_seconds: float = 1.0):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._counts: Dict[Tuple[int, str], int] = defaultdict(int)
+        self.total: Dict[str, int] = defaultdict(int)
+
+    def record(self, time: float, category: str = "default", count: int = 1) -> None:
+        bucket = int(time // self.bucket_seconds)
+        self._counts[(bucket, category)] += count
+        self.total[category] += count
+
+    def series(self, category: str = "default") -> List[Tuple[float, float]]:
+        """[(bucket start time, rate per second)] for one category."""
+        buckets = sorted(b for (b, c) in self._counts if c == category)
+        if not buckets:
+            return []
+        out = []
+        for bucket in range(buckets[0], buckets[-1] + 1):
+            count = self._counts.get((bucket, category), 0)
+            out.append((bucket * self.bucket_seconds, count / self.bucket_seconds))
+        return out
+
+    def rate_at(self, time: float, category: str = "default") -> float:
+        bucket = int(time // self.bucket_seconds)
+        return self._counts.get((bucket, category), 0) / self.bucket_seconds
+
+
+class LatencyStats:
+    """Streaming latency samples with summary statistics."""
+
+    def __init__(self):
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, int(round(p / 100 * (len(ordered) - 1)))))
+        return ordered[index]
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else math.nan

@@ -1,0 +1,107 @@
+"""Mechanistic synchronous SGD on the simulated cluster (Figure 13).
+
+The Fig 13 benchmark prices iteration time with a cost model; this module
+*executes* the parameter-server structure through the simulator: GPU
+compute tasks produce gradient objects, per-shard chunks travel over the
+NIC model to parameter-server nodes, shard-update tasks consume every
+replica's chunk, and the new parameters flow back as the next iteration's
+dependencies.  The measured images/s cross-checks the model's
+*unpipelined* variant (the within-iteration compute/transfer overlap of
+the paper's optimized implementation is a cost-model statement — the
+mechanistic run shows what the structure costs without it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.sgd_baselines import SGDWorkloadModel
+from repro.sim.cluster import SimCluster, SimConfig, SimTask
+from repro.sim.network import NetworkConfig
+
+
+@dataclass(frozen=True)
+class SgdSimResult:
+    images_per_second: float
+    iteration_seconds: float
+    tasks_executed: int
+
+
+def simulate_sync_sgd(
+    num_gpus: int,
+    model: SGDWorkloadModel = SGDWorkloadModel(),
+    iterations: int = 3,
+) -> SgdSimResult:
+    """Run ``iterations`` of PS-sharded synchronous SGD mechanistically."""
+    num_nodes = max(1, math.ceil(num_gpus / model.gpus_per_node))
+    num_shards = num_nodes  # one PS shard per node, as in the paper
+    chunk_bytes = model.gradient_bytes // num_shards
+    config = SimConfig(
+        num_nodes=num_nodes,
+        cpus_per_node=8,
+        gpus_per_node=model.gpus_per_node,
+        spillback_threshold=0,
+        locality_aware=True,
+        network=NetworkConfig(),
+    )
+    cluster = SimCluster(config)
+
+    # Initial parameter shards, one per PS node.
+    for shard in range(num_shards):
+        cluster.put_object(f"params-i0-s{shard}", chunk_bytes, shard)
+
+    def driver():
+        for iteration in range(1, iterations + 1):
+            previous = iteration - 1
+            # 1. Each replica computes gradients against all param shards
+            #    (GPU task), emitting one chunk per PS shard.
+            compute_events = []
+            for replica in range(num_gpus):
+                node = replica // model.gpus_per_node
+                compute_events.append(
+                    cluster.submit(
+                        SimTask(
+                            name=f"grad-i{iteration}-r{replica}",
+                            duration=model.compute_seconds,
+                            deps=tuple(
+                                f"params-i{previous}-s{s}" for s in range(num_shards)
+                            ),
+                            outputs=tuple(
+                                (f"grad-i{iteration}-r{replica}-s{s}", chunk_bytes)
+                                for s in range(num_shards)
+                            ),
+                            num_gpus=1,
+                        ),
+                        origin=node,
+                    )
+                )
+            # 2. Each PS shard sums its chunks from every replica and
+            #    emits the updated shard (CPU task on the shard's node).
+            update_events = []
+            for shard in range(num_shards):
+                update_events.append(
+                    cluster.submit(
+                        SimTask(
+                            name=f"update-i{iteration}-s{shard}",
+                            duration=2e-3,  # summation of the shard
+                            deps=tuple(
+                                f"grad-i{iteration}-r{r}-s{shard}"
+                                for r in range(num_gpus)
+                            ),
+                            outputs=((f"params-i{iteration}-s{shard}", chunk_bytes),),
+                        ),
+                        origin=shard,
+                    )
+                )
+            yield cluster.engine.all_of(update_events)
+
+    done = cluster.engine.process(driver())
+    cluster.engine.run()
+    assert done.triggered, "SGD simulation did not complete"
+    iteration_seconds = cluster.engine.now / iterations
+    return SgdSimResult(
+        images_per_second=num_gpus * model.batch_per_gpu / iteration_seconds,
+        iteration_seconds=iteration_seconds,
+        tasks_executed=cluster.tasks_executed,
+    )

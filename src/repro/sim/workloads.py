@@ -1,0 +1,99 @@
+"""Workload generators for the simulation benchmarks.
+
+Each generator produces :class:`~repro.sim.cluster.SimTask` lists shaped
+like a paper experiment:
+
+* ``empty_tasks`` — Figure 8b's embarrassingly parallel no-op tasks;
+* ``locality_tasks`` — Figure 8a's 1000 tasks each depending on one
+  randomly-placed object of a given size;
+* ``dependency_chains`` — Figure 11a's linear chains of 100 ms tasks;
+* ``heterogeneous_rollouts`` — Table 4's variable-length simulation tasks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.sim.cluster import SimCluster, SimTask
+
+
+def empty_tasks(count: int, duration: float = 0.0) -> List[SimTask]:
+    """No-op tasks (Figure 8b / 10b)."""
+    return [SimTask(name=f"noop-{i}", duration=duration) for i in range(count)]
+
+
+def locality_tasks(
+    cluster: SimCluster,
+    count: int,
+    object_size: int,
+    task_duration: float = 1e-3,
+    num_objects: Optional[int] = None,
+    seed: int = 0,
+) -> List[SimTask]:
+    """Tasks each depending on one object pre-placed on a random node.
+
+    Figure 8a: with locality-aware placement, latency stays flat in object
+    size; without it, tasks routinely pay a transfer.
+    """
+    rng = random.Random(seed)
+    live = cluster.live_node_indices()
+    num_objects = num_objects or count
+    for i in range(num_objects):
+        cluster.put_object(f"input-{i}", object_size, rng.choice(live))
+    return [
+        SimTask(
+            name=f"consume-{i}",
+            duration=task_duration,
+            deps=(f"input-{rng.randrange(num_objects)}",),
+        )
+        for i in range(count)
+    ]
+
+
+def dependency_chains(
+    num_chains: int,
+    chain_length: int,
+    task_duration: float = 0.1,
+    output_size: int = 1024,
+) -> List[List[SimTask]]:
+    """Linear chains: task i consumes task i-1's output (Figure 11a)."""
+    chains: List[List[SimTask]] = []
+    for c in range(num_chains):
+        chain: List[SimTask] = []
+        for i in range(chain_length):
+            deps: Tuple[str, ...] = (f"chain{c}-obj{i - 1}",) if i > 0 else ()
+            chain.append(
+                SimTask(
+                    name=f"chain{c}-task{i}",
+                    duration=task_duration,
+                    deps=deps,
+                    outputs=((f"chain{c}-obj{i}", output_size),),
+                )
+            )
+        chains.append(chain)
+    return chains
+
+
+def heterogeneous_rollouts(
+    count: int,
+    per_step_seconds: float,
+    min_steps: int = 10,
+    max_steps: int = 1000,
+    seed: int = 0,
+) -> List[Tuple[SimTask, int]]:
+    """Simulation tasks with variable step counts (Table 4).
+
+    Returns (task, steps) pairs so callers can compute timesteps/second.
+    """
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        steps = rng.randint(min_steps, max_steps)
+        out.append(
+            (
+                SimTask(name=f"rollout-{i}", duration=steps * per_step_seconds),
+                steps,
+            )
+        )
+    return out

@@ -1,0 +1,30 @@
+"""Debugging, profiling, and visualization tools riding on the GCS.
+
+The paper (Sections 4.2.1 and 7) highlights that because the GCS holds the
+entire system state, tools need no cooperation from the components they
+inspect — they simply read the GCS.  These are those tools:
+
+* :class:`~repro.tools.inspect.ClusterInspector` — live cluster state:
+  tasks by status, object-table statistics, actor liveness, node
+  utilization (the "Web UI / error diagnosis" box of Figure 5).
+* :class:`~repro.tools.timeline.Timeline` — per-task execution timeline
+  from the event log, exportable to Chrome ``chrome://tracing`` format
+  (the paper's timeline visualization tool).
+* :class:`~repro.tools.profiler.Profiler` — per-function aggregate
+  durations and counts from the same events.
+"""
+
+from repro.tools.inspect import ClusterInspector, ClusterSnapshot
+from repro.tools.profiler import FunctionProfile, Profiler
+from repro.tools.timeline import Timeline, TimelineSpan
+from repro.tools.http_dashboard import DashboardServer
+
+__all__ = [
+    "ClusterInspector",
+    "ClusterSnapshot",
+    "Timeline",
+    "TimelineSpan",
+    "Profiler",
+    "FunctionProfile",
+    "DashboardServer",
+]

@@ -1,0 +1,136 @@
+"""A minimal Web UI over the GCS (the "Web UI" box of Figure 5).
+
+Serves the cluster inspector's snapshot, the per-function profile, and the
+Chrome trace as JSON/HTML over HTTP on localhost.  Everything is read from
+the GCS — the dashboard asks no component for anything, the paper's point
+about tooling on a centralized control store.
+
+    from repro.tools.http_dashboard import DashboardServer
+    server = DashboardServer(runtime)
+    server.start()           # serves http://127.0.0.1:<port>
+    ...
+    server.stop()
+
+Endpoints:
+  /            tiny HTML overview
+  /snapshot    cluster snapshot JSON
+  /profile     per-function execution statistics JSON
+  /trace       Chrome trace JSON (load in chrome://tracing)
+  /tasks       task-status counts JSON
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Optional
+
+from repro.tools.inspect import ClusterInspector
+from repro.tools.profiler import Profiler
+from repro.tools.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Runtime
+
+
+def _snapshot_json(runtime: "Runtime") -> str:
+    return json.dumps(asdict(ClusterInspector(runtime).snapshot()))
+
+
+def _profile_json(runtime: "Runtime") -> str:
+    profiles = Profiler(runtime).profiles()
+    return json.dumps(
+        {
+            name: {
+                "calls": p.calls,
+                "total_seconds": p.total_seconds,
+                "mean_seconds": p.mean_seconds,
+                "max_seconds": p.max_seconds,
+                "failures": p.failures,
+            }
+            for name, p in profiles.items()
+        }
+    )
+
+
+def _index_html(runtime: "Runtime") -> str:
+    snapshot = ClusterInspector(runtime).snapshot()
+    return (
+        "<html><head><title>repro dashboard</title></head><body>"
+        "<h1>repro cluster</h1>"
+        f"<pre>{snapshot.format()}</pre>"
+        '<p><a href="/snapshot">snapshot.json</a> · '
+        '<a href="/profile">profile.json</a> · '
+        '<a href="/trace">trace.json</a> · '
+        '<a href="/tasks">tasks.json</a></p>'
+        "</body></html>"
+    )
+
+
+class DashboardServer:
+    """A threaded HTTP server exposing GCS-derived cluster state."""
+
+    def __init__(self, runtime: "Runtime", host: str = "127.0.0.1", port: int = 0):
+        self.runtime = runtime
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # silence request logging
+                pass
+
+            def do_GET(self):
+                try:
+                    if self.path == "/":
+                        body, content_type = _index_html(outer.runtime), "text/html"
+                    elif self.path == "/snapshot":
+                        body, content_type = _snapshot_json(outer.runtime), "application/json"
+                    elif self.path == "/profile":
+                        body, content_type = _profile_json(outer.runtime), "application/json"
+                    elif self.path == "/trace":
+                        body, content_type = (
+                            Timeline(outer.runtime).to_chrome_trace(),
+                            "application/json",
+                        )
+                    elif self.path == "/tasks":
+                        body, content_type = (
+                            json.dumps(ClusterInspector(outer.runtime).tasks_by_status()),
+                            "application/json",
+                        )
+                    else:
+                        self.send_response(404)
+                        self.end_headers()
+                        return
+                except Exception as exc:  # noqa: BLE001 - surface as 500
+                    self.send_response(500)
+                    self.end_headers()
+                    self.wfile.write(str(exc).encode())
+                    return
+                payload = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DashboardServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-dashboard", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)

@@ -1,0 +1,134 @@
+"""Cluster state inspection — everything read straight from the GCS.
+
+No component is asked anything: tasks come from the task table, objects
+from the object table, actors from the actor table, and the only node-side
+reads are the public utilization counters.  This is the paper's argument
+for the GCS ("it enabled us to query the entire system state while
+debugging Ray itself") made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.gcs.client import _ACTOR, _OBJ, _TASK
+from repro.gcs.tables import TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Runtime
+
+
+@dataclass
+class ClusterSnapshot:
+    """A point-in-time summary of the whole cluster."""
+
+    num_nodes: int
+    live_nodes: int
+    tasks_by_status: Dict[str, int]
+    num_objects: int
+    total_object_bytes: int
+    actors_alive: int
+    actors_dead: int
+    node_utilization: Dict[str, float] = field(default_factory=dict)
+    store_used_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [
+            f"nodes: {self.live_nodes}/{self.num_nodes} alive",
+            "tasks: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.tasks_by_status.items())),
+            f"objects: {self.num_objects} ({self.total_object_bytes:,} bytes registered)",
+            f"actors: {self.actors_alive} alive, {self.actors_dead} dead",
+        ]
+        for node, utilization in sorted(self.node_utilization.items()):
+            used = self.store_used_bytes.get(node, 0)
+            lines.append(
+                f"  node {node}: cpu {utilization * 100:.0f}%  store {used:,} B"
+            )
+        return "\n".join(lines)
+
+
+class ClusterInspector:
+    """Read-only views over a runtime's GCS."""
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+        self.gcs = runtime.gcs
+
+    # -- table scans --------------------------------------------------------
+
+    def _rows(self, table: str):
+        for key in self.gcs.kv.keys():
+            if isinstance(key, tuple) and key[0] == table:
+                value = self.gcs.kv.get(key)
+                if value is not None:
+                    yield key[1], value
+
+    def tasks_by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _task_id, entry in self._rows(_TASK):
+            counts[entry.status.value] = counts.get(entry.status.value, 0) + 1
+        return counts
+
+    def pending_tasks(self) -> List:
+        """Tasks not yet finished — the first place to look when stuck."""
+        out = []
+        for _task_id, entry in self._rows(_TASK):
+            if entry.status in (
+                TaskStatus.PENDING,
+                TaskStatus.SCHEDULED,
+                TaskStatus.RUNNING,
+            ):
+                out.append(entry)
+        return out
+
+    def object_stats(self):
+        count = 0
+        total_bytes = 0
+        for _object_id, (size, _task) in self._rows(_OBJ):
+            count += 1
+            total_bytes += size
+        return count, total_bytes
+
+    def objects_without_live_copies(self) -> List:
+        """Registered objects every copy of which is gone (lost or evicted
+        — retrievable only through reconstruction)."""
+        out = []
+        for object_id, _meta in self._rows(_OBJ):
+            if not self.runtime.transfer.live_locations(object_id):
+                out.append(object_id)
+        return out
+
+    def actor_summary(self):
+        alive = dead = 0
+        for _actor_id, entry in self._rows(_ACTOR):
+            if entry.alive:
+                alive += 1
+            else:
+                dead += 1
+        return alive, dead
+
+    # -- the one-call overview --------------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        nodes = self.runtime.nodes()
+        count, total_bytes = self.object_stats()
+        alive, dead = self.actor_summary()
+        return ClusterSnapshot(
+            num_nodes=len(nodes),
+            live_nodes=sum(1 for n in nodes if n.alive),
+            tasks_by_status=self.tasks_by_status(),
+            num_objects=count,
+            total_object_bytes=total_bytes,
+            actors_alive=alive,
+            actors_dead=dead,
+            node_utilization={
+                n.node_id.hex()[:8]: n.resources.utilization("CPU")
+                for n in nodes
+                if n.alive
+            },
+            store_used_bytes={
+                n.node_id.hex()[:8]: n.store.used_bytes for n in nodes if n.alive
+            },
+        )

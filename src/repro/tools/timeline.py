@@ -1,0 +1,133 @@
+"""Task execution timeline from the GCS event log.
+
+The paper's timeline visualization tool uses the GCS event log as its
+backend (Section 7).  :class:`Timeline` reconstructs per-node execution
+spans from ``task_finished`` events and exports them as Chrome trace JSON
+(loadable in ``chrome://tracing`` / Perfetto) or as an ASCII lane chart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Runtime
+
+
+@dataclass(frozen=True)
+class TimelineSpan:
+    """One task execution: [start, start+duration) on a node."""
+
+    name: str
+    task: str
+    node: str
+    start: float
+    duration: float
+    kind: str
+    status: str
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Timeline:
+    """Execution spans harvested from the GCS event log."""
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+
+    def spans(self) -> List[TimelineSpan]:
+        out = []
+        for record in self.runtime.gcs.events("task_finished"):
+            payload = record.as_dict()
+            if "start" not in payload:
+                continue
+            out.append(
+                TimelineSpan(
+                    name=payload.get("name", "?"),
+                    task=payload.get("task", "?"),
+                    node=payload.get("node", "?"),
+                    start=payload["start"],
+                    duration=payload.get("duration", 0.0),
+                    kind=payload.get("kind", "task"),
+                    status=payload.get("status", "finished"),
+                )
+            )
+        return sorted(out, key=lambda s: s.start)
+
+    def span_count(self) -> int:
+        return len(self.spans())
+
+    def makespan(self) -> float:
+        spans = self.spans()
+        if not spans:
+            return 0.0
+        return max(s.end for s in spans) - min(s.start for s in spans)
+
+    # -- Chrome trace export -------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON: one lane per node, one X event per
+        task, microsecond timestamps relative to the first span."""
+        spans = self.spans()
+        if not spans:
+            return json.dumps({"traceEvents": []})
+        epoch = min(s.start for s in spans)
+        events = []
+        node_pids: Dict[str, int] = {}
+        for span in spans:
+            pid = node_pids.setdefault(span.node, len(node_pids) + 1)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": (span.start - epoch) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {"task": span.task, "status": span.status},
+                }
+            )
+        for node, pid in node_pids.items():
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"node-{node}"},
+                }
+            )
+        return json.dumps({"traceEvents": events})
+
+    def save_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_chrome_trace())
+
+    # -- terminal rendering ------------------------------------------------------
+
+    def render_ascii(self, width: int = 72) -> str:
+        """A lane-per-node ASCII chart (for quick terminal debugging)."""
+        spans = self.spans()
+        if not spans:
+            return "(no spans)"
+        epoch = min(s.start for s in spans)
+        horizon = max(s.end for s in spans) - epoch
+        if horizon <= 0:
+            horizon = 1e-9
+        by_node: Dict[str, List[TimelineSpan]] = {}
+        for span in spans:
+            by_node.setdefault(span.node, []).append(span)
+        lines = [f"timeline: {len(spans)} tasks over {horizon * 1e3:.1f} ms"]
+        for node, node_spans in sorted(by_node.items()):
+            lane = [" "] * width
+            for span in node_spans:
+                lo = int((span.start - epoch) / horizon * (width - 1))
+                hi = max(lo + 1, int((span.end - epoch) / horizon * (width - 1)))
+                for i in range(lo, min(hi, width)):
+                    lane[i] = "#" if lane[i] == " " else "%"
+            lines.append(f"node {node}: |{''.join(lane)}|")
+        return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Shared fixtures: a fresh in-process cluster per test."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def runtime():
+    """A 2-node, 4-CPU-per-node cluster, shut down after the test."""
+    rt = repro.init(num_nodes=2, num_cpus_per_node=4)
+    try:
+        yield rt
+    finally:
+        repro.shutdown()
+
+
+@pytest.fixture
+def single_node_runtime():
+    rt = repro.init(num_nodes=1, num_cpus_per_node=4)
+    try:
+        yield rt
+    finally:
+        repro.shutdown()
+
+
+@pytest.fixture
+def gpu_runtime():
+    """Two CPU nodes plus one GPU node."""
+    rt = repro.init(num_nodes=2, num_cpus_per_node=4)
+    rt.add_node({"CPU": 4, "GPU": 2})
+    try:
+        yield rt
+    finally:
+        repro.shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _ensure_shutdown():
+    """Safety net: never leak a global runtime between tests."""
+    yield
+    if repro.is_initialized():
+        repro.shutdown()

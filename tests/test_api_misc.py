@@ -1,0 +1,152 @@
+"""API surface details: decorator forms, options, handles, pickling."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.api import ActorClass, RemoteFunction, _function_id_for
+
+
+class TestDecoratorForms:
+    def test_bare_decorator_on_function(self, runtime):
+        @repro.remote
+        def f():
+            return 1
+
+        assert isinstance(f, RemoteFunction)
+        assert repro.get(f.remote()) == 1
+
+    def test_decorator_with_options_on_function(self, runtime):
+        @repro.remote(num_returns=2)
+        def g():
+            return 1, 2
+
+        assert isinstance(g, RemoteFunction)
+        a, b = g.remote()
+        assert repro.get([a, b]) == [1, 2]
+
+    def test_bare_decorator_on_class(self, runtime):
+        @repro.remote
+        class A:
+            def m(self):
+                return "ok"
+
+        assert isinstance(A, ActorClass)
+        assert repro.get(A.remote().m.remote()) == "ok"
+
+    def test_unknown_task_option_rejected(self):
+        with pytest.raises(TypeError):
+
+            @repro.remote(bogus=1)
+            def f():  # pragma: no cover - decoration fails
+                pass
+
+    def test_unknown_actor_option_rejected(self):
+        with pytest.raises(TypeError):
+
+            @repro.remote(num_returns=2)  # not valid for classes
+            class A:  # pragma: no cover - decoration fails
+                pass
+
+    def test_positional_options_rejected(self):
+        with pytest.raises(TypeError):
+            repro.remote(1, 2)
+
+    def test_docstring_preserved(self):
+        @repro.remote
+        def documented():
+            """The docs."""
+
+        assert documented.__doc__ == "The docs."
+        assert documented.__name__ == "documented"
+
+
+class TestFunctionIdentity:
+    def test_same_function_same_id(self):
+        def f(x):
+            return x
+
+        assert _function_id_for(f) == _function_id_for(f)
+
+    def test_same_name_different_code_different_id(self):
+        def make(version):
+            if version == 1:
+
+                def f(x):
+                    return x + 1
+
+            else:
+
+                def f(x):
+                    return x + 2
+
+            return f
+
+        assert _function_id_for(make(1)) != _function_id_for(make(2))
+
+
+class TestObjectRefSemantics:
+    def test_hashable_and_equal_by_id(self, runtime):
+        ref = repro.put(1)
+        same = repro.ObjectRef(ref.object_id)
+        assert ref == same
+        assert hash(ref) == hash(same)
+        assert len({ref, same}) == 1
+
+    def test_pickles(self, runtime):
+        ref = repro.put(5)
+        clone = pickle.loads(pickle.dumps(ref))
+        assert repro.get(clone) == 5
+
+    def test_repr_is_short(self, runtime):
+        assert len(repr(repro.put(1))) < 40
+
+
+class TestActorHandleSemantics:
+    def test_pickles_and_still_works(self, runtime):
+        @repro.remote
+        class Box:
+            def __init__(self):
+                self.v = 0
+
+            def set(self, v):
+                self.v = v
+                return v
+
+            def get(self):
+                return self.v
+
+        box = Box.remote()
+        repro.get(box.set.remote(7))
+        clone = pickle.loads(pickle.dumps(box))
+        assert repro.get(clone.get.remote()) == 7
+
+    def test_method_options_num_returns(self, runtime):
+        @repro.remote
+        class Splitter:
+            def split(self):
+                return 1, 2
+
+        splitter = Splitter.remote()
+        a, b = splitter.split.options(num_returns=2).remote()
+        assert repro.get([a, b]) == [1, 2]
+
+
+class TestRemoteFunctionOptions:
+    def test_options_do_not_mutate_original(self, runtime):
+        @repro.remote
+        def f():
+            return 0
+
+        g = f.options(num_cpus=2)
+        assert g is not f
+        assert f._resources == {"CPU": 1.0}
+        assert g._resources == {"CPU": 2.0}
+
+    def test_fractional_gpu_request(self, gpu_runtime):
+        @repro.remote(num_gpus=0.5)
+        def half_gpu():
+            return "ran"
+
+        assert repro.get(half_gpu.remote(), timeout=10) == "ran"

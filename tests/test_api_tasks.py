@@ -1,0 +1,199 @@
+"""Public API: remote functions, futures, get/put/wait (paper Table 1)."""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.common.errors import GetTimeoutError
+
+
+@repro.remote
+def add(a, b):
+    return a + b
+
+
+@repro.remote
+def identity(x):
+    return x
+
+
+@repro.remote(num_returns=3)
+def three():
+    return 1, 2, 3
+
+
+@repro.remote
+def failing():
+    raise RuntimeError("intentional")
+
+
+@repro.remote
+def spawn_children(n):
+    """Nested remote functions (Section 3.1)."""
+    refs = [add.remote(i, i) for i in range(n)]
+    return sum(repro.get(refs))
+
+
+@repro.remote
+def slow(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+class TestRemoteFunctions:
+    def test_remote_returns_future_immediately(self, runtime):
+        ref = slow.remote(0.2, 1)
+        assert isinstance(ref, repro.ObjectRef)  # non-blocking
+
+    def test_get_single(self, runtime):
+        assert repro.get(add.remote(1, 2)) == 3
+
+    def test_get_list_preserves_order(self, runtime):
+        refs = [add.remote(i, 1) for i in range(10)]
+        assert repro.get(refs) == list(range(1, 11))
+
+    def test_kwargs(self, runtime):
+        assert repro.get(add.remote(a=2, b=3)) == 5
+
+    def test_futures_as_arguments(self, runtime):
+        """Futures pass into other remote functions without blocking."""
+        ref = add.remote(add.remote(1, 1), add.remote(2, 2))
+        assert repro.get(ref) == 6
+
+    def test_multiple_returns(self, runtime):
+        a, b, c = three.remote()
+        assert repro.get([a, b, c]) == [1, 2, 3]
+
+    def test_nested_tasks(self, runtime):
+        assert repro.get(spawn_children.remote(5)) == sum(2 * i for i in range(5))
+
+    def test_numpy_payloads(self, runtime):
+        array = np.arange(10_000, dtype=np.float64)
+        result = repro.get(identity.remote(array))
+        np.testing.assert_array_equal(result, array)
+
+    def test_direct_call_rejected(self, runtime):
+        with pytest.raises(TypeError):
+            add(1, 2)
+
+    def test_options_num_returns(self, runtime):
+        @repro.remote
+        def pair():
+            return (1, 2)
+
+        a, b = pair.options(num_returns=2).remote()
+        assert repro.get([a, b]) == [1, 2]
+
+    def test_wrong_return_arity_is_error(self, runtime):
+        @repro.remote(num_returns=2)
+        def just_one():
+            return 1
+
+        ref, _ = just_one.remote()
+        with pytest.raises(repro.TaskExecutionError):
+            repro.get(ref)
+
+
+class TestErrors:
+    def test_exception_reraised_at_get(self, runtime):
+        with pytest.raises(repro.TaskExecutionError) as info:
+            repro.get(failing.remote())
+        assert isinstance(info.value.cause, RuntimeError)
+
+    def test_errors_propagate_through_dependencies(self, runtime):
+        ref = identity.remote(failing.remote())
+        with pytest.raises(repro.TaskExecutionError):
+            repro.get(ref)
+
+    def test_error_does_not_poison_other_tasks(self, runtime):
+        bad = failing.remote()
+        good = add.remote(1, 1)
+        assert repro.get(good) == 2
+        with pytest.raises(repro.TaskExecutionError):
+            repro.get(bad)
+
+
+class TestPutGet:
+    def test_put_roundtrip(self, runtime):
+        ref = repro.put({"k": [1, 2]})
+        assert repro.get(ref) == {"k": [1, 2]}
+
+    def test_put_as_task_argument(self, runtime):
+        x = repro.put(41)
+        assert repro.get(add.remote(x, 1)) == 42
+
+    def test_puts_are_distinct(self, runtime):
+        a, b = repro.put(1), repro.put(2)
+        assert a != b
+        assert repro.get([a, b]) == [1, 2]
+
+    def test_get_timeout(self, runtime):
+        ref = slow.remote(5, 1)
+        with pytest.raises(GetTimeoutError):
+            repro.get(ref, timeout=0.1)
+
+
+class TestWait:
+    def test_wait_returns_completed_first(self, runtime):
+        fast = slow.remote(0.01, "fast")
+        slow_ref = slow.remote(2.0, "slow")
+        ready, pending = repro.wait([slow_ref, fast], num_returns=1, timeout=5)
+        assert ready == [fast]
+        assert pending == [slow_ref]
+
+    def test_wait_timeout_returns_partial(self, runtime):
+        refs = [slow.remote(5.0, i) for i in range(2)]
+        ready, pending = repro.wait(refs, num_returns=2, timeout=0.1)
+        assert ready == []
+        assert len(pending) == 2
+
+    def test_wait_all(self, runtime):
+        refs = [add.remote(i, i) for i in range(5)]
+        ready, pending = repro.wait(refs, num_returns=5, timeout=10)
+        assert len(ready) == 5
+        assert pending == []
+
+    def test_wait_num_returns_validation(self, runtime):
+        with pytest.raises(ValueError):
+            repro.wait([add.remote(1, 1)], num_returns=2)
+
+    def test_wait_returns_exactly_num_returns(self, runtime):
+        """Even when more futures are ready, extras stay pending."""
+        refs = [add.remote(i, i) for i in range(6)]
+        repro.get(refs)  # all complete
+        ready, pending = repro.wait(refs, num_returns=2)
+        assert len(ready) == 2
+        assert len(pending) == 4
+        # Consume the rest incrementally with no loss or duplication.
+        seen = set(ready)
+        while pending:
+            ready, pending = repro.wait(pending, num_returns=1)
+            assert not (seen & set(ready))
+            seen.update(ready)
+        assert len(seen) == 6
+
+
+class TestLifecycle:
+    def test_double_init_rejected(self, runtime):
+        with pytest.raises(RuntimeError):
+            repro.init()
+
+    def test_api_without_init_raises(self):
+        from repro.common.errors import RuntimeNotInitializedError
+
+        with pytest.raises(RuntimeNotInitializedError):
+            repro.get_runtime()
+
+    def test_shutdown_idempotent(self):
+        repro.init(num_nodes=1)
+        repro.shutdown()
+        repro.shutdown()
+
+    def test_is_initialized(self):
+        assert not repro.is_initialized()
+        repro.init(num_nodes=1)
+        assert repro.is_initialized()
+        repro.shutdown()
+        assert not repro.is_initialized()

@@ -1,0 +1,197 @@
+"""Chaos test: a mixed workload survives random failure injection.
+
+The paper's §7 answer to "is fault tolerance really needed?": it makes
+applications "easier to write and reason about".  Here a workload mixing
+task chains, actors, and large objects runs while nodes die and join
+underneath it; every final answer must still be exactly correct.
+"""
+
+import random
+import time
+
+import pytest
+
+import repro
+
+
+@repro.remote
+def grow(acc, x):
+    return acc + [x]
+
+
+@repro.remote
+def big_block(i):
+    return bytes([i % 256]) * 50_000
+
+
+@repro.remote(checkpoint_interval=4)
+class Ledger:
+    def __init__(self):
+        self.entries = []
+
+    def append(self, value):
+        self.entries.append(value)
+        return len(self.entries)
+
+    @repro.method(read_only=True)
+    def snapshot(self):
+        return list(self.entries)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_mixed_workload_survives_failures(seed):
+    rng = random.Random(seed)
+    rt = repro.init(num_nodes=4, num_cpus_per_node=2)
+    try:
+        # Task chains building lists (order-sensitive results).
+        chains = []
+        for c in range(4):
+            ref = grow.remote([], c)
+            for i in range(1, 6):
+                ref = grow.remote(ref, c * 10 + i)
+            chains.append((c, ref))
+
+        # Large objects (eviction/transfer pressure).
+        blocks = [big_block.remote(i) for i in range(6)]
+
+        # A checkpointing actor with read-only queries.
+        ledger = Ledger.remote()
+        appended = [ledger.append.remote(i) for i in range(10)]
+
+        # Let some work land, then kill a random non-driver node...
+        time.sleep(0.3)
+        victims = [n for n in rt.nodes() if n is not rt.driver_node]
+        victim = rng.choice(victims)
+        rt.kill_node(victim.node_id)
+        # ...and add a fresh node (elasticity).
+        rt.add_node({"CPU": 2})
+
+        # More work lands on the reshaped cluster.
+        more = [ledger.append.remote(100 + i) for i in range(4)]
+        late_chain = grow.remote(chains[0][1], 999)
+
+        # Every answer must be exactly right despite the failure.
+        for c, ref in chains:
+            expected = [c] + [c * 10 + i for i in range(1, 6)]
+            assert repro.get(ref, timeout=60) == expected
+        for i, block in enumerate(blocks):
+            value = repro.get(block, timeout=60)
+            assert value == bytes([i % 256]) * 50_000
+        assert repro.get(appended[-1], timeout=60) == 10
+        assert repro.get(more[-1], timeout=60) == 14
+        snapshot = repro.get(ledger.snapshot.remote(), timeout=60)
+        assert snapshot == list(range(10)) + [100 + i for i in range(4)]
+        late = repro.get(late_chain, timeout=60)
+        assert late[-1] == 999
+    finally:
+        repro.shutdown()
+
+
+def test_workload_survives_gcs_member_failure():
+    """Kill a replica in every GCS shard chain mid-workload: clients
+    report the failures, chains reconfigure, the application never
+    notices (Figure 10a's property, observed through the whole stack)."""
+    rt = repro.init(num_nodes=2, num_cpus_per_node=4, gcs_shards=4, gcs_replicas=2)
+    try:
+        first = repro.get([grow.remote([], i) for i in range(4)], timeout=30)
+        assert first == [[i] for i in range(4)]
+        for shard in rt.gcs.kv.shards:
+            shard.kill_member(0)
+        second = repro.get([grow.remote([], 10 + i) for i in range(8)], timeout=30)
+        assert second == [[10 + i] for i in range(8)]
+        for shard in rt.gcs.kv.shards:
+            assert shard.chain_length() == 1  # reconfigured, still serving
+            shard.add_member()  # restore replication
+            assert shard.chain_length() == 2
+        third = repro.get(grow.remote([], 99), timeout=30)
+        assert third == [99]
+    finally:
+        repro.shutdown()
+
+
+def test_es_training_survives_node_loss():
+    """An RL training job (the paper's target workload) continues across a
+    node failure between iterations."""
+    from repro.rl import ESConfig, EnvSpec, EvolutionStrategies, PolicySpec
+
+    rt = repro.init(num_nodes=3, num_cpus_per_node=2)
+    try:
+        env_spec = EnvSpec("cartpole", max_steps=80)
+        es = EvolutionStrategies(
+            env_spec,
+            PolicySpec.for_env(env_spec, kind="linear"),
+            ESConfig(population_size=8, sigma=0.3, learning_rate=0.15, seed=5),
+        )
+        es.train(2)
+        victim = [n for n in rt.nodes() if n is not rt.driver_node][0]
+        rt.kill_node(victim.node_id)
+        rewards = es.train(3)  # rollout tasks reroute to the survivors
+        assert len(rewards) == 3
+        assert len(es.history) == 5
+    finally:
+        repro.shutdown()
+
+
+def test_high_task_count_throughput():
+    """A couple thousand tiny tasks drain correctly and reasonably fast
+    (regression guard on scheduler overhead)."""
+    rt = repro.init(num_nodes=2, num_cpus_per_node=4)
+    try:
+
+        @repro.remote
+        def tiny(i):
+            return i
+
+        count = 2000
+        start = time.time()
+        refs = [tiny.remote(i) for i in range(count)]
+        results = repro.get(refs, timeout=120)
+        elapsed = time.time() - start
+        assert results == list(range(count))
+        assert elapsed < 60, f"{count} tasks took {elapsed:.1f}s"
+        assert rt.gcs.num_tasks() == count
+    finally:
+        repro.shutdown()
+
+
+def test_sim_cluster_runs_are_deterministic():
+    """Identical simulated workloads produce identical timelines."""
+    from repro.sim import SimCluster, SimConfig
+    from repro.sim.workloads import dependency_chains
+
+    def run():
+        cluster = SimCluster(SimConfig(num_nodes=3, cpus_per_node=2))
+        chains = dependency_chains(num_chains=6, chain_length=5, task_duration=0.05)
+        for chain in chains:
+            for task in chain:
+                cluster.submit(task, origin=0)
+        cluster.engine._schedule(0.2, lambda: cluster.kill_node(1))
+        cluster.engine.run()
+        return (
+            cluster.engine.now,
+            cluster.tasks_executed,
+            cluster.tasks_reexecuted,
+            sorted(cluster.timeline.total.items()),
+        )
+
+    assert run() == run()
+
+
+def test_double_failure_with_checkpointed_actor():
+    """Two successive node losses; the actor replays from checkpoints both
+    times and loses nothing."""
+    rt = repro.init(num_nodes=3, num_cpus_per_node=2)
+    try:
+        ledger = Ledger.remote()
+        repro.get([ledger.append.remote(i) for i in range(6)], timeout=30)
+
+        state = rt.actors.get_state(ledger.actor_id)
+        rt.kill_node(state.node.node_id)
+        assert repro.get(ledger.append.remote(6), timeout=60) == 7
+
+        state = rt.actors.get_state(ledger.actor_id)
+        rt.kill_node(state.node.node_id)
+        assert repro.get(ledger.append.remote(7), timeout=60) == 8
+        assert repro.get(ledger.snapshot.remote(), timeout=60) == list(range(8))
+    finally:
+        repro.shutdown()

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess (its own interpreter, like a
+user would run it) with a generous timeout.  The slowest training demos
+are exercised with reduced work via environment knobs where they expose
+them; otherwise they simply run as shipped.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "parameter_server_sgd.py",
+    "fault_tolerance_demo.py",
+    "cluster_scaling_sim.py",
+    "dashboard.py",
+]
+
+TRAINING_EXAMPLES = [
+    "rl_training_es.py",
+    "train_serve_simulate.py",
+]
+
+SLOW_EXAMPLES = [
+    "multi_policy_training.py",
+    "apex_dqn.py",
+]
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed (rc={result.returncode}):\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", TRAINING_EXAMPLES)
+def test_training_example_runs(name):
+    output = run_example(name)
+    assert "iteration" in output.lower()
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    output = run_example(name, timeout=300)
+    assert output.strip()
+
+
+def test_quickstart_output_content():
+    output = run_example("quickstart.py")
+    assert "square(7) = 49" in output
+    assert "sum of squares 0..9 = 285" in output
+    assert "first finisher: hare" in output
+
+
+def test_fault_tolerance_demo_recovers():
+    output = run_example("fault_tolerance_demo.py")
+    assert "chain result after failure:  11" in output
+    assert "actor total after restart:  13" in output
+
+
+def test_dashboard_writes_trace():
+    output = run_example("dashboard.py")
+    assert "Chrome trace written" in output
+    assert "cluster snapshot" in output

@@ -1,0 +1,80 @@
+"""Sharded KV: routing, aggregation, pub-sub through shards."""
+
+from repro.common.ids import ObjectID, TaskID
+from repro.gcs.shard import ShardedKV
+
+
+class TestRouting:
+    def test_key_routes_to_same_shard(self):
+        kv = ShardedKV(num_shards=4)
+        key = ("object", ObjectID.from_seed("x"))
+        assert kv.shard_for(key) is kv.shard_for(key)
+
+    def test_table_rows_for_entity_colocated(self):
+        """All tables for one entity land on one shard (single-key ops)."""
+        kv = ShardedKV(num_shards=8)
+        entity = TaskID.from_seed("t")
+        assert kv.shard_for(("task", entity)) is kv.shard_for(("status", entity))
+
+    def test_put_get_through_shards(self):
+        kv = ShardedKV(num_shards=4)
+        for i in range(40):
+            kv.put(("t", ObjectID.from_seed(str(i))), i)
+        for i in range(40):
+            assert kv.get(("t", ObjectID.from_seed(str(i)))) == i
+
+    def test_keys_spread_across_shards(self):
+        kv = ShardedKV(num_shards=4)
+        for i in range(200):
+            kv.put(("t", ObjectID.from_seed(str(i))), i)
+        nonempty = sum(1 for shard in kv.shards if shard.num_entries() > 0)
+        assert nonempty == 4
+
+    def test_plain_string_keys_work(self):
+        kv = ShardedKV(num_shards=3)
+        kv.put("plain", 1)
+        assert kv.get("plain") == 1
+
+
+class TestAggregation:
+    def test_num_entries_sums_shards(self):
+        kv = ShardedKV(num_shards=4)
+        for i in range(25):
+            kv.put(("t", ObjectID.from_seed(str(i))), i)
+        assert kv.num_entries() == 25
+
+    def test_keys_union(self):
+        kv = ShardedKV(num_shards=2)
+        keys = [("t", ObjectID.from_seed(str(i))) for i in range(10)]
+        for k in keys:
+            kv.put(k, 0)
+        assert sorted(map(repr, kv.keys())) == sorted(map(repr, keys))
+
+    def test_append_and_log(self):
+        kv = ShardedKV(num_shards=2)
+        key = ("log", ObjectID.from_seed("o"))
+        kv.append(key, 1)
+        kv.append(key, 2)
+        assert kv.log(key) == [1, 2]
+
+    def test_delete(self):
+        kv = ShardedKV(num_shards=2)
+        kv.put("k", 1)
+        kv.delete("k")
+        assert kv.get("k") is None
+
+
+class TestSubscriptions:
+    def test_subscribe_routes_to_owning_shard(self):
+        kv = ShardedKV(num_shards=4)
+        key = ("object_loc", ObjectID.from_seed("o"))
+        seen = []
+        kv.subscribe(key, lambda _k, v: seen.append(v))
+        kv.append(key, ("add", "n1"))
+        assert seen == [("add", "n1")]
+
+    def test_invalid_shard_count(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ShardedKV(num_shards=0)

@@ -1,0 +1,144 @@
+"""GCS typed tables: object locations, task lineage, actors, events."""
+
+import pytest
+
+from repro.common.ids import ActorID, FunctionID, NodeID, ObjectID, TaskID
+from repro.gcs.client import GlobalControlStore
+from repro.gcs.tables import TaskStatus
+
+
+@pytest.fixture
+def gcs():
+    return GlobalControlStore(num_shards=2, num_replicas=1)
+
+
+class TestFunctionTable:
+    def test_register_and_get(self, gcs):
+        fid = FunctionID.from_seed("f")
+        gcs.register_function(fid, sum)
+        assert gcs.get_function(fid) is sum
+
+    def test_missing_function_raises(self, gcs):
+        with pytest.raises(KeyError):
+            gcs.get_function(FunctionID.from_seed("missing"))
+
+
+class TestObjectTable:
+    def test_locations_fold_adds_and_removes(self, gcs):
+        oid = ObjectID.from_seed("o")
+        n1, n2 = NodeID.from_seed("n1"), NodeID.from_seed("n2")
+        gcs.add_object_location(oid, n1)
+        gcs.add_object_location(oid, n2)
+        assert gcs.get_object_locations(oid) == {n1, n2}
+        gcs.remove_object_location(oid, n1)
+        assert gcs.get_object_locations(oid) == {n2}
+
+    def test_entry_combines_metadata_and_locations(self, gcs):
+        oid = ObjectID.from_seed("o")
+        tid = TaskID.from_seed("t")
+        node = NodeID.from_seed("n")
+        gcs.add_object(oid, 128, tid)
+        gcs.add_object_location(oid, node)
+        entry = gcs.get_object_entry(oid)
+        assert entry.size == 128
+        assert entry.task_id == tid
+        assert entry.locations == frozenset({node})
+
+    def test_missing_entry_is_none(self, gcs):
+        assert gcs.get_object_entry(ObjectID.from_seed("missing")) is None
+
+    def test_creating_task_lineage_pointer(self, gcs):
+        oid = ObjectID.from_seed("o")
+        tid = TaskID.from_seed("t")
+        gcs.add_object(oid, 1, tid)
+        assert gcs.creating_task(oid) == tid
+
+    def test_put_objects_have_no_lineage(self, gcs):
+        oid = ObjectID.from_seed("o")
+        gcs.add_object(oid, 1, None)
+        assert gcs.creating_task(oid) is None
+
+    def test_location_subscription(self, gcs):
+        oid = ObjectID.from_seed("o")
+        node = NodeID.from_seed("n")
+        seen = []
+        unsubscribe = gcs.subscribe_object_locations(
+            oid, lambda op, nid: seen.append((op, nid))
+        )
+        gcs.add_object_location(oid, node)
+        assert seen == [("add", node)]
+        unsubscribe()
+        gcs.remove_object_location(oid, node)
+        assert len(seen) == 1
+
+
+class TestTaskTable:
+    def test_add_and_get(self, gcs):
+        tid = TaskID.from_seed("t")
+        gcs.add_task(tid, "spec")
+        entry = gcs.get_task(tid)
+        assert entry.spec == "spec"
+        assert entry.status == TaskStatus.PENDING
+
+    def test_add_is_idempotent_for_replay(self, gcs):
+        """Replayed tasks must not clobber the original lineage record."""
+        tid = TaskID.from_seed("t")
+        gcs.add_task(tid, "original")
+        gcs.add_task(tid, "replayed")
+        assert gcs.get_task(tid).spec == "original"
+
+    def test_status_transitions(self, gcs):
+        tid = TaskID.from_seed("t")
+        node = NodeID.from_seed("n")
+        gcs.add_task(tid, "spec")
+        gcs.update_task_status(tid, TaskStatus.RUNNING, node_id=node)
+        entry = gcs.get_task(tid)
+        assert entry.status == TaskStatus.RUNNING
+        assert entry.node_id == node
+        gcs.update_task_status(tid, TaskStatus.FINISHED)
+        entry = gcs.get_task(tid)
+        assert entry.status == TaskStatus.FINISHED
+        assert entry.node_id == node  # preserved when not passed
+
+    def test_update_unknown_task_raises(self, gcs):
+        with pytest.raises(KeyError):
+            gcs.update_task_status(TaskID.from_seed("x"), TaskStatus.RUNNING)
+
+    def test_tasks_with_status(self, gcs):
+        for i in range(3):
+            gcs.add_task(TaskID.from_seed(str(i)), i)
+        gcs.update_task_status(TaskID.from_seed("0"), TaskStatus.FINISHED)
+        finished = gcs.tasks_with_status(TaskStatus.FINISHED)
+        assert len(finished) == 1
+        assert len(gcs.tasks_with_status(TaskStatus.PENDING)) == 2
+
+
+class TestActorTable:
+    def test_register_and_update(self, gcs):
+        aid = ActorID.from_seed("a")
+        node = NodeID.from_seed("n")
+        gcs.register_actor(aid, "Counter", None)
+        gcs.update_actor(aid, node_id=node, methods_executed=5)
+        entry = gcs.get_actor(aid)
+        assert entry.class_name == "Counter"
+        assert entry.node_id == node
+        assert entry.methods_executed == 5
+        assert entry.alive
+
+    def test_update_unknown_actor_raises(self, gcs):
+        with pytest.raises(KeyError):
+            gcs.update_actor(ActorID.from_seed("x"), alive=False)
+
+
+class TestEventLog:
+    def test_events_recorded_by_category(self, gcs):
+        gcs.record_event("task_finished", task="t1", duration=0.5)
+        gcs.record_event("task_finished", task="t2", duration=0.7)
+        gcs.record_event("node_death", node="n1")
+        events = gcs.events("task_finished")
+        assert len(events) == 2
+        assert events[0].as_dict()["task"] == "t1"
+        assert len(gcs.events("node_death")) == 1
+
+    def test_empty_category(self, gcs):
+        assert gcs.events("nothing") == []

@@ -1,0 +1,71 @@
+"""The HTTP dashboard (Figure 5's "Web UI" riding on the GCS)."""
+
+import json
+import urllib.request
+
+import pytest
+
+import repro
+from repro.tools.http_dashboard import DashboardServer
+
+
+@repro.remote
+def work(x):
+    return x * 2
+
+
+@pytest.fixture
+def dashboard(runtime):
+    server = DashboardServer(runtime).start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def fetch(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=5) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestDashboard:
+    def test_index_renders_html(self, dashboard):
+        status, body = fetch(dashboard, "/")
+        assert status == 200
+        assert "<html>" in body
+        assert "repro cluster" in body
+
+    def test_snapshot_endpoint(self, runtime, dashboard):
+        repro.get([work.remote(i) for i in range(4)])
+        status, body = fetch(dashboard, "/snapshot")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["live_nodes"] == 2
+        assert snapshot["tasks_by_status"].get("finished", 0) >= 4
+
+    def test_profile_endpoint(self, runtime, dashboard):
+        repro.get([work.remote(i) for i in range(3)])
+        _status, body = fetch(dashboard, "/profile")
+        profile = json.loads(body)
+        assert profile["work"]["calls"] == 3
+        assert profile["work"]["failures"] == 0
+
+    def test_trace_endpoint(self, runtime, dashboard):
+        repro.get(work.remote(1))
+        _status, body = fetch(dashboard, "/trace")
+        trace = json.loads(body)
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+    def test_tasks_endpoint(self, runtime, dashboard):
+        repro.get(work.remote(1))
+        _status, body = fetch(dashboard, "/tasks")
+        assert json.loads(body).get("finished", 0) >= 1
+
+    def test_unknown_path_404(self, dashboard):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            fetch(dashboard, "/nope")
+        assert info.value.code == 404
+
+    def test_stop_is_clean(self, runtime):
+        server = DashboardServer(runtime).start()
+        server.stop()  # no exception; port released

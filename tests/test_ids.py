@@ -1,0 +1,131 @@
+"""Identifier semantics: determinism, immutability, sharding."""
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.ids import (
+    ActorID,
+    BaseID,
+    FunctionID,
+    ID_LENGTH,
+    NodeID,
+    ObjectID,
+    TaskID,
+    deterministic_task_id,
+    shard_index,
+)
+
+
+class TestBaseID:
+    def test_requires_exact_length(self):
+        with pytest.raises(ValueError):
+            TaskID(b"short")
+        with pytest.raises(ValueError):
+            TaskID(b"x" * (ID_LENGTH + 1))
+
+    def test_random_ids_unique(self):
+        ids = {TaskID.from_random() for _ in range(500)}
+        assert len(ids) == 500
+
+    def test_seed_is_deterministic(self):
+        assert TaskID.from_seed("a") == TaskID.from_seed("a")
+        assert TaskID.from_seed("a") != TaskID.from_seed("b")
+
+    def test_nil(self):
+        assert TaskID.nil().is_nil()
+        assert not TaskID.from_random().is_nil()
+
+    def test_immutable(self):
+        task_id = TaskID.from_random()
+        with pytest.raises(AttributeError):
+            task_id.foo = 1
+
+    def test_type_distinguishes_equality(self):
+        binary = b"\x01" * ID_LENGTH
+        assert TaskID(binary) != NodeID(binary)
+        assert hash(TaskID(binary)) != hash(NodeID(binary))
+
+    def test_ordering_within_type(self):
+        a = TaskID(b"\x00" * ID_LENGTH)
+        b = TaskID(b"\x01" + b"\x00" * (ID_LENGTH - 1))
+        assert a < b
+
+    def test_pickle_roundtrip(self):
+        for cls in (TaskID, NodeID, ObjectID, ActorID, FunctionID):
+            original = cls.from_random()
+            assert pickle.loads(pickle.dumps(original)) == original
+
+    def test_hex_roundtrip_length(self):
+        task_id = TaskID.from_random()
+        assert len(task_id.hex()) == 2 * ID_LENGTH
+        assert bytes.fromhex(task_id.hex()) == task_id.binary()
+
+
+class TestObjectID:
+    def test_return_ids_deterministic(self):
+        task_id = TaskID.from_seed("t")
+        assert ObjectID.for_task_return(task_id, 0) == ObjectID.for_task_return(
+            task_id, 0
+        )
+
+    def test_return_ids_distinct_by_index(self):
+        task_id = TaskID.from_seed("t")
+        ids = {ObjectID.for_task_return(task_id, i) for i in range(10)}
+        assert len(ids) == 10
+
+    def test_put_ids_differ_from_return_ids(self):
+        task_id = TaskID.from_seed("t")
+        assert ObjectID.for_put(task_id, 0) != ObjectID.for_task_return(task_id, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectID.for_task_return(TaskID.from_seed("t"), -1)
+
+
+class TestSharding:
+    def test_shard_index_in_range(self):
+        for _ in range(100):
+            assert 0 <= shard_index(ObjectID.from_random(), 7) < 7
+
+    def test_shard_index_stable(self):
+        object_id = ObjectID.from_seed("x")
+        assert shard_index(object_id, 8) == shard_index(object_id, 8)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_index(ObjectID.from_random(), 0)
+
+    @given(st.integers(min_value=1, max_value=64), st.binary(min_size=20, max_size=20))
+    def test_shard_index_covers_only_valid_range(self, shards, raw):
+        assert 0 <= shard_index(ObjectID(raw), shards) < shards
+
+    def test_shards_reasonably_balanced(self):
+        counts = [0] * 4
+        for i in range(2000):
+            counts[shard_index(ObjectID.from_seed(str(i)), 4)] += 1
+        assert min(counts) > 2000 / 4 * 0.7
+
+
+class TestDeterministicTaskID:
+    def test_same_parent_same_index(self):
+        parent = TaskID.from_seed("p")
+        assert deterministic_task_id(parent, 3) == deterministic_task_id(parent, 3)
+
+    def test_different_index_differs(self):
+        parent = TaskID.from_seed("p")
+        assert deterministic_task_id(parent, 0) != deterministic_task_id(parent, 1)
+
+    def test_salt_differs(self):
+        parent = TaskID.from_seed("p")
+        assert deterministic_task_id(parent, 0) != deterministic_task_id(
+            parent, 0, salt="actor"
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_unique_across_indices(self, index):
+        parent = TaskID.from_seed("p")
+        a = deterministic_task_id(parent, index)
+        b = deterministic_task_id(parent, index + 1)
+        assert a != b

@@ -1,0 +1,101 @@
+"""Coverage for remaining knobs: chain timing, sim GCS shards, env costs."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gcs.chain import ReplicatedChain
+from repro.rl.envs import HumanoidSurrogateEnv, PendulumEnv
+from repro.sim import SimCluster, SimConfig
+from repro.sim.workloads import empty_tasks
+
+
+class TestChainTimingKnobs:
+    def test_hop_delay_slows_writes(self):
+        fast = ReplicatedChain(num_replicas=2)
+        slow = ReplicatedChain(num_replicas=2, hop_delay=2e-3)
+        start = time.perf_counter()
+        for i in range(10):
+            fast.put(i, i)
+        fast_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for i in range(10):
+            slow.put(i, i)
+        slow_seconds = time.perf_counter() - start
+        # 2 hops × 2 ms × 10 writes = 40+ ms of injected delay.
+        assert slow_seconds > fast_seconds + 0.03
+
+    def test_state_transfer_delay_scales_with_entries(self):
+        chain = ReplicatedChain(num_replicas=1, transfer_delay_per_entry=1e-4)
+        for i in range(100):
+            chain.put(i, i)
+        start = time.perf_counter()
+        chain.add_member()
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 100 * 1e-4 * 0.8
+
+    def test_failure_detection_delay_applied(self):
+        chain = ReplicatedChain(num_replicas=2, failure_detection_delay=5e-3)
+        chain.kill_member(0)
+        start = time.perf_counter()
+        chain.put("k", 1)  # triggers report + reconfiguration
+        assert time.perf_counter() - start >= 4e-3
+
+
+class TestSimGcsShards:
+    def test_single_shard_caps_throughput(self):
+        capped = SimCluster(SimConfig(num_nodes=8, cpus_per_node=8, gcs_shards=1))
+        capped.run_all(empty_tasks(2000))
+        capped_rate = 2000 / capped.engine.now
+        # 3 ops/task at 20 µs each through one shard ⇒ ≤ ~16.7 K tasks/s.
+        assert capped_rate <= 17_000
+
+    def test_sharding_scales_write_path(self):
+        rates = {}
+        for shards in (1, 4):
+            cluster = SimCluster(
+                SimConfig(num_nodes=8, cpus_per_node=8, gcs_shards=shards)
+            )
+            cluster.run_all(empty_tasks(2000))
+            rates[shards] = 2000 / cluster.engine.now
+        assert rates[4] > 3 * rates[1]
+
+    def test_zero_shards_disables_model(self):
+        cluster = SimCluster(SimConfig(num_nodes=2, gcs_shards=0))
+        assert cluster.gcs_shards == []
+        cluster.run_all(empty_tasks(50))
+        assert cluster.tasks_executed == 50
+
+
+class TestEnvironmentCosts:
+    def test_humanoid_step_compute_burns_time(self):
+        cheap = HumanoidSurrogateEnv(seed=0, step_compute=0)
+        heavy = HumanoidSurrogateEnv(seed=0, step_compute=1200)
+        action = np.zeros(17)
+
+        def step_rate(env, steps=50):
+            env.reset()
+            start = time.perf_counter()
+            for _ in range(steps):
+                if env.has_terminated():
+                    env.reset()
+                env.step(action)
+            return steps / (time.perf_counter() - start)
+
+        assert step_rate(cheap) > 1.5 * step_rate(heavy)
+
+    def test_pendulum_reward_bounds(self):
+        env = PendulumEnv(seed=3)
+        env.reset()
+        for _ in range(100):
+            _obs, reward, done = env.step(2.0)
+            # Max cost: π² + 0.1·8² + 0.001·2² ≈ 16.27.
+            assert -16.28 <= reward <= 0
+            if done:
+                env.reset()
+
+    def test_humanoid_observation_embeds_target(self):
+        env = HumanoidSurrogateEnv(seed=5)
+        obs = env.reset()
+        np.testing.assert_allclose(np.linalg.norm(obs[:17]), 1.0, atol=1e-6)

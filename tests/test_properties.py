@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bsp import async_makespan
+from repro.common.serialization import deserialize, serialize
+from repro.rl.es import centered_ranks
+from repro.sim.cluster import SimCluster, SimConfig, SimTask
+from repro.sim.engine import Engine, SimResource
+
+
+class TestSerializationProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=64
+        ),
+        st.sampled_from([np.float64, np.float32, np.int64, np.int32]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_roundtrip_any_dtype(self, values, dtype):
+        array = np.asarray(values).astype(dtype)
+        result = deserialize(serialize(array))
+        np.testing.assert_array_equal(result, array)
+        assert result.dtype == array.dtype
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_nd_shapes_roundtrip(self, ndim, base):
+        shape = tuple(range(base, base + ndim)) or ()
+        array = np.zeros(shape)
+        assert deserialize(serialize(array)).shape == array.shape
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_roundtrip_and_size_bound(self, payload):
+        serialized = serialize(payload)
+        assert deserialize(serialized) == payload
+        assert serialized.total_bytes >= len(payload)
+
+
+class TestEngineDeterminism:
+    @given(st.lists(st.floats(min_value=0.001, max_value=10), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_runs_identical_clocks(self, delays):
+        def run():
+            engine = Engine()
+            order = []
+
+            def proc(delay, tag):
+                yield engine.timeout(delay)
+                order.append((tag, engine.now))
+
+            for i, delay in enumerate(delays):
+                engine.process(proc(delay, i))
+            engine.run()
+            return engine.now, order
+
+        assert run() == run()
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.01, max_value=2), min_size=1, max_size=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_resource_conservation(self, capacity, durations):
+        """in_use never exceeds capacity and returns to zero."""
+        engine = Engine()
+        resource = SimResource(engine, capacity)
+        peak = {"value": 0}
+
+        def worker(duration):
+            yield resource.acquire()
+            peak["value"] = max(peak["value"], resource.in_use)
+            yield engine.timeout(duration)
+            resource.release()
+
+        for duration in durations:
+            engine.process(worker(duration))
+        engine.run()
+        assert peak["value"] <= capacity
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+
+class TestSimClusterInvariants:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_all_submitted_tasks_execute_exactly_once(self, nodes, count):
+        cluster = SimCluster(SimConfig(num_nodes=nodes, cpus_per_node=2))
+        tasks = [SimTask(f"t{i}", duration=0.01) for i in range(count)]
+        events = [cluster.submit(t, origin=i % nodes) for i, t in enumerate(tasks)]
+        cluster.engine.run()
+        assert all(e.triggered for e in events)
+        assert cluster.tasks_executed == count
+        assert cluster.tasks_reexecuted == 0
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=10, deadline=None)
+    def test_makespan_lower_bound(self, cpus):
+        """The simulated makespan respects the work-conservation bound."""
+        cluster = SimCluster(
+            SimConfig(num_nodes=1, cpus_per_node=cpus, spillback_threshold=10_000)
+        )
+        tasks = [SimTask(f"t{i}", duration=0.1) for i in range(3 * cpus)]
+        cluster.run_all(tasks, origins=[0] * len(tasks))
+        total_work = 0.1 * len(tasks)
+        assert cluster.engine.now >= total_work / cpus - 1e-9
+
+
+class TestAlgorithmProperties:
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_centered_ranks_bounds_and_sum(self, values):
+        ranks = centered_ranks(np.asarray(values))
+        assert ranks.min() >= -0.5 - 1e-9
+        assert ranks.max() <= 0.5 + 1e-9
+        assert abs(ranks.sum()) < 1e-6
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=5), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_async_makespan_bounds(self, durations, workers):
+        makespan = async_makespan(durations, workers)
+        assert makespan >= max(durations) - 1e-9
+        assert makespan >= sum(durations) / workers - 1e-9
+        assert makespan <= sum(durations) + 1e-9

@@ -1,0 +1,111 @@
+"""Resource pools and request normalization."""
+
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.resources import ResourcePool, normalize_resources
+
+
+class TestNormalize:
+    def test_default_is_one_cpu(self):
+        assert normalize_resources() == {"CPU": 1.0}
+
+    def test_explicit_values(self):
+        req = normalize_resources(num_cpus=2, num_gpus=1, resources={"TPU": 4})
+        assert req == {"CPU": 2.0, "GPU": 1.0, "TPU": 4.0}
+
+    def test_zero_cpu_kept_for_bookkeeping(self):
+        assert normalize_resources(num_cpus=0) == {"CPU": 0.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_resources(num_cpus=-1)
+        with pytest.raises(ValueError):
+            normalize_resources(resources={"X": -2})
+
+    def test_cpu_in_custom_resources_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_resources(resources={"CPU": 2})
+
+
+class TestResourcePool:
+    def test_try_acquire_and_release(self):
+        pool = ResourcePool({"CPU": 2})
+        assert pool.try_acquire({"CPU": 1})
+        assert pool.try_acquire({"CPU": 1})
+        assert not pool.try_acquire({"CPU": 1})
+        pool.release({"CPU": 1})
+        assert pool.try_acquire({"CPU": 1})
+
+    def test_can_ever_satisfy(self):
+        pool = ResourcePool({"CPU": 4})
+        assert pool.can_ever_satisfy({"CPU": 4})
+        assert not pool.can_ever_satisfy({"CPU": 5})
+        assert not pool.can_ever_satisfy({"GPU": 1})
+        assert pool.can_ever_satisfy({})
+
+    def test_all_or_nothing(self):
+        pool = ResourcePool({"CPU": 2, "GPU": 1})
+        pool.try_acquire({"GPU": 1})
+        # CPU available but GPU is not: acquisition must fail atomically.
+        assert not pool.try_acquire({"CPU": 1, "GPU": 1})
+        assert pool.available()["CPU"] == 2
+
+    def test_release_over_capacity_rejected(self):
+        pool = ResourcePool({"CPU": 1})
+        with pytest.raises(ValueError):
+            pool.release({"CPU": 1})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePool({"CPU": -1})
+
+    def test_blocking_acquire_times_out(self):
+        pool = ResourcePool({"CPU": 1})
+        pool.try_acquire({"CPU": 1})
+        assert not pool.acquire({"CPU": 1}, timeout=0.05)
+        # Failed acquire must not leak availability.
+        pool.release({"CPU": 1})
+        assert pool.available()["CPU"] == 1
+
+    def test_blocking_acquire_wakes_on_release(self):
+        pool = ResourcePool({"CPU": 1})
+        pool.try_acquire({"CPU": 1})
+        acquired = threading.Event()
+
+        def waiter():
+            if pool.acquire({"CPU": 1}, timeout=5):
+                acquired.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        pool.release({"CPU": 1})
+        assert acquired.wait(timeout=5)
+
+    def test_utilization(self):
+        pool = ResourcePool({"CPU": 4})
+        assert pool.utilization("CPU") == 0.0
+        pool.try_acquire({"CPU": 2})
+        assert pool.utilization("CPU") == pytest.approx(0.5)
+        assert pool.utilization("GPU") == 0.0
+
+    def test_release_listener_fires(self):
+        pool = ResourcePool({"CPU": 1})
+        fired = []
+        pool.add_release_listener(lambda: fired.append(1))
+        pool.try_acquire({"CPU": 1})
+        pool.release({"CPU": 1})
+        assert fired == [1]
+
+    @given(st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=20))
+    def test_acquire_release_conserves_capacity(self, amounts):
+        pool = ResourcePool({"CPU": 8})
+        held = []
+        for amount in amounts:
+            if pool.try_acquire({"CPU": float(amount)}):
+                held.append(amount)
+        for amount in held:
+            pool.release({"CPU": float(amount)})
+        assert pool.available()["CPU"] == pytest.approx(8)

@@ -1,0 +1,55 @@
+"""Cluster/available resource introspection APIs."""
+
+import time
+
+import repro
+
+
+@repro.remote
+def hold(seconds):
+    time.sleep(seconds)
+    return True
+
+
+class TestClusterResources:
+    def test_totals_sum_across_nodes(self, runtime):
+        assert repro.cluster_resources() == {"CPU": 8.0}
+
+    def test_gpu_nodes_included(self, gpu_runtime):
+        totals = repro.cluster_resources()
+        assert totals["CPU"] == 12.0
+        assert totals["GPU"] == 2.0
+
+    def test_dead_nodes_excluded(self, runtime):
+        victim = runtime.nodes()[1]
+        runtime.kill_node(victim.node_id)
+        assert repro.cluster_resources() == {"CPU": 4.0}
+
+    def test_available_drops_while_running(self, runtime):
+        idle = repro.available_resources()["CPU"]
+        refs = [hold.remote(0.4) for _ in range(4)]
+        time.sleep(0.15)  # let them dispatch
+        busy = repro.available_resources()["CPU"]
+        assert busy < idle
+        repro.get(refs, timeout=10)
+        time.sleep(0.1)
+        assert repro.available_resources()["CPU"] == idle
+
+    def test_actor_reservation_counted(self, runtime):
+        @repro.remote(num_cpus=2)
+        class Heavy:
+            def ping(self):
+                return "pong"
+
+        idle = repro.available_resources()["CPU"]
+        actor = Heavy.remote()
+        assert repro.get(actor.ping.remote(), timeout=10) == "pong"
+        held = repro.available_resources()["CPU"]
+        assert held == idle - 2
+        repro.kill(actor)
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            if repro.available_resources()["CPU"] == idle:
+                break
+            time.sleep(0.02)
+        assert repro.available_resources()["CPU"] == idle

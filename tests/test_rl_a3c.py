@@ -1,0 +1,64 @@
+"""A3C: asynchronous gradient application on the API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.rl import A3CConfig, A3CTrainer, EnvSpec
+from repro.rl.a3c import a3c_rollout_gradient
+
+
+class TestWorkerTask:
+    def test_gradient_shapes(self, runtime):
+        env_spec = EnvSpec("cartpole", max_steps=50)
+        from repro.rl.nn import MLP
+
+        policy = MLP(4, 16, 2, seed=0)
+        value = MLP(4, 16, 1, seed=1)
+        ref = a3c_rollout_gradient.remote(
+            policy.get_flat(), value.get_flat(), env_spec, 16, 20, 0.99, 7
+        )
+        policy_grad, value_grad, reward, steps = repro.get(ref, timeout=20)
+        assert policy_grad.shape == (policy.num_params(),)
+        assert value_grad.shape == (value.num_params(),)
+        assert 1 <= steps <= 20
+        assert reward == steps  # CartPole: +1 per step
+
+    def test_gradient_is_deterministic_given_seed(self, runtime):
+        env_spec = EnvSpec("cartpole", max_steps=50)
+        from repro.rl.nn import MLP
+
+        policy = MLP(4, 8, 2, seed=0)
+        value = MLP(4, 8, 1, seed=1)
+        args = (policy.get_flat(), value.get_flat(), env_spec, 8, 15, 0.99, 3)
+        g1 = repro.get(a3c_rollout_gradient.remote(*args), timeout=20)
+        g2 = repro.get(a3c_rollout_gradient.remote(*args), timeout=20)
+        np.testing.assert_allclose(g1[0], g2[0])
+        np.testing.assert_allclose(g1[1], g2[1])
+
+
+class TestTrainer:
+    def test_applies_requested_gradient_count(self, runtime):
+        trainer = A3CTrainer(
+            EnvSpec("cartpole", max_steps=60),
+            A3CConfig(num_workers=3, rollout_steps=20, seed=0),
+        )
+        stats = trainer.train(total_gradient_steps=12)
+        assert stats["gradients_applied"] == 12
+        assert stats["env_steps"] > 0
+        assert trainer.greedy_episode_reward() >= 1
+
+    def test_learning_signal(self, runtime):
+        """With enough asynchronous gradients, CartPole rewards improve."""
+        trainer = A3CTrainer(
+            EnvSpec("cartpole", max_steps=200),
+            A3CConfig(num_workers=4, rollout_steps=80, policy_lr=0.02, seed=2),
+        )
+        trainer.train(total_gradient_steps=60)
+        early = np.mean(trainer.episode_rewards[:10])
+        late = np.mean(trainer.episode_rewards[-10:])
+        assert late > early
+
+    def test_continuous_env_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            A3CTrainer(EnvSpec("pendulum"))

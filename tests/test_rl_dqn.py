@@ -1,0 +1,132 @@
+"""Replay buffer actor and Ape-X-style DQN."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.rl import ApexDQNTrainer, DQNConfig, EnvSpec, ReplayBufferActor
+
+
+def make_transition(i, done=False):
+    return (np.full(4, float(i)), i % 2, 1.0, np.full(4, float(i + 1)), done)
+
+
+class TestReplayBuffer:
+    def test_add_and_size(self, runtime):
+        buffer = ReplayBufferActor.remote(capacity=100)
+        size = repro.get(buffer.add.remote([make_transition(i) for i in range(5)]))
+        assert size == 5
+        assert repro.get(buffer.size.remote()) == 5
+        repro.kill(buffer)
+
+    def test_capacity_ring_overwrites(self, runtime):
+        buffer = ReplayBufferActor.remote(capacity=10)
+        repro.get(buffer.add.remote([make_transition(i) for i in range(25)]))
+        stats = repro.get(buffer.stats.remote())
+        assert stats["size"] == 10
+        assert stats["total_added"] == 25
+        repro.kill(buffer)
+
+    def test_sample_returns_stored_transitions(self, runtime):
+        buffer = ReplayBufferActor.remote(capacity=50, seed=1)
+        repro.get(buffer.add.remote([make_transition(i) for i in range(20)]))
+        indices, batch, weights = repro.get(buffer.sample.remote(8))
+        assert len(indices) == len(batch) == len(weights) == 8
+        for obs, action, reward, next_obs, done in batch:
+            assert obs.shape == (4,)
+            assert action in (0, 1)
+        repro.kill(buffer)
+
+    def test_sample_empty_buffer(self, runtime):
+        buffer = ReplayBufferActor.remote()
+        indices, batch, weights = repro.get(buffer.sample.remote(4))
+        assert batch == []
+        repro.kill(buffer)
+
+    def test_prioritized_sampling_prefers_high_priority(self, runtime):
+        buffer = ReplayBufferActor.remote(capacity=100, prioritized=True, seed=0)
+        repro.get(buffer.add.remote([make_transition(i) for i in range(50)]))
+        # Crank up the priority of index 7; it should dominate samples.
+        repro.get(buffer.update_priorities.remote([7], [1000.0]))
+        counts = 0
+        for _ in range(20):
+            indices, _b, _w = repro.get(buffer.sample.remote(10))
+            counts += indices.count(7)
+        assert counts > 20  # >10% of 200 draws vs 2% under uniform
+        repro.kill(buffer)
+
+    def test_weights_normalized(self, runtime):
+        buffer = ReplayBufferActor.remote(capacity=50, prioritized=True, seed=2)
+        repro.get(buffer.add.remote([make_transition(i) for i in range(30)]))
+        _i, _b, weights = repro.get(buffer.sample.remote(10))
+        assert max(weights) == pytest.approx(1.0)
+        assert all(0 < w <= 1.0 for w in weights)
+        repro.kill(buffer)
+
+    def test_invalid_capacity(self, runtime):
+        buffer = ReplayBufferActor.remote(capacity=0)
+        with pytest.raises(repro.TaskExecutionError):
+            repro.get(buffer.size.remote(), timeout=10)
+
+
+class TestApexDQN:
+    def test_training_round_moves_data(self, runtime):
+        trainer = ApexDQNTrainer(
+            EnvSpec("cartpole", max_steps=100),
+            DQNConfig(
+                num_actors=2,
+                collect_steps_per_round=40,
+                learn_starts=60,
+                batch_size=32,
+                seed=0,
+            ),
+        )
+        stats = trainer.train(3)
+        trainer.close()
+        assert stats[-1]["env_steps"] == 3 * 2 * 40
+        assert stats[-1]["learner_steps"] > 0
+        assert trainer.episode_rewards  # episodes completed somewhere
+
+    def test_epsilon_decays(self, runtime):
+        trainer = ApexDQNTrainer(
+            EnvSpec("cartpole", max_steps=50),
+            DQNConfig(num_actors=1, epsilon_decay_steps=100, seed=1),
+        )
+        start = trainer.epsilon()
+        trainer.env_steps = 100
+        assert trainer.epsilon() < start
+        assert trainer.epsilon() == pytest.approx(trainer.config.epsilon_final)
+        trainer.close()
+
+    def test_greedy_evaluation_runs(self, runtime):
+        trainer = ApexDQNTrainer(
+            EnvSpec("cartpole", max_steps=60),
+            DQNConfig(num_actors=1, seed=2),
+        )
+        reward = trainer.greedy_episode_reward()
+        assert reward >= 1
+        trainer.close()
+
+    def test_continuous_env_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            ApexDQNTrainer(EnvSpec("pendulum"))
+
+    def test_learning_reduces_td_error(self, runtime):
+        """With enough rounds the TD error on CartPole shrinks."""
+        trainer = ApexDQNTrainer(
+            EnvSpec("cartpole", max_steps=100),
+            DQNConfig(
+                num_actors=2,
+                collect_steps_per_round=50,
+                learn_starts=100,
+                batch_size=32,
+                learning_rate=5e-3,
+                seed=3,
+            ),
+        )
+        stats = trainer.train(10)
+        trainer.close()
+        errors = [s["mean_td_error"] for s in stats if s["mean_td_error"] > 0]
+        assert len(errors) >= 3
+        # Not strictly monotone, but the tail should be below the head.
+        assert np.mean(errors[-3:]) < np.mean(errors[:3]) * 1.5

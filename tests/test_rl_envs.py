@@ -1,0 +1,153 @@
+"""Environment dynamics: Pendulum, CartPole, Humanoid surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.rl.envs import CartPoleEnv, HumanoidSurrogateEnv, PendulumEnv
+from repro.rl.envs.pendulum import MAX_SPEED, MAX_TORQUE, angle_normalize
+
+
+class TestPendulum:
+    def test_observation_shape_and_bounds(self):
+        env = PendulumEnv(seed=0)
+        obs = env.reset()
+        assert obs.shape == (3,)
+        assert -1 <= obs[0] <= 1 and -1 <= obs[1] <= 1
+        assert np.hypot(obs[0], obs[1]) == pytest.approx(1.0)
+
+    def test_reward_is_negative_cost(self):
+        env = PendulumEnv(seed=0)
+        env.reset()
+        _obs, reward, _done = env.step(0.0)
+        assert reward <= 0
+
+    def test_torque_clipped(self):
+        env = PendulumEnv(seed=1)
+        env.reset()
+        # A huge torque must behave exactly like MAX_TORQUE.
+        env2 = PendulumEnv(seed=1)
+        env2.reset()
+        obs_a = env.step(1e9)[0]
+        obs_b = env2.step(MAX_TORQUE)[0]
+        np.testing.assert_allclose(obs_a, obs_b)
+
+    def test_speed_clipped(self):
+        env = PendulumEnv(seed=2)
+        env.reset()
+        for _ in range(100):
+            obs, _r, done = env.step(MAX_TORQUE)
+            assert abs(obs[2]) <= MAX_SPEED + 1e-9
+            if done:
+                break
+
+    def test_episode_terminates_at_max_steps(self):
+        env = PendulumEnv(seed=0, max_steps=10)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _o, _r, done = env.step(0.0)
+            steps += 1
+        assert steps == 10
+        assert env.has_terminated()
+
+    def test_seeded_determinism(self):
+        a, b = PendulumEnv(seed=7), PendulumEnv(seed=7)
+        np.testing.assert_allclose(a.reset(), b.reset())
+        for _ in range(5):
+            np.testing.assert_allclose(a.step(1.0)[0], b.step(1.0)[0])
+
+    def test_angle_normalize(self):
+        assert angle_normalize(0.0) == 0.0
+        assert angle_normalize(2 * np.pi) == pytest.approx(0.0)
+        assert angle_normalize(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+    def test_physics_step_matches_closed_form(self):
+        """One Euler step against the hand-computed update."""
+        env = PendulumEnv(seed=0)
+        env.reset()
+        theta, theta_dot = env._theta, env._theta_dot
+        u = 1.0
+        expected_thdot = theta_dot + (15.0 * np.sin(theta) + 3.0 * u) * 0.05
+        expected_thdot = np.clip(expected_thdot, -MAX_SPEED, MAX_SPEED)
+        expected_theta = theta + expected_thdot * 0.05
+        obs, _r, _d = env.step(u)
+        assert obs[2] == pytest.approx(expected_thdot)
+        assert obs[0] == pytest.approx(np.cos(expected_theta))
+
+
+class TestCartPole:
+    def test_reset_near_zero(self):
+        env = CartPoleEnv(seed=0)
+        assert np.all(np.abs(env.reset()) <= 0.05)
+
+    def test_actions_move_cart(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        right = env.step(1)[0]
+        assert right[1] > 0  # positive velocity after a push right
+
+    def test_episode_ends_on_pole_fall(self):
+        env = CartPoleEnv(seed=0, max_steps=500)
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _obs, reward, done = env.step(0)  # constant push: falls fast
+            assert reward == 1.0
+            steps += 1
+        assert steps < 200
+
+    def test_step_after_done_raises(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        while not env.has_terminated():
+            env.step(0)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_reset_clears_done(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        while not env.has_terminated():
+            env.step(0)
+        env.reset()
+        assert not env.has_terminated()
+
+
+class TestHumanoidSurrogate:
+    def test_shapes_match_mujoco_humanoid(self):
+        env = HumanoidSurrogateEnv(seed=0)
+        assert env.reset().shape == (376,)
+        assert env.action_size == 17
+
+    def test_good_actions_yield_higher_reward(self):
+        env = HumanoidSurrogateEnv(seed=0)
+        obs = env.reset()
+        target = obs[:17]
+        _o, aligned_reward, _d = env.step(target)
+        env2 = HumanoidSurrogateEnv(seed=0)
+        obs2 = env2.reset()
+        _o, opposed_reward, _d = env2.step(-obs2[:17])
+        assert aligned_reward > opposed_reward
+
+    def test_bad_policies_fall_early(self):
+        """Variable episode lengths: the property Table 4/Fig 14 rely on."""
+        rng = np.random.default_rng(0)
+        lengths = []
+        for seed in range(5):
+            env = HumanoidSurrogateEnv(seed=seed, max_steps=500)
+            obs = env.reset()
+            steps = 0
+            while not env.has_terminated():
+                env.step(rng.standard_normal(17))  # random policy
+                steps += 1
+            lengths.append(steps)
+        assert max(lengths) < 500  # random policies fall before the cap
+        aligned_env = HumanoidSurrogateEnv(seed=0, max_steps=500)
+        obs = aligned_env.reset()
+        steps = 0
+        while not aligned_env.has_terminated():
+            obs, _r, _d = aligned_env.step(obs[:17])
+            steps += 1
+        assert steps == 500  # a tracking policy survives to the cap

@@ -1,0 +1,150 @@
+"""Policies and the backprop MLP: flat-vector roundtrips, exact gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rl.nn import MLP, log_prob_categorical, softmax
+from repro.rl.policy import LinearPolicy, MLPPolicy
+from repro.rl.optim import SGD, Adam
+
+
+class TestLinearPolicy:
+    def test_flat_roundtrip(self):
+        policy = LinearPolicy(3, 2, seed=0)
+        theta = policy.get_flat()
+        clone = LinearPolicy(3, 2, seed=99)
+        clone.set_flat(theta)
+        np.testing.assert_allclose(clone.get_flat(), theta)
+        obs = np.array([0.1, -0.2, 0.3])
+        np.testing.assert_allclose(clone.act(obs), policy.act(obs))
+
+    def test_continuous_action_bounded(self):
+        policy = LinearPolicy(3, 1, continuous=True, action_scale=2.0, seed=0)
+        policy.set_flat(np.full(policy.num_params(), 100.0))
+        action = policy.act(np.ones(3))
+        assert np.all(np.abs(action) <= 2.0 + 1e-9)
+
+    def test_discrete_returns_argmax_index(self):
+        policy = LinearPolicy(2, 4, continuous=False, seed=0)
+        action = policy.act(np.array([1.0, -1.0]))
+        assert isinstance(action, int)
+        assert 0 <= action < 4
+
+    def test_wrong_size_rejected(self):
+        policy = LinearPolicy(3, 2)
+        with pytest.raises(ValueError):
+            policy.set_flat(np.zeros(5))
+
+    def test_perturbed_moves_by_sigma_noise(self):
+        policy = LinearPolicy(3, 2, seed=0)
+        noise = np.ones(policy.num_params())
+        shifted = policy.perturbed(noise, sigma=0.5)
+        np.testing.assert_allclose(
+            shifted.get_flat(), policy.get_flat() + 0.5, atol=1e-12
+        )
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_flat_roundtrip_any_shape(self, obs_size, act_size):
+        policy = LinearPolicy(obs_size, act_size, seed=1)
+        theta = np.random.default_rng(0).standard_normal(policy.num_params())
+        policy.set_flat(theta)
+        np.testing.assert_allclose(policy.get_flat(), theta)
+
+
+class TestMLPPolicy:
+    def test_flat_roundtrip(self):
+        policy = MLPPolicy(4, 2, hidden=(8, 8), seed=0)
+        theta = policy.get_flat()
+        clone = policy.clone()
+        np.testing.assert_allclose(clone.get_flat(), theta)
+
+    def test_num_params(self):
+        policy = MLPPolicy(4, 2, hidden=(8,), seed=0)
+        expected = 8 * 4 + 8 + 2 * 8 + 2
+        assert policy.num_params() == expected
+
+    def test_act_deterministic(self):
+        policy = MLPPolicy(3, 1, hidden=(5,), seed=0)
+        obs = np.array([0.5, 0.5, 0.5])
+        np.testing.assert_allclose(policy.act(obs), policy.act(obs))
+
+
+class TestMLPGradients:
+    def test_backward_matches_numerical_gradient(self):
+        """Exact backprop check against central differences."""
+        rng = np.random.default_rng(0)
+        net = MLP(3, 5, 2, seed=1)
+        x = rng.standard_normal((4, 3))
+        grad_out = rng.standard_normal((4, 2))
+
+        def loss(theta):
+            net.set_flat(theta)
+            out, _ = net.forward(x)
+            return float(np.sum(out * grad_out))
+
+        theta0 = net.get_flat()
+        out, cache = net.forward(x)
+        analytic = net.backward(cache, grad_out)
+        eps = 1e-6
+        for index in rng.choice(theta0.size, size=12, replace=False):
+            bumped = theta0.copy()
+            bumped[index] += eps
+            up = loss(bumped)
+            bumped[index] -= 2 * eps
+            down = loss(bumped)
+            numeric = (up - down) / (2 * eps)
+            assert analytic[index] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+        net.set_flat(theta0)
+
+    def test_flat_roundtrip(self):
+        net = MLP(3, 4, 2, seed=0)
+        theta = net.get_flat()
+        net.set_flat(theta * 2)
+        np.testing.assert_allclose(net.get_flat(), theta * 2)
+        with pytest.raises(ValueError):
+            net.set_flat(np.zeros(3))
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).standard_normal((6, 4)) * 10
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6))
+        assert np.all(probs >= 0)
+
+    def test_log_prob_categorical(self):
+        logits = np.array([[0.0, np.log(3.0)]])  # probs = [0.25, 0.75]
+        lp = log_prob_categorical(logits, np.array([1]))
+        assert lp[0] == pytest.approx(np.log(0.75))
+
+
+class TestOptimizers:
+    def test_sgd_ascends_quadratic(self):
+        # maximize -||x||²: gradient is -2x; iterates should approach 0.
+        theta = np.array([5.0, -3.0])
+        opt = SGD(learning_rate=0.1)
+        for _ in range(100):
+            theta = opt.step(theta, -2 * theta)
+        assert np.linalg.norm(theta) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        theta_a = np.array([5.0])
+        theta_b = np.array([5.0])
+        plain, momentum = SGD(0.01), SGD(0.01, momentum=0.9)
+        for _ in range(50):
+            theta_a = plain.step(theta_a, -2 * theta_a)
+            theta_b = momentum.step(theta_b, -2 * theta_b)
+        assert abs(theta_b[0]) < abs(theta_a[0])
+
+    def test_adam_converges(self):
+        theta = np.array([4.0, 4.0])
+        opt = Adam(learning_rate=0.2)
+        for _ in range(200):
+            theta = opt.step(theta, -2 * theta)
+        assert np.linalg.norm(theta) < 1e-2
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0)
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1)

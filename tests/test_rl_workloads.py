@@ -1,0 +1,198 @@
+"""RL workloads on the runtime: rollouts, allreduce, PS-SGD, ES, PPO, serving."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.rl import (
+    ESConfig,
+    EnvSpec,
+    EvolutionStrategies,
+    PPOConfig,
+    PPOTrainer,
+    PolicySpec,
+    PolicyServer,
+    ShardedParameterServer,
+    SimulatorActor,
+    SyncSGDTrainer,
+    centered_ranks,
+    compute_gae,
+    make_dataset,
+    measure_serving_throughput,
+    ring_allreduce,
+    rollout,
+)
+
+
+class TestRollout:
+    def test_rollout_respects_step_limit(self):
+        spec = EnvSpec("pendulum", max_steps=50)
+        policy = PolicySpec.for_env(spec).build()
+        trajectory = rollout(policy, spec.build(seed=0), num_steps=10)
+        assert trajectory.length == 10
+        assert len(trajectory.observations) == 10
+        assert trajectory.total_reward <= 0  # pendulum rewards are costs
+
+    def test_rollout_stops_at_termination(self):
+        spec = EnvSpec("cartpole", max_steps=30)
+        policy = PolicySpec.for_env(spec).build()
+        trajectory = rollout(policy, spec.build(seed=0))
+        assert 1 <= trajectory.length <= 30
+
+    def test_simulator_actor(self, runtime):
+        """The paper's Figure 3 Simulator actor."""
+        env_spec = EnvSpec("pendulum", max_steps=40)
+        policy_spec = PolicySpec.for_env(env_spec)
+        simulator = SimulatorActor.remote(env_spec, policy_spec)
+        params = policy_spec.build().get_flat()
+        reward, length = repro.get(simulator.rollout.remote(params, 20), timeout=20)
+        assert length == 20
+        assert reward <= 0
+        steps = repro.get(simulator.sample_steps.remote(params, 100), timeout=20)
+        assert steps == 100
+
+
+class TestRingAllreduce:
+    def test_matches_numpy_sum(self, runtime):
+        arrays = [np.random.default_rng(i).standard_normal(40) for i in range(4)]
+        results = ring_allreduce(arrays)
+        for result in results:
+            np.testing.assert_allclose(result, sum(arrays), atol=1e-9)
+
+    def test_uneven_chunking(self, runtime):
+        # Length not divisible by participants: array_split handles it.
+        arrays = [np.arange(10.0) for _ in range(3)]
+        results = ring_allreduce(arrays)
+        np.testing.assert_allclose(results[0], 3 * np.arange(10.0))
+
+    def test_degenerate_sizes(self, runtime):
+        assert ring_allreduce([]) == []
+        single = ring_allreduce([np.array([1.0, 2.0])])
+        np.testing.assert_allclose(single[0], [1.0, 2.0])
+
+    def test_shape_mismatch_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+
+class TestParameterServer:
+    def test_shard_pull_and_update(self, runtime):
+        server = ShardedParameterServer(np.zeros(10), num_shards=2, learning_rate=1.0)
+        params = server.get_params()
+        np.testing.assert_allclose(params, np.zeros(10))
+        grads = server.split_gradient(np.ones(10))
+        repro.get(server.apply([grads]))
+        np.testing.assert_allclose(server.get_params(), -np.ones(10))
+        server.close()
+
+    def test_gradients_averaged_across_workers(self, runtime):
+        server = ShardedParameterServer(np.zeros(4), num_shards=1, learning_rate=1.0)
+        g1 = server.split_gradient(np.full(4, 2.0))
+        g2 = server.split_gradient(np.full(4, 4.0))
+        repro.get(server.apply([g1, g2]))
+        np.testing.assert_allclose(server.get_params(), -np.full(4, 3.0))
+        server.close()
+
+    def test_sync_sgd_converges(self, runtime):
+        features, targets, true_weights = make_dataset(300, 6, seed=2)
+        trainer = SyncSGDTrainer(
+            features, targets, num_workers=2, num_ps_shards=2, learning_rate=0.4
+        )
+        losses = trainer.train(25)
+        assert losses[-1] < losses[0] * 0.05
+        assert np.linalg.norm(trainer.params() - true_weights) < 0.2
+        trainer.close()
+
+    def test_single_shard_single_worker(self, runtime):
+        features, targets, _w = make_dataset(100, 3, seed=3)
+        trainer = SyncSGDTrainer(
+            features, targets, num_workers=1, num_ps_shards=1, learning_rate=0.4
+        )
+        losses = trainer.train(15)
+        assert losses[-1] < losses[0]
+        trainer.close()
+
+
+class TestEvolutionStrategies:
+    def test_centered_ranks_properties(self):
+        values = np.array([10.0, -5.0, 3.0, 100.0])
+        ranks = centered_ranks(values)
+        assert ranks.max() == 0.5
+        assert ranks.min() == -0.5
+        assert np.argmax(ranks) == np.argmax(values)
+        assert ranks.sum() == pytest.approx(0.0)
+
+    def test_training_improves_cartpole(self, runtime):
+        env_spec = EnvSpec("cartpole", max_steps=120)
+        es = EvolutionStrategies(
+            env_spec,
+            PolicySpec.for_env(env_spec, kind="linear"),
+            ESConfig(population_size=12, sigma=0.3, learning_rate=0.15, seed=3),
+        )
+        before = es.evaluate(episodes=3)
+        es.train(6)
+        after = es.evaluate(episodes=3)
+        assert after > before
+        assert len(es.history) == 6
+
+    def test_hierarchical_matches_flat_gradient_path(self, runtime):
+        """Tree aggregation computes the same update as driver folding."""
+        env_spec = EnvSpec("cartpole", max_steps=60)
+        flat = EvolutionStrategies(
+            env_spec, config=ESConfig(population_size=8, seed=11, hierarchical=False)
+        )
+        tree = EvolutionStrategies(
+            env_spec,
+            config=ESConfig(
+                population_size=8, seed=11, hierarchical=True, aggregation_fanout=3
+            ),
+        )
+        flat.train_iteration()
+        tree.train_iteration()
+        np.testing.assert_allclose(flat.theta, tree.theta, atol=1e-8)
+
+
+class TestPPO:
+    def test_gae_matches_manual_computation(self):
+        rewards = np.array([1.0, 1.0])
+        values = np.array([0.5, 0.25, 0.0])
+        adv, ret = compute_gae(rewards, values, gamma=0.5, lam=1.0)
+        # δ1 = 1 + 0.5·0.25 − 0.5 = 0.625; δ2 = 1 + 0 − 0.25 = 0.75
+        # A2 = 0.75; A1 = 0.625 + 0.5·0.75 = 1.0
+        np.testing.assert_allclose(adv, [1.0, 0.75])
+        np.testing.assert_allclose(ret, adv + values[:2])
+
+    def test_training_improves_cartpole(self, runtime):
+        env_spec = EnvSpec("cartpole", max_steps=150)
+        trainer = PPOTrainer(
+            env_spec,
+            PPOConfig(num_actors=3, steps_per_iteration=500, sgd_epochs=4, seed=1),
+        )
+        rewards = trainer.train(5)
+        trainer.close()
+        assert max(rewards[2:]) > rewards[0]
+
+    def test_continuous_env_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            PPOTrainer(EnvSpec("pendulum"))
+
+
+class TestServing:
+    def test_policy_server_serves_actions(self, runtime):
+        env_spec = EnvSpec("cartpole")
+        policy_spec = PolicySpec.for_env(env_spec, kind="linear")
+        params = policy_spec.build().get_flat()
+        server = PolicyServer.remote(policy_spec, params)
+        states = [np.zeros(4) for _ in range(8)]
+        actions = repro.get(server.serve.remote(states), timeout=20)
+        assert len(actions) == 8
+        assert all(a in (0, 1) for a in actions)
+        repro.kill(server)
+
+    def test_throughput_measurement_positive(self, runtime):
+        server = PolicyServer.remote(eval_seconds=0.001)
+        throughput = measure_serving_throughput(
+            server, [b"x" * 1024] * 16, duration_seconds=0.3
+        )
+        assert throughput > 100
+        repro.kill(server)

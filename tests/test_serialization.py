@@ -1,0 +1,91 @@
+"""Serialization layer: roundtrips, out-of-band buffers, size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.serialization import (
+    SerializedObject,
+    deserialize,
+    object_size,
+    serialize,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            42,
+            3.14,
+            "hello",
+            b"raw-bytes",
+            [1, 2, 3],
+            {"a": 1, "b": [2, 3]},
+            (1, "two", 3.0),
+            {1, 2, 3},
+        ],
+    )
+    def test_python_values(self, value):
+        assert deserialize(serialize(value)) == value
+
+    def test_numpy_array(self):
+        array = np.arange(1000, dtype=np.float64).reshape(10, 100)
+        result = deserialize(serialize(array))
+        np.testing.assert_array_equal(result, array)
+        assert result.dtype == array.dtype
+
+    def test_nested_numpy(self):
+        value = {"weights": np.ones(16), "step": 3}
+        result = deserialize(serialize(value))
+        np.testing.assert_array_equal(result["weights"], value["weights"])
+        assert result["step"] == 3
+
+    def test_exception_roundtrip(self):
+        error = ValueError("boom")
+        result = deserialize(serialize(error))
+        assert isinstance(result, ValueError)
+        assert result.args == ("boom",)
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    def test_arbitrary_json_like(self, value):
+        assert deserialize(serialize(value)) == value
+
+
+class TestBuffers:
+    def test_large_arrays_go_out_of_band(self):
+        array = np.zeros(100_000)
+        serialized = serialize(array)
+        assert serialized.buffers, "numpy data should be an out-of-band buffer"
+        assert sum(len(b) for b in serialized.buffers) >= array.nbytes
+
+    def test_size_accounts_for_buffers(self):
+        small = object_size(np.zeros(10))
+        large = object_size(np.zeros(100_000))
+        assert large > small
+        assert large >= 100_000 * 8
+
+    def test_copy_is_independent_and_equal(self):
+        original = serialize(np.arange(64))
+        copy = original.copy()
+        assert copy.total_bytes == original.total_bytes
+        np.testing.assert_array_equal(deserialize(copy), deserialize(original))
+        assert copy.buffers is not original.buffers
+
+    def test_total_bytes_matches_parts(self):
+        serialized = serialize({"x": np.ones(128)})
+        assert serialized.total_bytes == len(serialized.payload) + sum(
+            len(b) for b in serialized.buffers
+        )
+
+    def test_serialized_object_is_constructible(self):
+        obj = SerializedObject(b"payload", [b"buf1", b"buf2"])
+        assert obj.total_bytes == len(b"payload") + 4 + 4

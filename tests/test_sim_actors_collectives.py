@@ -1,0 +1,161 @@
+"""Simulated actors (Fig 11b) and the allreduce cost models (Fig 12)."""
+
+import pytest
+
+from repro.baselines.mpi_allreduce import OpenMPIConfig, openmpi_allreduce_time
+from repro.sim.actors import ActorFailureSimulation, ActorSimConfig
+from repro.sim.collectives import (
+    RingAllreduceConfig,
+    ring_allreduce_tasks,
+    ring_allreduce_time,
+)
+from repro.sim.metrics import LatencyStats, ThroughputTimeline
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.engine import Engine
+
+
+class TestActorFailureSim:
+    def _run(self, checkpoint_interval):
+        sim = ActorFailureSimulation(
+            ActorSimConfig(
+                num_nodes=5,
+                cores_per_node=8,
+                num_actors=50,
+                method_duration=0.5,
+                checkpoint_interval=checkpoint_interval,
+                timeline_bucket=5.0,
+            )
+        )
+        sim.run(horizon=200.0, kill_at=100.0, kill_nodes=1)
+        return sim
+
+    def test_checkpointing_bounds_replay(self):
+        """The Figure 11b headline: checkpoints cap re-execution."""
+        with_ckpt = self._run(checkpoint_interval=10)
+        without = self._run(checkpoint_interval=None)
+        assert with_ckpt.total_replayed < without.total_replayed / 3
+        assert with_ckpt.total_checkpoints > 0
+        assert without.total_checkpoints == 0
+
+    def test_displaced_actors_counted(self):
+        sim = ActorFailureSimulation(
+            ActorSimConfig(num_nodes=10, num_actors=100, cores_per_node=4)
+        )
+        displaced = sim.kill_nodes([0, 1])
+        assert displaced == 20  # 2 of 10 nodes → 20% of actors (paper: 400/2000)
+
+    def test_throughput_recovers_after_failure(self):
+        sim = self._run(checkpoint_interval=10)
+        series = sim.timeline.series("original")
+        rates = dict(series)
+        before = rates.get(90.0, 0)
+        after = rates.get(190.0, 0)
+        assert after >= before * 0.6  # recovered on the surviving nodes
+
+    def test_no_survivors_raises(self):
+        sim = ActorFailureSimulation(ActorSimConfig(num_nodes=2, num_actors=4))
+        with pytest.raises(RuntimeError):
+            sim.kill_nodes([0, 1])
+
+
+class TestRingAllreduceModel:
+    def test_monotonic_in_size(self):
+        config = RingAllreduceConfig()
+        times = [ring_allreduce_time(s, config) for s in (1e6, 1e7, 1e8, 1e9)]
+        assert times == sorted(times)
+
+    def test_striping_helps_large_objects(self):
+        """Ray vs Ray* (Fig 12a): multi-stream wins at 100 MB+."""
+        ray = ring_allreduce_time(10**9, RingAllreduceConfig(streams=8))
+        ray_star = ring_allreduce_time(10**9, RingAllreduceConfig(streams=1))
+        assert ray_star > 1.5 * ray
+
+    def test_scheduler_delay_dominates(self):
+        """Fig 12b: a few ms of scheduler latency ~doubles completion."""
+        base = ring_allreduce_time(10**8, RingAllreduceConfig())
+        delayed = ring_allreduce_time(
+            10**8, RingAllreduceConfig(scheduler_delay=10e-3)
+        )
+        assert delayed > 1.8 * base
+
+    def test_coupled_dispatch_adds_rtt(self):
+        base = ring_allreduce_time(10**8, RingAllreduceConfig())
+        coupled = ring_allreduce_time(
+            10**8, RingAllreduceConfig(coupled_dispatch=True)
+        )
+        assert coupled > base
+
+    def test_task_count_quadratic(self):
+        assert ring_allreduce_tasks(16) == 2 * 15 * 16
+        assert ring_allreduce_tasks(32) / ring_allreduce_tasks(16) > 2
+
+    def test_single_node_trivial(self):
+        assert ring_allreduce_time(10**9, RingAllreduceConfig(num_nodes=1)) == 0.0
+
+
+class TestOpenMPIModel:
+    def test_ray_beats_openmpi_at_large_sizes(self):
+        """The Fig 12a crossover: OpenMPI wins small, Ray wins ≥100 MB."""
+        ray_cfg = RingAllreduceConfig()
+        mpi_cfg = OpenMPIConfig()
+        assert openmpi_allreduce_time(10**7, mpi_cfg) < ring_allreduce_time(
+            10**7, ray_cfg
+        )
+        for size in (10**8, 10**9):
+            ray = ring_allreduce_time(size, ray_cfg)
+            mpi = openmpi_allreduce_time(size, mpi_cfg)
+            assert 1.3 <= mpi / ray <= 3.5, f"size {size}: ratio {mpi / ray}"
+
+    def test_small_message_algorithm_switch(self):
+        config = OpenMPIConfig()
+        small = openmpi_allreduce_time(10**6, config)
+        from repro.baselines.mpi_allreduce import _ring_time
+
+        assert small <= _ring_time(10**6, config)
+
+
+class TestNetworkModel:
+    def test_striping_caps_at_nic(self):
+        network = Network(Engine(), NetworkConfig())
+        assert network.effective_bandwidth(100) == NetworkConfig().nic_bandwidth
+        assert network.effective_bandwidth(1) == NetworkConfig().per_stream_bandwidth
+
+    def test_duration_includes_latency(self):
+        network = Network(Engine(), NetworkConfig(latency=0.01))
+        assert network.transfer_duration(0) == pytest.approx(0.01)
+
+    def test_negative_size_rejected(self):
+        network = Network(Engine(), NetworkConfig())
+        with pytest.raises(ValueError):
+            network.transfer_duration(-1)
+
+    def test_transfer_event_fires(self):
+        engine = Engine()
+        network = Network(engine, NetworkConfig())
+        event = network.transfer(10**6)
+        engine.run()
+        assert event.triggered
+        assert network.bytes_moved == 10**6
+
+
+class TestMetrics:
+    def test_timeline_buckets_rates(self):
+        timeline = ThroughputTimeline(bucket_seconds=1.0)
+        for t in (0.1, 0.2, 1.5):
+            timeline.record(t, "a")
+        assert dict(timeline.series("a"))[0.0] == 2.0
+        assert timeline.rate_at(1.7, "a") == 1.0
+        assert timeline.total["a"] == 3
+
+    def test_latency_stats(self):
+        stats = LatencyStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stats.record(v)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.max == 4.0
+        assert stats.min == 1.0
+        assert stats.percentile(50) in (2.0, 3.0)
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline(bucket_seconds=0)

@@ -1,0 +1,45 @@
+"""Mechanistic BSP-vs-async on the simulated cluster (Table 4's claim)."""
+
+import random
+
+import pytest
+
+from repro.baselines.bsp import async_makespan, bsp_makespan
+from repro.sim.bsp_sim import simulate_async, simulate_bsp, throughput_comparison
+
+
+class TestMechanisticBsp:
+    def test_bsp_rounds_counted(self):
+        result = simulate_bsp([0.1] * 12, num_cpus=4)
+        assert result.rounds == 3
+        assert result.tasks == 12
+
+    def test_uniform_tasks_equal_disciplines(self):
+        durations = [0.1] * 16
+        bsp = simulate_bsp(durations, num_cpus=4)
+        asynchronous = simulate_async(durations, num_cpus=4)
+        assert bsp.makespan == pytest.approx(asynchronous.makespan, rel=0.1)
+
+    def test_heterogeneous_tasks_favour_async(self):
+        rng = random.Random(0)
+        durations = [rng.uniform(0.01, 0.5) for _ in range(48)]
+        comparison = throughput_comparison(
+            durations, [int(d * 1000) for d in durations], num_cpus=8
+        )
+        assert comparison["speedup"] > 1.2
+        assert (
+            comparison["async_steps_per_second"]
+            > comparison["bsp_steps_per_second"]
+        )
+
+    def test_mechanism_agrees_with_model(self):
+        """The simulated makespans track the closed-form scheduling models
+        (which have no scheduler overhead) within a modest margin."""
+        rng = random.Random(1)
+        durations = [rng.uniform(0.05, 1.0) for _ in range(32)]
+        mech_bsp = simulate_bsp(durations, num_cpus=8).makespan
+        mech_async = simulate_async(durations, num_cpus=8).makespan
+        model_bsp = bsp_makespan(durations, 8)
+        model_async = async_makespan(durations, 8)
+        assert mech_bsp == pytest.approx(model_bsp, rel=0.15)
+        assert mech_async == pytest.approx(model_async, rel=0.25)

@@ -1,0 +1,157 @@
+"""The simulated cluster: scheduling policy, locality, lineage replay."""
+
+import pytest
+
+from repro.sim import SimCluster, SimConfig, SimTask
+from repro.sim.cluster import SimulationError
+from repro.sim.workloads import (
+    dependency_chains,
+    empty_tasks,
+    heterogeneous_rollouts,
+    locality_tasks,
+)
+
+
+class TestBasicExecution:
+    def test_single_task_completes(self):
+        cluster = SimCluster(SimConfig(num_nodes=1, cpus_per_node=2))
+        event = cluster.submit(SimTask("t", duration=0.5))
+        cluster.engine.run()
+        assert event.triggered
+        assert event.value >= 0.5  # latency includes the execution
+        assert cluster.tasks_executed == 1
+
+    def test_outputs_registered_with_lineage(self):
+        cluster = SimCluster(SimConfig(num_nodes=1))
+        task = SimTask("p", duration=0.1, outputs=(("obj", 64),))
+        cluster.submit(task)
+        cluster.engine.run()
+        assert cluster.object_size["obj"] == 64
+        assert cluster.lineage["obj"] is task
+        assert cluster.live_locations("obj")
+
+    def test_dependency_order_respected(self):
+        cluster = SimCluster(SimConfig(num_nodes=2))
+        producer = SimTask("p", duration=1.0, outputs=(("obj", 64),))
+        consumer = SimTask("c", duration=0.1, deps=("obj",))
+        done_c = cluster.submit(consumer, origin=1)  # submitted first!
+        done_p = cluster.submit(producer, origin=0)
+        cluster.engine.run()
+        assert done_c.triggered and done_p.triggered
+        # Consumer cannot finish before the producer's output exists.
+        assert cluster.engine.now >= 1.1
+
+    def test_cores_limit_parallelism(self):
+        cluster = SimCluster(SimConfig(num_nodes=1, cpus_per_node=2, spillback_threshold=1000))
+        for event in [cluster.submit(SimTask(f"t{i}", duration=1.0)) for i in range(4)]:
+            pass
+        cluster.engine.run()
+        assert cluster.engine.now >= 2.0  # 4 × 1s on 2 cores
+
+    def test_gpu_task_needs_gpu_node(self):
+        cluster = SimCluster(SimConfig(num_nodes=2, gpus_per_node=0))
+        with pytest.raises(SimulationError):
+            cluster.submit(SimTask("g", duration=0.1, num_gpus=1))
+            cluster.engine.run()
+
+
+class TestBottomUpScheduling:
+    def test_light_load_schedules_locally(self):
+        cluster = SimCluster(SimConfig(num_nodes=4, spillback_threshold=100))
+        cluster.run_all(empty_tasks(10), origins=[0] * 10)
+        assert cluster.tasks_local == 10
+        assert cluster.tasks_forwarded == 0
+
+    def test_overload_forwards_to_global(self):
+        cluster = SimCluster(SimConfig(num_nodes=4, spillback_threshold=2))
+        tasks = [SimTask(f"t{i}", duration=1.0) for i in range(40)]
+        cluster.run_all(tasks, origins=[0] * 40)
+        assert cluster.tasks_forwarded > 0
+
+    def test_scaling_is_near_linear(self):
+        """Figure 8b's property: tasks/s grows ~linearly with nodes."""
+        rates = {}
+        for nodes in (4, 16):
+            cluster = SimCluster(SimConfig(num_nodes=nodes, cpus_per_node=8))
+            count = nodes * 300
+            cluster.run_all(empty_tasks(count))
+            rates[nodes] = count / cluster.engine.now
+        assert rates[16] / rates[4] == pytest.approx(4.0, rel=0.15)
+
+    def test_locality_aware_beats_unaware_at_large_sizes(self):
+        """Figure 8a's property, at 100 MB."""
+        means = {}
+        for aware in (True, False):
+            cluster = SimCluster(
+                SimConfig(num_nodes=2, cpus_per_node=16, locality_aware=aware,
+                          spillback_threshold=0)
+            )
+            tasks = locality_tasks(cluster, 200, 100_000_000, seed=1)
+            latencies = cluster.run_all(tasks, origins=[0] * len(tasks))
+            means[aware] = sum(latencies) / len(latencies)
+        assert means[False] > means[True] * 10
+
+    def test_locality_irrelevant_for_tiny_objects(self):
+        means = {}
+        for aware in (True, False):
+            cluster = SimCluster(
+                SimConfig(num_nodes=2, cpus_per_node=16, locality_aware=aware,
+                          spillback_threshold=0)
+            )
+            tasks = locality_tasks(cluster, 100, 1000, seed=1)
+            latencies = cluster.run_all(tasks, origins=[0] * len(tasks))
+            means[aware] = sum(latencies) / len(latencies)
+        assert means[False] < means[True] * 3
+
+
+class TestFailureRecovery:
+    def test_lost_object_reconstructed_via_lineage(self):
+        cluster = SimCluster(SimConfig(num_nodes=3, cpus_per_node=4))
+        chains = dependency_chains(num_chains=10, chain_length=6, task_duration=0.05)
+        events = [cluster.submit(t, origin=0) for chain in chains for t in chain]
+        cluster.engine._schedule(0.2, lambda: cluster.kill_node(1))
+        cluster.engine.run()
+        assert all(e.triggered for e in events)
+        assert cluster.tasks_reexecuted > 0
+
+    def test_reexecuted_tasks_tracked_in_timeline(self):
+        cluster = SimCluster(SimConfig(num_nodes=3, cpus_per_node=4))
+        chains = dependency_chains(num_chains=6, chain_length=8, task_duration=0.05)
+        for chain in chains:
+            for task in chain:
+                cluster.submit(task, origin=0)
+        cluster.engine._schedule(0.2, lambda: cluster.kill_node(2))
+        cluster.engine.run()
+        assert cluster.timeline.total.get("reexecuted", 0) == cluster.tasks_reexecuted
+
+    def test_add_node_after_failure(self):
+        cluster = SimCluster(SimConfig(num_nodes=2, cpus_per_node=2))
+        cluster.kill_node(1)
+        new_index = cluster.add_node()
+        assert new_index == 2
+        assert set(cluster.live_node_indices()) == {0, 2}
+        event = cluster.submit(SimTask("t", duration=0.1))
+        cluster.engine.run()
+        assert event.triggered
+
+    def test_unrecoverable_loss_raises(self):
+        cluster = SimCluster(SimConfig(num_nodes=2))
+        cluster.put_object("data", 100, 1)
+        cluster.kill_node(1)  # only copy gone, no lineage
+        cluster.submit(SimTask("c", duration=0.1, deps=("data",)))
+        with pytest.raises(SimulationError):
+            cluster.engine.run()
+
+
+class TestWorkloads:
+    def test_heterogeneous_rollouts_step_range(self):
+        pairs = heterogeneous_rollouts(100, per_step_seconds=1e-4, seed=7)
+        for task, steps in pairs:
+            assert 10 <= steps <= 1000
+            assert task.duration == pytest.approx(steps * 1e-4)
+
+    def test_dependency_chain_shape(self):
+        chains = dependency_chains(2, 3)
+        assert len(chains) == 2
+        assert chains[0][1].deps == (chains[0][0].outputs[0][0],)
+        assert chains[0][0].deps == ()

@@ -1,0 +1,216 @@
+"""The discrete-event engine: events, processes, resources, determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine, SimResource
+
+
+class TestTimeouts:
+    def test_time_advances_to_events(self):
+        engine = Engine()
+        fired = []
+        engine.timeout(1.5).add_callback(lambda e: fired.append(engine.now))
+        engine.timeout(0.5).add_callback(lambda e: fired.append(engine.now))
+        engine.run()
+        assert fired == [0.5, 1.5]
+
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+        engine.timeout(10.0)
+        assert engine.run(until=3.0) == 3.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine()._schedule(-1, lambda: None)
+
+    def test_same_time_fifo_order(self):
+        engine = Engine()
+        order = []
+        for i in range(5):
+            engine.timeout(1.0, value=i).add_callback(lambda e: order.append(e.value))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_timeout_value(self):
+        engine = Engine()
+        seen = []
+        engine.timeout(1.0, value="v").add_callback(lambda e: seen.append(e.value))
+        engine.run()
+        assert seen == ["v"]
+
+
+class TestEvents:
+    def test_succeed_once(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed(1)
+        with pytest.raises(RuntimeError):
+            event.succeed(2)
+
+    def test_callback_after_trigger_still_fires(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed("x")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        engine.run()
+        assert seen == ["x"]
+
+
+class TestProcesses:
+    def test_process_sequencing(self):
+        engine = Engine()
+        trace = []
+
+        def proc():
+            trace.append(("start", engine.now))
+            yield engine.timeout(1.0)
+            trace.append(("mid", engine.now))
+            yield engine.timeout(2.0)
+            trace.append(("end", engine.now))
+
+        engine.process(proc())
+        engine.run()
+        assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+
+    def test_process_return_value(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.timeout(1.0)
+            return 42
+
+        process = engine.process(proc())
+        engine.run()
+        assert process.triggered
+        assert process.value == 42
+
+    def test_process_waits_on_process(self):
+        engine = Engine()
+        results = []
+
+        def child():
+            yield engine.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            value = yield engine.process(child())
+            results.append((value, engine.now))
+
+        engine.process(parent())
+        engine.run()
+        assert results == [("child-done", 2.0)]
+
+    def test_yielding_non_event_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield 42
+
+        engine.process(bad())
+        with pytest.raises(TypeError):
+            engine.run()
+
+    def test_all_of_waits_for_every_event(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            yield engine.all_of([engine.timeout(1), engine.timeout(3), engine.timeout(2)])
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [3.0]
+
+    def test_any_of_fires_on_first(self):
+        engine = Engine()
+        times = []
+
+        def proc():
+            yield engine.any_of([engine.timeout(5), engine.timeout(1)])
+            times.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert times == [1.0]
+
+    def test_all_of_empty(self):
+        engine = Engine()
+        done = []
+
+        def proc():
+            yield engine.all_of([])
+            done.append(True)
+
+        engine.process(proc())
+        engine.run()
+        assert done == [True]
+
+
+class TestResources:
+    def test_capacity_limits_concurrency(self):
+        engine = Engine()
+        resource = SimResource(engine, 2)
+        finish_times = []
+
+        def worker():
+            yield resource.acquire()
+            yield engine.timeout(1.0)
+            resource.release()
+            finish_times.append(engine.now)
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        assert finish_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_granting(self):
+        engine = Engine()
+        resource = SimResource(engine, 1)
+        order = []
+
+        def worker(idx):
+            yield resource.acquire()
+            order.append(idx)
+            yield engine.timeout(1.0)
+            resource.release()
+
+        for i in range(3):
+            engine.process(worker(i))
+        engine.run()
+        assert order == [0, 1, 2]
+
+    def test_release_without_acquire_raises(self):
+        engine = Engine()
+        resource = SimResource(engine, 1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_queue_length_and_utilization(self):
+        engine = Engine()
+        resource = SimResource(engine, 1)
+        resource.acquire()
+        resource.acquire()  # queued
+        engine.run()
+        assert resource.queue_length == 1
+        assert resource.utilization() == 1.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5), min_size=1, max_size=12))
+    def test_makespan_bounds(self, durations):
+        """Simulated makespan is bounded by serial and ideal-parallel time."""
+        engine = Engine()
+        resource = SimResource(engine, 2)
+
+        def worker(duration):
+            yield resource.acquire()
+            yield engine.timeout(duration)
+            resource.release()
+
+        for duration in durations:
+            engine.process(worker(duration))
+        engine.run()
+        assert engine.now <= sum(durations) + 1e-9
+        assert engine.now >= max(durations) - 1e-9
+        assert engine.now >= sum(durations) / 2 - 1e-9

@@ -1,0 +1,38 @@
+"""Failure-plan schedules for the simulator."""
+
+from repro.sim import SimCluster, SimConfig
+from repro.sim.failures import FailurePlan, remove_and_restore
+from repro.sim.workloads import dependency_chains
+
+
+class TestFailurePlan:
+    def test_kills_fire_at_scheduled_times(self):
+        cluster = SimCluster(SimConfig(num_nodes=3, cpus_per_node=2))
+        FailurePlan().kill(1.0, 1).kill(2.0, 2).apply(cluster)
+        cluster.engine.run(until=0.5)
+        assert cluster.nodes[1].alive
+        cluster.engine.run(until=1.5)
+        assert not cluster.nodes[1].alive
+        assert cluster.nodes[2].alive
+        cluster.engine.run(until=2.5)
+        assert not cluster.nodes[2].alive
+
+    def test_additions_expand_cluster(self):
+        cluster = SimCluster(SimConfig(num_nodes=2))
+        FailurePlan().add_node(1.0).add_node(1.0).apply(cluster)
+        cluster.engine.run(until=2.0)
+        assert len(cluster.nodes) == 4
+
+    def test_remove_and_restore_shape(self):
+        plan = remove_and_restore([2.0, 4.0], restore_time=8.0)
+        assert plan.total_kills == 2
+        assert plan.kills == [(2.0, 1), (4.0, 2)]
+        assert plan.additions == [8.0, 8.0]
+
+    def test_workload_survives_plan(self):
+        cluster = SimCluster(SimConfig(num_nodes=4, cpus_per_node=4))
+        chains = dependency_chains(num_chains=12, chain_length=8, task_duration=0.05)
+        events = [cluster.submit(t, origin=0) for chain in chains for t in chain]
+        remove_and_restore([0.15], restore_time=0.6).apply(cluster)
+        cluster.engine.run()
+        assert all(e.triggered for e in events)

@@ -1,0 +1,79 @@
+"""Env/policy specs: the picklable factories tasks are parameterized by."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.rl import EnvSpec, PolicySpec
+from repro.rl.envs import CartPoleEnv, PendulumEnv
+
+
+class TestEnvSpec:
+    def test_unknown_env_rejected(self):
+        with pytest.raises(ValueError):
+            EnvSpec("atari")
+
+    def test_build_constructs_right_class(self):
+        assert isinstance(EnvSpec("pendulum").build(), PendulumEnv)
+        assert isinstance(EnvSpec("cartpole").build(), CartPoleEnv)
+
+    def test_max_steps_forwarded(self):
+        env = EnvSpec("pendulum", max_steps=17).build()
+        assert env.max_steps == 17
+
+    def test_callable_as_factory(self):
+        spec = EnvSpec("cartpole")
+        assert isinstance(spec(), CartPoleEnv)
+
+    def test_metadata_properties(self):
+        spec = EnvSpec("pendulum")
+        assert spec.observation_size == 3
+        assert spec.action_size == 1
+        assert spec.continuous
+        discrete = EnvSpec("cartpole")
+        assert not discrete.continuous
+
+    def test_pickles(self):
+        spec = EnvSpec("humanoid", max_steps=100)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.build().max_steps == 100
+
+    def test_seeded_build_deterministic(self):
+        a = EnvSpec("pendulum").build(seed=5)
+        b = EnvSpec("pendulum").build(seed=5)
+        np.testing.assert_allclose(a.reset(), b.reset())
+
+
+class TestPolicySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec(kind="transformer", observation_size=3, action_size=1)
+
+    def test_for_env_matches_shapes(self):
+        env_spec = EnvSpec("cartpole")
+        spec = PolicySpec.for_env(env_spec)
+        policy = spec.build()
+        assert policy.observation_size == 4
+        assert policy.action_size == 2
+        assert not spec.continuous
+
+    def test_mlp_kind_with_hidden(self):
+        env_spec = EnvSpec("pendulum")
+        spec = PolicySpec.for_env(env_spec, kind="mlp", hidden=(16, 8))
+        policy = spec.build()
+        assert policy.hidden == (16, 8)
+
+    def test_build_seed_controls_init(self):
+        spec = PolicySpec.for_env(EnvSpec("pendulum"))
+        a = spec.build(seed=1).get_flat()
+        b = spec.build(seed=1).get_flat()
+        c = spec.build(seed=2).get_flat()
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_pickles(self):
+        spec = PolicySpec.for_env(EnvSpec("cartpole"), kind="mlp", hidden=(8,))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec

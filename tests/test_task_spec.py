@@ -1,0 +1,90 @@
+"""Task specifications: dependencies, return IDs, validation."""
+
+import pytest
+
+from repro.common.ids import ActorID, FunctionID, ObjectID, TaskID
+from repro.core.task_spec import ArgRef, TaskSpec
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        task_id=TaskID.from_seed("t"),
+        function_id=FunctionID.from_seed("f"),
+        function_name="f",
+        args=(),
+        kwargs=(),
+        num_returns=1,
+    )
+    defaults.update(overrides)
+    return TaskSpec(**defaults)
+
+
+class TestDependencies:
+    def test_no_refs_no_deps(self):
+        assert make_spec(args=(1, "x")).dependencies() == ()
+
+    def test_positional_refs(self):
+        a, b = ObjectID.from_seed("a"), ObjectID.from_seed("b")
+        spec = make_spec(args=(ArgRef(a), 5, ArgRef(b)))
+        assert spec.dependencies() == (a, b)
+
+    def test_kwarg_refs(self):
+        a = ObjectID.from_seed("a")
+        spec = make_spec(kwargs=(("x", ArgRef(a)), ("y", 2)))
+        assert spec.dependencies() == (a,)
+
+    def test_mixed(self):
+        a, b = ObjectID.from_seed("a"), ObjectID.from_seed("b")
+        spec = make_spec(args=(ArgRef(a),), kwargs=(("k", ArgRef(b)),))
+        assert set(spec.dependencies()) == {a, b}
+
+
+class TestReturnIDs:
+    def test_count_matches_num_returns(self):
+        assert len(make_spec(num_returns=3).return_ids) == 3
+        assert make_spec(num_returns=0).return_ids == ()
+
+    def test_deterministic_across_replay(self):
+        """Identical spec ⇒ identical output IDs: the lineage invariant."""
+        assert make_spec().return_ids == make_spec().return_ids
+
+    def test_distinct_per_task(self):
+        a = make_spec(task_id=TaskID.from_seed("t1"))
+        b = make_spec(task_id=TaskID.from_seed("t2"))
+        assert set(a.return_ids).isdisjoint(b.return_ids)
+
+
+class TestValidation:
+    def test_negative_returns_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(num_returns=-1)
+
+    def test_actor_method_requires_actor_id(self):
+        with pytest.raises(ValueError):
+            make_spec(actor_method="m")
+
+    def test_spec_is_frozen(self):
+        spec = make_spec()
+        with pytest.raises(Exception):
+            spec.num_returns = 5
+
+
+class TestDescribe:
+    def test_kinds(self):
+        assert make_spec().describe().startswith("task:")
+        actor_id = ActorID.from_seed("a")
+        assert (
+            make_spec(actor_id=actor_id, is_actor_creation=True)
+            .describe()
+            .startswith("actor_creation:")
+        )
+        assert (
+            make_spec(actor_id=actor_id, actor_method="m", actor_counter=0)
+            .describe()
+            .startswith("actor_method:")
+        )
+
+    def test_is_actor_method(self):
+        actor_id = ActorID.from_seed("a")
+        assert make_spec(actor_id=actor_id, actor_method="m").is_actor_method
+        assert not make_spec().is_actor_method

@@ -1,0 +1,133 @@
+"""GCS-backed tooling: inspector, timeline, profiler (paper Section 7)."""
+
+import json
+import time
+
+import pytest
+
+import repro
+from repro.tools import ClusterInspector, Profiler, Timeline
+
+
+@repro.remote
+def work(ms):
+    time.sleep(ms / 1000.0)
+    return ms
+
+
+@repro.remote
+def fail():
+    raise ValueError("nope")
+
+
+@repro.remote
+class Keeper:
+    def __init__(self):
+        self.v = 0
+
+    def bump(self):
+        self.v += 1
+        return self.v
+
+
+class TestClusterInspector:
+    def test_snapshot_counts_everything(self, runtime):
+        keeper = Keeper.remote()
+        repro.get([work.remote(1) for _ in range(5)])
+        repro.get(keeper.bump.remote())
+        inspector = ClusterInspector(runtime)
+        snapshot = inspector.snapshot()
+        assert snapshot.live_nodes == 2
+        assert snapshot.tasks_by_status.get("finished", 0) >= 6
+        assert snapshot.num_objects >= 6
+        assert snapshot.actors_alive == 1
+        assert "alive" in snapshot.format()
+
+    def test_pending_tasks_visible(self, runtime):
+        ref = work.remote(300)
+        inspector = ClusterInspector(runtime)
+        # The slow task should appear as pending/scheduled/running.
+        assert len(inspector.pending_tasks()) >= 1
+        repro.get(ref)
+        assert inspector.pending_tasks() == []
+
+    def test_objects_without_live_copies(self, runtime):
+        ref = repro.put(123)
+        inspector = ClusterInspector(runtime)
+        assert ref.object_id not in inspector.objects_without_live_copies()
+        repro.free(ref)
+        assert ref.object_id in inspector.objects_without_live_copies()
+
+    def test_dead_actor_counted(self, runtime):
+        keeper = Keeper.remote()
+        repro.get(keeper.bump.remote())
+        repro.kill(keeper)
+        # kill() marks the actor dead in the GCS actor table.
+        inspector = ClusterInspector(runtime)
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            _alive, dead = inspector.actor_summary()
+            if dead == 1:
+                break
+            time.sleep(0.02)
+        assert inspector.actor_summary()[1] == 1
+
+
+class TestTimeline:
+    def test_spans_cover_executed_tasks(self, runtime):
+        repro.get([work.remote(5) for _ in range(4)])
+        timeline = Timeline(runtime)
+        spans = timeline.spans()
+        assert len(spans) == 4
+        assert all(s.duration >= 0.004 for s in spans)
+        assert timeline.makespan() > 0
+
+    def test_actor_methods_appear_with_kind(self, runtime):
+        keeper = Keeper.remote()
+        repro.get(keeper.bump.remote())
+        kinds = {s.kind for s in Timeline(runtime).spans()}
+        assert "actor_method" in kinds
+
+    def test_chrome_trace_is_valid_json(self, runtime, tmp_path):
+        repro.get([work.remote(2) for _ in range(3)])
+        timeline = Timeline(runtime)
+        trace = json.loads(timeline.to_chrome_trace())
+        task_events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(task_events) == 3
+        assert all(e["dur"] > 0 for e in task_events)
+        path = tmp_path / "trace.json"
+        timeline.save_chrome_trace(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_empty_timeline(self, runtime):
+        timeline = Timeline(runtime)
+        assert timeline.spans() == []
+        assert timeline.makespan() == 0.0
+        assert json.loads(timeline.to_chrome_trace()) == {"traceEvents": []}
+        assert "(no spans)" in timeline.render_ascii()
+
+    def test_ascii_render_has_node_lanes(self, runtime):
+        repro.get([work.remote(2) for _ in range(3)])
+        art = Timeline(runtime).render_ascii(width=40)
+        assert "node" in art
+        assert "#" in art
+
+
+class TestProfiler:
+    def test_aggregates_by_function(self, runtime):
+        repro.get([work.remote(2) for _ in range(6)])
+        with pytest.raises(repro.TaskExecutionError):
+            repro.get(fail.remote())
+        profiles = Profiler(runtime).profiles()
+        assert profiles["work"].calls == 6
+        assert profiles["work"].mean_seconds >= 0.002
+        assert profiles["work"].max_seconds >= profiles["work"].min_seconds
+        assert profiles["fail"].failures == 1
+
+    def test_top_by_total_time(self, runtime):
+        repro.get([work.remote(20) for _ in range(2)])
+        repro.get([work.remote(1) for _ in range(2)])
+        top = Profiler(runtime).top_by_total_time(limit=1)
+        assert top[0].name == "work"
+        report = Profiler(runtime).format()
+        assert "work" in report
