@@ -24,6 +24,13 @@ def echo(x):
 
 
 @repro.remote
+def finish_at():
+    import time
+
+    return time.monotonic()
+
+
+@repro.remote
 class CounterActor:
     def __init__(self):
         self.n = 0
@@ -78,6 +85,31 @@ def test_micro_object_roundtrip_1mb(benchmark):
 
         nbytes = benchmark(run)
         assert nbytes == 1_000_000
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_get_wakeup_latency(benchmark):
+    """Latency from task completion to ``get`` returning.
+
+    This is the path the event layer owns end-to-end: output put ->
+    availability completion -> blocked getter wakes.  Under the old poll
+    loop this floored at the 20 ms poll interval; notification-driven it
+    is bounded by thread-switch cost.
+    """
+    import time
+
+    repro.init(num_nodes=1, num_cpus_per_node=4)
+    try:
+        repro.get(finish_at.remote())
+
+        def run():
+            finished_at = repro.get(finish_at.remote())
+            return time.monotonic() - finished_at
+
+        latency = benchmark(run)
+        assert latency < 0.010  # sub-poll-interval wakeup
     finally:
         repro.shutdown()
 

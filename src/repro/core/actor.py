@@ -21,6 +21,7 @@ import time
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.common.errors import ActorDiedError, TaskExecutionError
+from repro.common.events import BACKSTOP_INTERVAL, Completion
 from repro.common.ids import ActorID, NodeID
 from repro.common.serialization import deserialize, serialize
 from repro.core import context
@@ -71,6 +72,11 @@ class ActorState:
         self.dead_forever = False
         self.replay_boundary = 0  # counters below this are replays
         self.ready = threading.Event()  # instance constructed at least once
+        # Signalled when the current incarnation must stop (restart, kill,
+        # shutdown); re-armed (replaced) for each new incarnation so blocked
+        # input fetches wake immediately instead of timing out.
+        self.interrupt = Completion()
+        self.thread: Optional[threading.Thread] = None
 
 
 class ActorManager:
@@ -120,16 +126,20 @@ class ActorManager:
     def _start_incarnation(self, state: ActorState) -> None:
         node = self._choose_node(state)
         with state.cond:
+            state.interrupt.set()  # wake any wait of the previous incarnation
+            state.interrupt = Completion(stats=self.runtime.wait_stats)
+            interrupt = state.interrupt
             state.node = node
             state.incarnation += 1
             incarnation = state.incarnation
             state.cond.notify_all()
         thread = threading.Thread(
             target=self._actor_loop,
-            args=(state, incarnation),
+            args=(state, incarnation, interrupt),
             name=f"actor-{state.class_name}-{state.actor_id.hex()[:6]}",
             daemon=True,
         )
+        state.thread = thread
         thread.start()
 
     # ------------------------------------------------------------------
@@ -184,7 +194,9 @@ class ActorManager:
                 or self.runtime.stopped
             )
 
-    def _actor_loop(self, state: ActorState, incarnation: int) -> None:
+    def _actor_loop(
+        self, state: ActorState, incarnation: int, interrupt: Completion
+    ) -> None:
         runtime = self.runtime
         node = state.node
         gcs = runtime.gcs
@@ -204,7 +216,7 @@ class ActorManager:
                         state.node = replacement
                     node = replacement
         try:
-            instance = self._construct_instance(state, incarnation, node)
+            instance = self._construct_instance(state, incarnation, node, interrupt)
             if instance is None:
                 return
             restored_counter = self._restore_checkpoint(state, instance)
@@ -228,11 +240,23 @@ class ActorManager:
                         state.next_counter not in state.mailbox
                         and not self._stale_locked(state, incarnation)
                     ):
-                        state.cond.wait(timeout=0.1)
+                        # Notification-driven: submissions and lifecycle
+                        # changes notify this condition; the timed wait is
+                        # only a guarded missed-wakeup backstop.
+                        notified = state.cond.wait(timeout=BACKSTOP_INTERVAL)
+                        if not notified and (
+                            state.next_counter in state.mailbox
+                            or self._stale_locked(state, incarnation)
+                        ):
+                            self.runtime.wait_stats.record_backstop(
+                                recovered=True
+                            )
                     if self._stale_locked(state, incarnation):
                         return
                     spec = state.mailbox.pop(state.next_counter)
-                self._execute_method(state, incarnation, node, instance, spec)
+                self._execute_method(
+                    state, incarnation, node, instance, spec, interrupt
+                )
                 if self._stale(state, incarnation):
                     return
         finally:
@@ -246,13 +270,20 @@ class ActorManager:
         )
 
     def _construct_instance(
-        self, state: ActorState, incarnation: int, node: "Node"
+        self,
+        state: ActorState,
+        incarnation: int,
+        node: "Node",
+        interrupt: Completion,
     ) -> Any:
         runtime = self.runtime
         spec = state.creation_spec
         for dep in spec.dependencies():
             if not runtime.fetch_to_node(
-                dep, node, cancelled=lambda: self._stale(state, incarnation)
+                dep,
+                node,
+                cancelled=lambda: self._stale(state, incarnation),
+                interrupt=interrupt,
             ):
                 return None
         args, kwargs, input_error = resolve_args(node, spec)
@@ -304,6 +335,7 @@ class ActorManager:
         node: "Node",
         instance: Any,
         spec: TaskSpec,
+        interrupt: Completion,
     ) -> None:
         runtime = self.runtime
         gcs = runtime.gcs
@@ -323,7 +355,10 @@ class ActorManager:
                 self.replayed_methods += 1
         for dep in spec.dependencies():
             if not runtime.fetch_to_node(
-                dep, node, cancelled=lambda: self._stale(state, incarnation)
+                dep,
+                node,
+                cancelled=lambda: self._stale(state, incarnation),
+                interrupt=interrupt,
             ):
                 return
         gcs.update_task_status(spec.task_id, TaskStatus.RUNNING, node_id=node.node_id)
@@ -412,6 +447,7 @@ class ActorManager:
             if state.restarts > state.max_restarts:
                 state.dead_forever = True
                 state.incarnation += 1  # unblock any old loop
+                state.interrupt.set()
                 state.cond.notify_all()
         if state.dead_forever:
             self._fail_pending_methods(state)
@@ -432,6 +468,7 @@ class ActorManager:
             with state.cond:
                 state.dead_forever = True
                 state.incarnation += 1
+                state.interrupt.set()
                 state.cond.notify_all()
             self._fail_pending_methods(state)
             self.runtime.gcs.update_actor(state.actor_id, alive=False)
@@ -439,6 +476,7 @@ class ActorManager:
     def _kill_forever(self, state: ActorState, cause: TaskExecutionError) -> None:
         with state.cond:
             state.dead_forever = True
+            state.interrupt.set()
             state.cond.notify_all()
         self.runtime.gcs.update_task_status(
             state.creation_spec.task_id, TaskStatus.FAILED
@@ -484,3 +522,25 @@ class ActorManager:
     def get_state(self, actor_id: ActorID) -> Optional[ActorState]:
         with self._lock:
             return self.actors.get(actor_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Interrupt every actor loop and join its thread.
+
+        Called with ``runtime.stopped`` already True, so woken loops see
+        themselves stale and exit.  A loop stuck in user code past the
+        join timeout is abandoned (it is a daemon thread)."""
+        with self._lock:
+            states = list(self.actors.values())
+        for state in states:
+            with state.cond:
+                state.interrupt.set()
+                state.cond.notify_all()
+        current = threading.current_thread()
+        for state in states:
+            thread = state.thread
+            if thread is not None and thread is not current:
+                thread.join(timeout=timeout)

@@ -21,6 +21,7 @@ import threading
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
+from repro.common.events import BACKSTOP_INTERVAL, WaitStats
 from repro.common.ids import ObjectID, TaskID
 from repro.core.task_spec import TaskSpec
 from repro.gcs.tables import TaskStatus
@@ -40,6 +41,7 @@ class LocalScheduler:
         forward_to_global: Callable[[TaskSpec], None],
         execute: Callable[["Node", TaskSpec, Dict[str, float]], None],
         spillback_threshold: int = 16,
+        wait_stats: Optional[WaitStats] = None,
     ):
         self.node = node
         self.gcs = gcs
@@ -47,6 +49,7 @@ class LocalScheduler:
         self._forward_to_global = forward_to_global
         self._execute = execute
         self.spillback_threshold = spillback_threshold
+        self._wait_stats = wait_stats
 
         self._cond = threading.Condition()
         self._ready: deque = deque()
@@ -138,10 +141,19 @@ class LocalScheduler:
             with self._cond:
                 spec = self._pick_dispatchable()
                 while spec is None and not self._stopped:
-                    # Timed wait: resource releases notify us, but a timeout
-                    # bounds any missed wakeup.
-                    self._cond.wait(timeout=0.05)
+                    # Notification-driven: ready-queue pushes and resource
+                    # releases notify this condition.  The timed wait is
+                    # only a guarded missed-wakeup backstop.
+                    notified = self._cond.wait(timeout=BACKSTOP_INTERVAL)
                     spec = self._pick_dispatchable()
+                    if (
+                        not notified
+                        and spec is not None
+                        and self._wait_stats is not None
+                    ):
+                        # A task was dispatchable but no notification
+                        # arrived: the backstop caught a missed wakeup.
+                        self._wait_stats.record_backstop(recovered=True)
                 if self._stopped:
                     return
                 self._running.add(spec.task_id)
@@ -197,3 +209,8 @@ class LocalScheduler:
         with self._cond:
             self._stopped = True
             self._cond.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the dispatcher thread to exit (call ``stop`` first)."""
+        if self._dispatcher is not threading.current_thread():
+            self._dispatcher.join(timeout)

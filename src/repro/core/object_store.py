@@ -14,17 +14,22 @@ Section 4.2.3).  Properties reproduced from the paper:
   disk using an LRU policy"); without one the copy is dropped and lineage
   reconstruction recovers it on demand.  Objects pinned by executing
   tasks are never evicted.
-* **Availability notifications** — readers can register a callback or wait
-  on an event for an object to become local (Figure 7b).
+* **Availability notifications** — readers wait on (or register callbacks
+  against) a :class:`~repro.common.events.Completion` that is signalled
+  the moment the object becomes local (Figure 7b).  All blocking readers
+  in the runtime ride on these completions; nothing polls the store.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ObjectStoreFullError
+from repro.common.events import Completion, WaitStats
 from repro.common.ids import NodeID, ObjectID
 from repro.common.serialization import SerializedObject
 
@@ -38,6 +43,7 @@ class LocalObjectStore:
         capacity_bytes: Optional[int] = None,
         on_evict: Optional[Callable[[ObjectID], None]] = None,
         spill_directory: Optional[str] = None,
+        wait_stats: Optional[WaitStats] = None,
     ):
         self.node_id = node_id
         self.capacity_bytes = capacity_bytes
@@ -46,8 +52,8 @@ class LocalObjectStore:
         self._objects: "OrderedDict[ObjectID, SerializedObject]" = OrderedDict()
         self._pins: Dict[ObjectID, int] = {}
         self._used_bytes = 0
-        self._events: Dict[ObjectID, threading.Event] = {}
-        self._listeners: Dict[ObjectID, List[Callable[[ObjectID], None]]] = {}
+        self._wait_stats = wait_stats
+        self._events: Dict[ObjectID, Completion] = {}
         self.put_count = 0
         self.eviction_count = 0
         self.spill_count = 0
@@ -55,8 +61,6 @@ class LocalObjectStore:
         self._spill_directory = spill_directory
         self._spilled: Dict[ObjectID, str] = {}
         if spill_directory is not None:
-            import os
-
             os.makedirs(spill_directory, exist_ok=True)
 
     # -- core operations -----------------------------------------------------
@@ -68,7 +72,6 @@ class LocalObjectStore:
         (objects are immutable, so a duplicate put is a no-op).  Raises
         :class:`ObjectStoreFullError` if eviction cannot make room.
         """
-        listeners: List[Callable[[ObjectID], None]] = []
         with self._lock:
             if object_id in self._objects or object_id in self._spilled:
                 return False
@@ -82,12 +85,11 @@ class LocalObjectStore:
             self._objects[object_id] = value
             self._used_bytes += value.total_bytes
             self.put_count += 1
-            event = self._events.get(object_id)
-            if event is not None:
-                event.set()
-            listeners = self._listeners.pop(object_id, [])
-        for listener in listeners:
-            listener(object_id)
+            completion = self._events.get(object_id)
+        # Signal outside the store lock: waiter callbacks (scheduler input-
+        # ready, fetcher bookkeeping) take their own locks.
+        if completion is not None:
+            completion.set()
         return True
 
     def get(self, object_id: ObjectID) -> Optional[SerializedObject]:
@@ -179,13 +181,9 @@ class LocalObjectStore:
     # -- disk spilling (paper §4.2.3: "evict them as needed to disk") ---------
 
     def _spill_path(self, object_id: ObjectID) -> str:
-        import os
-
         return os.path.join(self._spill_directory, object_id.hex())
 
     def _spill_to_disk(self, object_id: ObjectID, value: SerializedObject) -> None:
-        import pickle
-
         path = self._spill_path(object_id)
         with open(path, "wb") as f:
             pickle.dump((value.payload, value.buffers), f)
@@ -194,8 +192,6 @@ class LocalObjectStore:
 
     def _restore_from_disk(self, object_id: ObjectID) -> Optional[SerializedObject]:
         """Reload a spilled object into memory (lock held)."""
-        import pickle
-
         path = self._spilled.get(object_id)
         if path is None:
             return None
@@ -211,8 +207,6 @@ class LocalObjectStore:
         return value
 
     def _remove_spill_file(self, object_id: ObjectID) -> None:
-        import os
-
         path = self._spilled.pop(object_id, None)
         if path is not None:
             try:
@@ -222,29 +216,27 @@ class LocalObjectStore:
 
     # -- availability notifications -------------------------------------------
 
-    def availability_event(self, object_id: ObjectID) -> threading.Event:
-        """An event set when (or already set if) the object is local."""
+    def availability_event(self, object_id: ObjectID) -> Completion:
+        """A completion signalled when (or already if) the object is local."""
         with self._lock:
-            event = self._events.get(object_id)
-            if event is None:
-                event = threading.Event()
-                if object_id in self._objects or object_id in self._spilled:
-                    event.set()
-                self._events[object_id] = event
-            return event
+            completion = self._events.get(object_id)
+            if completion is None:
+                completion = Completion(stats=self._wait_stats)
+                self._events[object_id] = completion
+                present = object_id in self._objects or object_id in self._spilled
+            else:
+                return completion
+        if present:
+            completion.set()
+        return completion
 
     def on_available(
         self, object_id: ObjectID, callback: Callable[[ObjectID], None]
     ) -> None:
         """Run ``callback`` when the object becomes local (now if already)."""
-        with self._lock:
-            if object_id in self._objects:
-                run_now = True
-            else:
-                self._listeners.setdefault(object_id, []).append(callback)
-                run_now = False
-        if run_now:
-            callback(object_id)
+        self.availability_event(object_id).add_callback(
+            lambda _completion: callback(object_id)
+        )
 
     # -- stats / lifecycle -------------------------------------------------------
 

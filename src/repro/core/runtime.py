@@ -14,6 +14,8 @@ clock.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -25,6 +27,7 @@ from repro.common.errors import (
     RuntimeNotInitializedError,
     TaskExecutionError,
 )
+from repro.common.events import BACKSTOP_INTERVAL, Completion, WaitStats, wait_any
 from repro.common.ids import (
     ActorID,
     FunctionID,
@@ -47,8 +50,6 @@ from repro.core.transfer import ObjectFetcher, TransferService
 from repro.core.worker import execute_task
 from repro.gcs.client import GlobalControlStore
 from repro.gcs.tables import TaskStatus
-
-_POLL_INTERVAL = 0.02
 
 
 @dataclass
@@ -92,8 +93,6 @@ class Node:
         self.resources = ResourcePool(resources)
         spill_directory = None
         if runtime.config.object_spill_directory:
-            import os
-
             spill_directory = os.path.join(
                 runtime.config.object_spill_directory, node_id.hex()[:12]
             )
@@ -102,6 +101,7 @@ class Node:
             capacity_bytes=capacity_bytes,
             on_evict=lambda oid: runtime.gcs.remove_object_location(oid, node_id),
             spill_directory=spill_directory,
+            wait_stats=runtime.wait_stats,
         )
         self.local_scheduler = LocalScheduler(
             node=self,
@@ -110,6 +110,7 @@ class Node:
             forward_to_global=runtime.route_and_place,
             execute=lambda node, spec, held: execute_task(runtime, node, spec, held),
             spillback_threshold=runtime.config.spillback_threshold,
+            wait_stats=runtime.wait_stats,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -126,6 +127,9 @@ class Runtime:
             raise ValueError("pass either a config object or keyword overrides")
         self.config = config
         self.stopped = False
+        # One cluster-wide counter block for the notification layer; every
+        # store, scheduler, and blocking wait reports into it.
+        self.wait_stats = WaitStats()
 
         self.gcs = GlobalControlStore(
             num_shards=config.gcs_shards, num_replicas=config.gcs_replicas
@@ -142,7 +146,9 @@ class Runtime:
             )
             for _ in range(max(1, config.num_global_schedulers))
         ]
-        self._scheduler_rr = 0
+        # itertools.count() is C-implemented, so next() is atomic: safe for
+        # concurrent submitters without a lock.
+        self._scheduler_rr = itertools.count()
 
         self._nodes: Dict[NodeID, Node] = {}
         self._node_order: List[NodeID] = []
@@ -234,8 +240,7 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def global_scheduler_for(self, spec: TaskSpec) -> GlobalScheduler:
-        index = self._scheduler_rr % len(self.global_schedulers)
-        self._scheduler_rr += 1
+        index = next(self._scheduler_rr) % len(self.global_schedulers)
         return self.global_schedulers[index]
 
     def route_and_place(self, spec: TaskSpec) -> None:
@@ -448,35 +453,73 @@ class Runtime:
         node: Node,
         timeout: Optional[float] = None,
         cancelled: Optional[Callable[[], bool]] = None,
+        interrupt: Optional[Completion] = None,
     ) -> bool:
         """Block until ``object_id`` is in ``node``'s store.
 
-        Returns False if ``cancelled()`` fired; raises GetTimeoutError /
-        ObjectLostError as appropriate.
+        Purely notification-driven: wakes on the store's availability
+        completion, on GCS location retractions (for the lost-object
+        verdict), or on ``interrupt`` (cancellation).  Returns False if
+        ``cancelled()`` fired; raises GetTimeoutError / ObjectLostError as
+        appropriate.
         """
+        available = node.store.availability_event(object_id)
+        if available.is_set():
+            return True
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            # Re-fetch each round: eviction clears the event, and the fetch
-            # path (or reconstruction) must then be re-triggered.
-            event = node.store.availability_event(object_id)
-            if event.is_set():
-                return True
-            if cancelled is not None and cancelled():
-                return False
-            self.fetcher.ensure_local(object_id, node)
-            if event.wait(_POLL_INTERVAL):
-                return True
+        lost = Completion(stats=self.wait_stats)
+
+        def check_lost() -> None:
             entry = self.gcs.get_object_entry(object_id)
             if (
                 entry is not None
                 and entry.task_id is None
                 and not self.transfer.live_locations(object_id)
             ):
-                raise ObjectLostError(object_id)
-            if deadline is not None and time.monotonic() > deadline:
-                raise GetTimeoutError(
-                    f"object {object_id!r} not available within timeout"
-                )
+                lost.set()
+
+        def on_location_update(op: str, _node_id: NodeID) -> None:
+            # A retraction may have removed the last live copy of an object
+            # with no lineage: deliver the ObjectLostError verdict by event
+            # instead of re-querying the GCS every poll round.
+            if op == "remove":
+                check_lost()
+
+        unsubscribe = self.gcs.subscribe_object_locations(
+            object_id, on_location_update
+        )
+        try:
+            self.fetcher.ensure_local(object_id, node)
+            check_lost()
+            while True:
+                # Re-fetch each round: eviction re-arms the completion, and
+                # the fetch (or reconstruction) must then be re-triggered.
+                available = node.store.availability_event(object_id)
+                waitables = [available, lost]
+                if interrupt is not None:
+                    waitables.append(interrupt)
+                remaining = BACKSTOP_INTERVAL
+                if deadline is not None:
+                    remaining = min(remaining, deadline - time.monotonic())
+                if remaining > 0:
+                    wait_any(waitables, timeout=remaining)
+                if available.is_set():
+                    return True
+                if cancelled is not None and cancelled():
+                    return False
+                if lost.is_set():
+                    raise ObjectLostError(object_id)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise GetTimeoutError(
+                        f"object {object_id!r} not available within timeout"
+                    )
+                # Backstop fired with nothing decided: guard against a
+                # missed wakeup by re-arming the fetch and the lost check.
+                self.wait_stats.record_backstop()
+                self.fetcher.ensure_local(object_id, node)
+                check_lost()
+        finally:
+            unsubscribe()
 
     def get(self, object_ids, timeout: Optional[float] = None):
         """Blocking retrieval of one object or a list of objects."""
@@ -520,22 +563,50 @@ class Runtime:
         deadline = None if timeout is None else time.monotonic() + timeout
         ready: List[ObjectID] = []
         pending: List[ObjectID] = list(id_list)
-        with context.blocked():
-            while True:
-                still_pending = []
-                for object_id in pending:
-                    # Return *exactly* num_returns ready futures (like
-                    # ray.wait): extras stay pending for the next call.
-                    if len(ready) < num_returns and self.object_available(object_id):
-                        ready.append(object_id)
-                    else:
-                        still_pending.append(object_id)
-                pending = still_pending
-                if len(ready) >= num_returns or not pending:
-                    break
-                if deadline is not None and time.monotonic() >= deadline:
-                    break
-                time.sleep(0.002)
+        # One shared completion poked by every watched object's GCS
+        # location feed: any new copy anywhere in the cluster wakes us.
+        progress = Completion(stats=self.wait_stats)
+
+        def on_location_update(op: str, _node_id: NodeID) -> None:
+            if op == "add":
+                progress.set()
+
+        unsubscribes = [
+            self.gcs.subscribe_object_locations(object_id, on_location_update)
+            for object_id in pending
+        ]
+        try:
+            with context.blocked():
+                while True:
+                    # Re-arm *before* scanning so a location published
+                    # between the scan and the wait is never missed.
+                    progress.clear()
+                    still_pending = []
+                    for object_id in pending:
+                        # Return *exactly* num_returns ready futures (like
+                        # ray.wait): extras stay pending for the next call.
+                        if len(ready) < num_returns and self.object_available(
+                            object_id
+                        ):
+                            ready.append(object_id)
+                        else:
+                            still_pending.append(object_id)
+                    pending = still_pending
+                    if len(ready) >= num_returns or not pending:
+                        break
+                    remaining = BACKSTOP_INTERVAL
+                    if deadline is not None:
+                        now = time.monotonic()
+                        if now >= deadline:
+                            break
+                        remaining = min(remaining, deadline - now)
+                    if not progress.wait(timeout=remaining) and (
+                        deadline is None or time.monotonic() < deadline
+                    ):
+                        self.wait_stats.record_backstop()
+        finally:
+            for unsubscribe in unsubscribes:
+                unsubscribe()
         return ready, pending
 
     # ------------------------------------------------------------------
@@ -563,6 +634,16 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
+        """Quiesce the cluster: stop and join dispatcher threads, interrupt
+        actor loops, and close the GCS flusher, so repeated init/shutdown
+        cycles in one process do not accumulate daemon threads."""
+        if self.stopped:
+            return
         self.stopped = True
+        self.actors.shutdown()
         for node in self.nodes():
             node.local_scheduler.stop()
+        for node in self.nodes():
+            node.local_scheduler.join(timeout=2.0)
+        if self.flusher is not None:
+            self.flusher.close()

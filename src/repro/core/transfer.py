@@ -11,6 +11,11 @@ an object local: check the local store, look up locations in the GCS,
 transfer if a copy exists, otherwise register a pub-sub callback on the
 object's GCS entry, and fall back to lineage reconstruction when the object
 existed but every copy has been lost.
+
+Both classes signal completions through the destination store: a
+successful replication runs ``dst.store.put``, which sets the object's
+availability :class:`~repro.common.events.Completion` and wakes every
+blocked reader — there is no polling anywhere on this path.
 """
 
 from __future__ import annotations

@@ -250,6 +250,11 @@ class ReplicatedChain:
 
         return unsubscribe
 
+    def num_subscriptions(self) -> int:
+        """Active pub-sub registrations (waiters watching keys)."""
+        with self._lock:
+            return sum(len(handlers) for handlers in self._subscribers.values())
+
     def _publish(self, key: Any, value: Any) -> None:
         with self._lock:
             callbacks = list(self._subscribers.get(key, ()))

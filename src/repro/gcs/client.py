@@ -208,6 +208,11 @@ class GlobalControlStore:
     def num_entries(self) -> int:
         return self.kv.num_entries()
 
+    def num_subscriptions(self) -> int:
+        """Active pub-sub registrations across all shards — each one is a
+        blocked ``get``/``wait``/fetch watching for a notification."""
+        return self.kv.num_subscriptions()
+
     def approx_bytes(self) -> int:
         return self.kv.approx_bytes()
 

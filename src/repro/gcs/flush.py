@@ -36,6 +36,7 @@ class GcsFlusher:
         self.path = path
         self.max_entries_in_memory = max_entries_in_memory
         self.flushed_entries = 0
+        self._closed = False
         self._lock = threading.Lock()
         # Truncate any previous flush file.
         with open(self.path, "wb"):
@@ -48,6 +49,9 @@ class GcsFlusher:
 
     def maybe_flush(self) -> int:
         """Flush if over the memory cap.  Returns entries flushed."""
+        with self._lock:
+            if self._closed:
+                return 0
         if self.should_flush():
             return self.flush()
         return 0
@@ -106,3 +110,16 @@ class GcsFlusher:
 
     def flushed_task_count(self) -> int:
         return sum(1 for table, _e, _v in self.iter_flushed() if table == _TASK)
+
+    def close(self) -> None:
+        """Quiesce the flusher at runtime shutdown.
+
+        Performs one final flush if the store is over its cap so the disk
+        snapshot is as complete as possible, then refuses further flushes
+        (restore/iteration stays available for post-mortem inspection)."""
+        with self._lock:
+            if self._closed:
+                return
+        self.maybe_flush()
+        with self._lock:
+            self._closed = True

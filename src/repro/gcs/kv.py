@@ -85,6 +85,11 @@ class KVStore:
 
         return unsubscribe
 
+    def num_subscriptions(self) -> int:
+        """Active pub-sub registrations on this store."""
+        with self._lock:
+            return sum(len(handlers) for handlers in self._subscribers.values())
+
     # -- bulk access (state transfer, flushing, debugging) ----------------
 
     def snapshot(self) -> Tuple[Dict[Any, Any], Dict[Any, List[Any]]]:

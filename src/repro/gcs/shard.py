@@ -82,6 +82,9 @@ class ShardedKV:
     def num_entries(self) -> int:
         return sum(shard.num_entries() for shard in self.shards)
 
+    def num_subscriptions(self) -> int:
+        return sum(shard.num_subscriptions() for shard in self.shards)
+
     def approx_bytes(self) -> int:
         return sum(shard.approx_bytes() for shard in self.shards)
 

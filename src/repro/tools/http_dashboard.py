@@ -17,6 +17,7 @@ Endpoints:
   /profile     per-function execution statistics JSON
   /trace       Chrome trace JSON (load in chrome://tracing)
   /tasks       task-status counts JSON
+  /waits       wait-path / notification-layer statistics JSON
 """
 
 from __future__ import annotations
@@ -64,7 +65,8 @@ def _index_html(runtime: "Runtime") -> str:
         '<p><a href="/snapshot">snapshot.json</a> · '
         '<a href="/profile">profile.json</a> · '
         '<a href="/trace">trace.json</a> · '
-        '<a href="/tasks">tasks.json</a></p>'
+        '<a href="/tasks">tasks.json</a> · '
+        '<a href="/waits">waits.json</a></p>'
         "</body></html>"
     )
 
@@ -96,6 +98,11 @@ class DashboardServer:
                     elif self.path == "/tasks":
                         body, content_type = (
                             json.dumps(ClusterInspector(outer.runtime).tasks_by_status()),
+                            "application/json",
+                        )
+                    elif self.path == "/waits":
+                        body, content_type = (
+                            json.dumps(ClusterInspector(outer.runtime).wait_path_stats()),
                             "application/json",
                         )
                     else:

@@ -32,6 +32,9 @@ class ClusterSnapshot:
     actors_dead: int
     node_utilization: Dict[str, float] = field(default_factory=dict)
     store_used_bytes: Dict[str, int] = field(default_factory=dict)
+    # Notification-layer counters (blocking-path health): see
+    # repro.common.events.WaitStats.
+    wait_stats: Dict[str, int] = field(default_factory=dict)
 
     def format(self) -> str:
         lines = [
@@ -41,6 +44,11 @@ class ClusterSnapshot:
             f"objects: {self.num_objects} ({self.total_object_bytes:,} bytes registered)",
             f"actors: {self.actors_alive} alive, {self.actors_dead} dead",
         ]
+        if self.wait_stats:
+            lines.append(
+                "waits: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.wait_stats.items()))
+            )
         for node, utilization in sorted(self.node_utilization.items()):
             used = self.store_used_bytes.get(node, 0)
             lines.append(
@@ -100,6 +108,16 @@ class ClusterInspector:
                 out.append(object_id)
         return out
 
+    def wait_path_stats(self) -> Dict[str, int]:
+        """Notification-layer counters plus live GCS subscription count.
+
+        ``backstop_recoveries`` > 0 means a wakeup was missed somewhere and
+        the guard caught it — the first place to look for latency bugs.
+        """
+        stats = dict(self.runtime.wait_stats.snapshot())
+        stats["gcs_subscriptions"] = self.gcs.num_subscriptions()
+        return stats
+
     def actor_summary(self):
         alive = dead = 0
         for _actor_id, entry in self._rows(_ACTOR):
@@ -131,4 +149,5 @@ class ClusterInspector:
             store_used_bytes={
                 n.node_id.hex()[:8]: n.store.used_bytes for n in nodes if n.alive
             },
+            wait_stats=self.wait_path_stats(),
         )

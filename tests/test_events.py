@@ -1,0 +1,159 @@
+"""Unit tests for the completion/notification layer (repro.common.events)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.common.events import (
+    BACKSTOP_INTERVAL,
+    Completion,
+    WaitStats,
+    wait_any,
+)
+
+
+class TestCompletion:
+    def test_initially_unset(self):
+        c = Completion()
+        assert not c.is_set()
+        assert not c.wait(timeout=0.01)
+
+    def test_set_and_wait(self):
+        c = Completion()
+        assert c.set() is True
+        assert c.is_set()
+        assert c.wait(timeout=0)
+
+    def test_set_is_idempotent(self):
+        c = Completion()
+        assert c.set() is True
+        assert c.set() is False
+
+    def test_clear_rearms(self):
+        c = Completion()
+        c.set()
+        c.clear()
+        assert not c.is_set()
+        c.set()
+        assert c.is_set()
+
+    def test_callback_fires_on_set(self):
+        c = Completion()
+        seen = []
+        c.add_callback(seen.append)
+        assert seen == []
+        c.set()
+        assert seen == [c]
+
+    def test_callback_fires_immediately_if_set(self):
+        c = Completion()
+        c.set()
+        seen = []
+        c.add_callback(seen.append)
+        assert seen == [c]
+
+    def test_callback_fires_once_across_rearm(self):
+        c = Completion()
+        seen = []
+        c.add_callback(seen.append)
+        c.set()
+        c.clear()
+        c.set()
+        assert seen == [c]
+
+    def test_remove_callback(self):
+        c = Completion()
+        seen = []
+        c.add_callback(seen.append)
+        c.remove_callback(seen.append)
+        c.set()
+        assert seen == []
+
+    def test_cross_thread_wakeup_is_prompt(self):
+        c = Completion()
+        set_at = []
+
+        def setter():
+            time.sleep(0.02)
+            set_at.append(time.monotonic())
+            c.set()
+
+        threading.Thread(target=setter).start()
+        assert c.wait(timeout=5)
+        woke_at = time.monotonic()
+        assert woke_at - set_at[0] < 0.01  # notification, not a poll
+
+
+class TestWaitAny:
+    def test_returns_already_set(self):
+        a, b = Completion(), Completion()
+        a.set()
+        assert wait_any([a, b], timeout=0) == [a]
+
+    def test_empty_sequence(self):
+        assert wait_any([], timeout=0.01) == []
+
+    def test_timeout_returns_partial(self):
+        a, b = Completion(), Completion()
+        a.set()
+        start = time.monotonic()
+        ready = wait_any([a, b], timeout=0.05, count=2)
+        assert ready == [a]
+        assert time.monotonic() - start < 1.0
+
+    def test_count_satisfied(self):
+        a, b, c = Completion(), Completion(), Completion()
+        a.set()
+        c.set()
+        ready = wait_any([a, b, c], timeout=0, count=2)
+        assert set(ready) == {a, c}
+
+    def test_wakes_on_any(self):
+        a, b = Completion(), Completion()
+        threading.Thread(target=lambda: (time.sleep(0.02), b.set())).start()
+        start = time.monotonic()
+        ready = wait_any([a, b], timeout=5)
+        assert ready == [b]
+        assert time.monotonic() - start < 1.0  # did not hit the backstop
+
+    def test_no_leaked_callbacks_after_timeout(self):
+        a = Completion()
+        for _ in range(10):
+            wait_any([a], timeout=0.001)
+        assert a._callbacks == []  # noqa: SLF001 - leak regression check
+
+
+class TestWaitStats:
+    def test_notification_counters(self):
+        stats = WaitStats()
+        c = Completion(stats=stats)
+        c.add_callback(lambda _c: None)
+        c.set()
+        snap = stats.snapshot()
+        assert snap["notifications"] == 1
+        assert snap["callbacks_fired"] == 1
+
+    def test_wait_counters(self):
+        stats = WaitStats()
+        c = Completion(stats=stats)
+        c.wait(timeout=0.001)  # times out
+        c.set()
+        c.wait(timeout=0.001)  # satisfied
+        snap = stats.snapshot()
+        assert snap["waits"] == 2
+        assert snap["wakeups"] == 1
+        assert snap["wait_timeouts"] == 1
+
+    def test_backstop_counters(self):
+        stats = WaitStats()
+        stats.record_backstop()
+        stats.record_backstop(recovered=True)
+        snap = stats.snapshot()
+        assert snap["backstop_timeouts"] == 2
+        assert snap["backstop_recoveries"] == 1
+
+
+def test_backstop_interval_is_not_a_poll():
+    """The guarded backstop must stay >= 1s — anything shorter is a poll."""
+    assert BACKSTOP_INTERVAL >= 1.0
