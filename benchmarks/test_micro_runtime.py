@@ -115,6 +115,49 @@ def test_micro_get_wakeup_latency(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_micro_metrics_overhead(benchmark):
+    """Instrumentation cost: the same 300-task batch with the metrics
+    registry + lifecycle tracing on (the default) vs fully disabled.
+
+    The observability layer must stay within ~10% of the uninstrumented
+    throughput; the assertion bound is looser (2x) because sub-second
+    single-shot timings on shared CI machines are noisy, while the printed
+    ratio documents the honest number.
+    """
+    import time
+
+    def batch_seconds(**overrides):
+        repro.init(num_nodes=1, num_cpus_per_node=4, **overrides)
+        try:
+            repro.get(noop.remote())  # warm up
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                repro.get([noop.remote() for _ in range(300)])
+                best = min(best, time.perf_counter() - start)
+            return best
+        finally:
+            repro.shutdown()
+
+    def measure():
+        on = batch_seconds()
+        off = batch_seconds(metrics_enabled=False, trace_events_enabled=False)
+        return on, off
+
+    on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = on / off - 1.0
+    print_table(
+        "Metrics/tracing overhead (300-task batch, best of 3)",
+        ["configuration", "seconds", "overhead"],
+        [
+            ("instrumented (default)", f"{on:.4f}", f"{overhead * 100:+.1f}%"),
+            ("registry+tracing disabled", f"{off:.4f}", "baseline"),
+        ],
+    )
+    assert on < off * 2.0
+
+
+@pytest.mark.benchmark(group="micro")
 def test_micro_summary(benchmark):
     """Print a one-table overview of real-runtime rates."""
     import time

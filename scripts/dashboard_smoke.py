@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Dashboard smoke check for CI: boot a small cluster, run a mixed
+task+actor workload, then hit every dashboard endpoint and validate the
+response shape — strict JSON where JSON is promised, well-formed
+Prometheus exposition for /metrics, and the full documented series
+catalog present.
+
+Run as: PYTHONPATH=src python scripts/dashboard_smoke.py
+Exits non-zero (with a message) on the first violation.
+"""
+
+import json
+import sys
+import urllib.request
+
+import repro
+from repro.tools.http_dashboard import DashboardServer
+
+JSON_ENDPOINTS = (
+    "/snapshot",
+    "/profile",
+    "/trace",
+    "/tasks",
+    "/waits",
+    "/metrics.json",
+    "/critical_path",
+)
+
+REQUIRED_SERIES = (
+    "scheduler_tasks_placed_total",
+    "scheduler_queue_depth",
+    "global_scheduler_decisions_total",
+    "object_store_puts_total",
+    "object_store_used_bytes",
+    "transfer_bytes_total",
+    "fetch_seconds",
+    "gcs_ops_total",
+    "gcs_publishes_total",
+    "reconstruction_tasks_total",
+    "tasks_submitted_total",
+    "actor_methods_submitted_total",
+    "wait_latency_seconds",
+)
+
+
+@repro.remote
+def step(x):
+    return x + 1
+
+
+@repro.remote
+class Tally:
+    def __init__(self):
+        self.total = 0
+
+    def add(self, x):
+        self.total += x
+        return self.total
+
+
+def strict_loads(body):
+    def reject(token):
+        raise SystemExit(f"FAIL: non-JSON constant {token!r} in response body")
+
+    return json.loads(body, parse_constant=reject)
+
+
+def fetch(address, path):
+    with urllib.request.urlopen(address + path, timeout=10) as response:
+        if response.status != 200:
+            raise SystemExit(f"FAIL: GET {path} -> {response.status}")
+        return response.read().decode("utf-8")
+
+
+def check_prometheus(body):
+    seen = set()
+    for line in body.strip().splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise SystemExit(f"FAIL: unknown metric type line: {line!r}")
+            seen.add(name)
+        elif line.startswith("#"):
+            continue
+        else:
+            name_part, _, value = line.rpartition(" ")
+            if not name_part:
+                raise SystemExit(f"FAIL: malformed sample line: {line!r}")
+            float(value)  # must parse as a number
+    missing = [name for name in REQUIRED_SERIES if name not in seen]
+    if missing:
+        raise SystemExit(f"FAIL: /metrics missing documented series: {missing}")
+
+
+def main():
+    repro.init(num_nodes=2, num_cpus_per_node=2)
+    server = DashboardServer(repro.api._global_runtime).start()
+    try:
+        # Mixed workload: a dependency chain, parallel tasks, actor calls.
+        ref = step.remote(0)
+        for _ in range(3):
+            ref = step.remote(ref)
+        tally = Tally.remote()
+        repro.get([step.remote(i) for i in range(8)])
+        repro.get([tally.add.remote(i) for i in range(4)])
+        assert repro.get(ref) == 4
+
+        index = fetch(server.address, "/")
+        if "<html>" not in index:
+            raise SystemExit("FAIL: / did not return HTML")
+
+        for path in JSON_ENDPOINTS:
+            strict_loads(fetch(server.address, path))
+
+        check_prometheus(fetch(server.address, "/metrics"))
+
+        report = strict_loads(fetch(server.address, "/critical_path"))
+        if len(report["steps"]) < 4:
+            raise SystemExit(
+                f"FAIL: critical path shorter than the 4-task chain: {report}"
+            )
+        if report["coverage"] < 0.9:
+            raise SystemExit(f"FAIL: critical-path coverage {report['coverage']}")
+
+        print(
+            "dashboard smoke OK: / + %d JSON endpoints + /metrics "
+            "(%d documented series verified), critical path %d steps "
+            "at %.1f%% coverage"
+            % (
+                len(JSON_ENDPOINTS),
+                len(REQUIRED_SERIES),
+                len(report["steps"]),
+                report["coverage"] * 100,
+            )
+        )
+    finally:
+        server.stop()
+        repro.shutdown()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,11 @@ class WaitStats:
 
     ``backstop_timeouts``/``backstop_recoveries`` are the health signal:
     recoveries mean a wakeup was missed and the guard caught it.
+
+    ``wait_histogram`` (a :class:`repro.common.metrics.Histogram`, or any
+    object with ``observe``) additionally receives the duration of every
+    blocking wait, giving the metrics registry a wait-latency
+    distribution on top of these counts.
     """
 
     __slots__ = (
@@ -48,10 +53,12 @@ class WaitStats:
         "wait_timeouts",
         "backstop_timeouts",
         "backstop_recoveries",
+        "wait_histogram",
     )
 
-    def __init__(self):
+    def __init__(self, wait_histogram=None):
         self._lock = threading.Lock()
+        self.wait_histogram = wait_histogram
         self.notifications = 0  # Completion.set() calls that flipped the flag
         self.callbacks_fired = 0  # listener callbacks invoked by set()
         self.waits = 0  # blocking waits entered
@@ -65,13 +72,15 @@ class WaitStats:
             self.notifications += 1
             self.callbacks_fired += num_callbacks
 
-    def record_wait(self, satisfied: bool) -> None:
+    def record_wait(self, satisfied: bool, seconds: Optional[float] = None) -> None:
         with self._lock:
             self.waits += 1
             if satisfied:
                 self.wakeups += 1
             else:
                 self.wait_timeouts += 1
+        if self.wait_histogram is not None and seconds is not None:
+            self.wait_histogram.observe(seconds)
 
     def record_backstop(self, recovered: bool = False) -> None:
         with self._lock:
@@ -138,10 +147,13 @@ class Completion:
             self._flag = False
 
     def wait(self, timeout: Optional[float] = None) -> bool:
+        if self._stats is None:
+            with self._cond:
+                return self._cond.wait_for(lambda: self._flag, timeout)
+        started = time.monotonic()
         with self._cond:
             satisfied = self._cond.wait_for(lambda: self._flag, timeout)
-        if self._stats is not None:
-            self._stats.record_wait(satisfied)
+        self._stats.record_wait(satisfied, seconds=time.monotonic() - started)
         return satisfied
 
     def add_callback(self, callback: Callable[["Completion"], None]) -> None:
@@ -169,10 +181,16 @@ def wait_any(
     completions: Sequence[Completion],
     timeout: Optional[float] = None,
     count: int = 1,
+    stats: Optional[WaitStats] = None,
 ) -> List[Completion]:
     """Block until ``count`` of ``completions`` are set or ``timeout``
     expires.  Returns the completions that are set on exit (possibly
-    fewer than ``count`` on timeout)."""
+    fewer than ``count`` on timeout).
+
+    ``stats`` records the blocking portion of the multi-wait (the fast
+    path — enough completions already set — records nothing, matching
+    ``Completion.wait``'s accounting of actual blocks only).
+    """
     ready = [c for c in completions if c.is_set()]
     if len(ready) >= count or not completions:
         return ready
@@ -186,8 +204,9 @@ def wait_any(
     registered = list(completions)
     for completion in registered:
         completion.add_callback(poke)
+    started = time.monotonic()
     try:
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else started + timeout
         with gate:
             while True:
                 ready = [c for c in completions if c.is_set()]
@@ -203,3 +222,7 @@ def wait_any(
     finally:
         for completion in registered:
             completion.remove_callback(poke)
+        if stats is not None:
+            stats.record_wait(
+                len(ready) >= count, seconds=time.monotonic() - started
+            )

@@ -1,0 +1,425 @@
+"""Cluster-wide metrics registry: low-overhead runtime instrumentation.
+
+The paper's argument for the GCS is that centralizing control state makes
+system-wide introspection trivial (Section 7).  The event log covers
+*per-task* history; this module covers *aggregate* health — counters,
+gauges, and histograms maintained inline by the hot layers (schedulers,
+object stores, transfer, GCS shards, the notification layer) and exported
+in Prometheus text-exposition format or as JSON by the dashboard.
+
+Design constraints:
+
+* **Low overhead** — one lock acquisition per update; histogram bucketing
+  is a :func:`bisect.bisect_left` over a fixed tuple.  A disabled registry
+  hands out shared null metrics whose update methods are single-``pass``
+  no-ops, so instrumented code needs no ``if`` guards.
+* **Thread safety** — every metric carries its own lock; gauges may
+  instead be *callback gauges* that read a live value at scrape time
+  (e.g. a scheduler's queue depth) and take no update locks at all.
+* **Fixed log-spaced histogram buckets** — quantiles are estimated from
+  bucket counts with the same nearest-rank rule the simulator's
+  :class:`repro.sim.metrics.LatencyStats` uses on raw samples
+  (:func:`percentile_rank`), so the two layers agree on quantile math.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+# 1 µs .. ~2100 s in 3 buckets per decade: covers sub-millisecond wakeup
+# latencies and multi-minute job phases with the same fixed layout.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    1e-6 * (10 ** (i / 3)) for i in range(29)
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared quantile math (used by Histogram here and LatencyStats in the sim)
+# ---------------------------------------------------------------------------
+
+
+def percentile_rank(count: int, p: float) -> int:
+    """Nearest-rank index of the ``p``-th percentile among ``count`` ordered
+    samples.  The single definition both the runtime histograms and the
+    simulator's raw-sample stats use, so their quantiles agree."""
+    if count <= 0:
+        raise ValueError("percentile of an empty collection")
+    return min(count - 1, max(0, int(round(p / 100 * (count - 1)))))
+
+
+def percentile(sorted_samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of pre-sorted samples (NaN when empty)."""
+    if not sorted_samples:
+        return math.nan
+    return sorted_samples[percentile_rank(len(sorted_samples), p)]
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """min/mean/max/p50/p95/p99 of raw samples, NaN-filled when empty."""
+    if not samples:
+        return {k: math.nan for k in ("min", "mean", "max", "p50", "p95", "p99")}
+    ordered = sorted(samples)
+    return {
+        "min": ordered[0],
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+        "p50": percentile(ordered, 50),
+        "p95": percentile(ordered, 95),
+        "p99": percentile(ordered, 99),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Metric primitives
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, decisions)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a Gauge to go down")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read via callback.
+
+    Callback gauges (``fn=...``) cost nothing on the update path — the
+    value is pulled from live state at scrape time.
+    """
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None):
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:  # pragma: no cover - scrape must never raise
+                return math.nan
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed log-spaced-bucket distribution (latencies, sizes).
+
+    ``buckets`` are upper bounds; observations above the last bound land
+    in the implicit +Inf bucket.  Quantiles are *estimates*: the bucket
+    containing the nearest-rank sample is located with
+    :func:`percentile_rank` and its upper bound is reported.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None):
+        self.buckets: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted")
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else math.nan
+
+    def bucket_counts(self) -> List[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the nearest-rank sample."""
+        with self._lock:
+            if not self._count:
+                return math.nan
+            rank = percentile_rank(self._count, p)
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative > rank:
+                    if index < len(self.buckets):
+                        return self.buckets[index]
+                    return self._max  # +Inf bucket: best bound we have
+            return self._max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+            low = self._min if count else math.nan
+            high = self._max if count else math.nan
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else math.nan,
+            "min": low,
+            "max": high,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class _NullMetric:
+    """Shared stand-in when the registry is disabled: every op is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class _Family:
+    """All series of one metric name (one per distinct label set)."""
+
+    __slots__ = ("name", "kind", "help", "series")
+
+    def __init__(self, name: str, kind: str, help: str):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: "Dict[Tuple[Tuple[str, str], ...], Any]" = {}
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+class MetricsRegistry:
+    """Per-runtime collection of named metric families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling twice
+    with the same name and labels returns the same instance, so
+    instrumented components can look series up at construction time and
+    hold direct references (no registry work on the hot path).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- get-or-create ------------------------------------------------------
+
+    def _series(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Dict[str, str],
+        factory: Callable[[], Any],
+    ) -> Any:
+        if not self.enabled:
+            return _NULL_METRIC
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            key = _label_key(labels)
+            metric = family.series.get(key)
+            if metric is None:
+                metric = factory()
+                family.series[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+        **labels: str,
+    ) -> Gauge:
+        return self._series(name, "gauge", help, labels, lambda: Gauge(fn=fn))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        return self._series(
+            name, "histogram", help, labels, lambda: Histogram(buckets=buckets)
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def series_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    # -- export -------------------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, metric in sorted(family.series.items()):
+                if family.kind == "histogram":
+                    cumulative = 0
+                    counts = metric.bucket_counts()
+                    for bound, count in zip(metric.buckets, counts):
+                        cumulative += count
+                        bucket_key = key + (("le", f"{bound:.6g}"),)
+                        lines.append(
+                            f"{family.name}_bucket{_format_labels(bucket_key)}"
+                            f" {cumulative}"
+                        )
+                    cumulative += counts[-1]
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(inf_key)} {cumulative}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(key)} {metric.sum:.9g}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(key)} {metric.count}"
+                    )
+                else:
+                    value = metric.value
+                    rendered = f"{value:.9g}" if math.isfinite(value) else "NaN"
+                    lines.append(
+                        f"{family.name}{_format_labels(key)} {rendered}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view: {name: {type, help, series: [{labels, ...}]}}.
+
+        Non-finite values are mapped to None so the result survives
+        ``json.dumps(..., allow_nan=False)``.
+        """
+
+        def clean(value: float) -> Optional[float]:
+            return value if isinstance(value, (int, float)) and math.isfinite(
+                value
+            ) else None
+
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            rows = []
+            for key, metric in sorted(family.series.items()):
+                row: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    row.update(
+                        {k: clean(v) for k, v in metric.snapshot().items()}
+                    )
+                else:
+                    row["value"] = clean(metric.value)
+                rows.append(row)
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": rows,
+            }
+        return out
+
+
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+"""Shared disabled registry: the default for components constructed
+outside a runtime (unit tests, standalone benchmarks)."""

@@ -353,6 +353,13 @@ class ActorManager:
         if is_replay:
             with self._lock:
                 self.replayed_methods += 1
+        runtime.trace_event(
+            "task_scheduled",
+            task=spec.task_id.hex()[:8],
+            name=spec.function_name,
+            node=node.node_id.hex()[:8],
+            t=time.perf_counter(),
+        )
         for dep in spec.dependencies():
             if not runtime.fetch_to_node(
                 dep,
@@ -361,6 +368,13 @@ class ActorManager:
                 interrupt=interrupt,
             ):
                 return
+        runtime.trace_event(
+            "task_inputs_ready",
+            task=spec.task_id.hex()[:8],
+            name=spec.function_name,
+            node=node.node_id.hex()[:8],
+            t=time.perf_counter(),
+        )
         gcs.update_task_status(spec.task_id, TaskStatus.RUNNING, node_id=node.node_id)
         started = time.perf_counter()
         status = TaskStatus.FINISHED

@@ -25,6 +25,7 @@ import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.common.errors import ResourceRequestError
+from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.task_spec import TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -59,6 +60,8 @@ class GlobalScheduler:
         default_task_duration: float = 0.001,
         default_bandwidth: float = 2e9,
         decision_delay: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+        index: int = 0,
     ):
         self.gcs = gcs
         self._get_nodes = get_nodes
@@ -69,6 +72,17 @@ class GlobalScheduler:
         self.decisions = 0
         self._tie_breaker = 0
         self._lock = threading.Lock()
+        metrics = metrics or NULL_REGISTRY
+        self._m_decisions = metrics.counter(
+            "global_scheduler_decisions_total",
+            "Placement decisions made",
+            scheduler=str(index),
+        )
+        self._m_estimated_wait = metrics.histogram(
+            "global_scheduler_estimated_wait_seconds",
+            "Estimated waiting time of the chosen node at placement",
+            scheduler=str(index),
+        )
 
     # -- learning (heartbeat / completion reports) ------------------------------
 
@@ -124,6 +138,8 @@ class GlobalScheduler:
             for index, node in enumerate(candidates)
         ]
         best_wait = min(score for score, _i, _n in scored)
+        self._m_decisions.inc()
+        self._m_estimated_wait.observe(best_wait)
         # Round-robin among near-ties so equal nodes share load.
         ties = [node for score, _i, node in scored if score <= best_wait + 1e-12]
         return ties[offset % len(ties)]

@@ -18,11 +18,13 @@ are available.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.common.events import BACKSTOP_INTERVAL, WaitStats
 from repro.common.ids import ObjectID, TaskID
+from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.task_spec import TaskSpec
 from repro.gcs.tables import TaskStatus
 
@@ -42,6 +44,8 @@ class LocalScheduler:
         execute: Callable[["Node", TaskSpec, Dict[str, float]], None],
         spillback_threshold: int = 16,
         wait_stats: Optional[WaitStats] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[Callable[..., None]] = None,
     ):
         self.node = node
         self.gcs = gcs
@@ -50,16 +54,41 @@ class LocalScheduler:
         self._execute = execute
         self.spillback_threshold = spillback_threshold
         self._wait_stats = wait_stats
+        self._trace = trace
 
         self._cond = threading.Condition()
         self._ready: deque = deque()
         self._waiting: Dict[TaskID, Set[ObjectID]] = {}
         self._waiting_specs: Dict[TaskID, TaskSpec] = {}
         self._running: Set[TaskID] = set()
+        self._ready_since: Dict[TaskID, float] = {}
         self._stopped = False
 
         self.scheduled_locally = 0
         self.forwarded = 0
+
+        metrics = metrics or NULL_REGISTRY
+        node_label = node.node_id.hex()[:8]
+        self._m_placed = metrics.counter(
+            "scheduler_tasks_placed_total", "Tasks placed on this node",
+            node=node_label,
+        )
+        self._m_spillbacks = metrics.counter(
+            "scheduler_spillbacks_total",
+            "Tasks forwarded to a global scheduler",
+            node=node_label,
+        )
+        self._m_dispatch = metrics.histogram(
+            "scheduler_dispatch_seconds",
+            "Latency from inputs-ready to worker dispatch",
+            node=node_label,
+        )
+        metrics.gauge(
+            "scheduler_queue_depth",
+            "Tasks waiting for inputs or resources",
+            fn=self.queue_length,
+            node=node_label,
+        )
 
         node.resources.add_release_listener(self._notify)
         self._dispatcher = threading.Thread(
@@ -79,6 +108,7 @@ class LocalScheduler:
             or self.backlog() >= self.spillback_threshold
         ):
             self.forwarded += 1
+            self._m_spillbacks.inc()
             self._forward_to_global(spec)
             return
         self.scheduled_locally += 1
@@ -95,12 +125,15 @@ class LocalScheduler:
         self.gcs.update_task_status(
             spec.task_id, TaskStatus.SCHEDULED, node_id=self.node.node_id
         )
+        self._m_placed.inc()
+        self._emit("task_scheduled", spec)
         missing = {
             dep
             for dep in spec.dependencies()
             if not self.node.store.contains(dep)
         }
         if not missing:
+            self._emit("task_inputs_ready", spec)
             self._enqueue_ready(spec)
             return
         with self._cond:
@@ -112,6 +145,17 @@ class LocalScheduler:
             )
             self.fetcher.ensure_local(dep, self.node)
 
+    def _emit(self, category: str, spec: TaskSpec) -> None:
+        """Record a task-lifecycle trace event (never under ``_cond``)."""
+        if self._trace is not None:
+            self._trace(
+                category,
+                task=spec.task_id.hex()[:8],
+                name=spec.function_name,
+                node=self.node.node_id.hex()[:8],
+                t=time.perf_counter(),
+            )
+
     def _input_ready(self, task_id: TaskID, object_id: ObjectID) -> None:
         with self._cond:
             pending = self._waiting.get(task_id)
@@ -122,12 +166,15 @@ class LocalScheduler:
                 return
             del self._waiting[task_id]
             spec = self._waiting_specs.pop(task_id)
-            self._ready.append(spec)
-            self._cond.notify_all()
+        # Emit before enqueueing (and outside the lock): once dispatched the
+        # span boundaries must already be in the log.
+        self._emit("task_inputs_ready", spec)
+        self._enqueue_ready(spec)
 
     def _enqueue_ready(self, spec: TaskSpec) -> None:
         with self._cond:
             self._ready.append(spec)
+            self._ready_since[spec.task_id] = time.monotonic()
             self._cond.notify_all()
 
     # -- dispatch ----------------------------------------------------------------
@@ -170,6 +217,9 @@ class LocalScheduler:
         for index, spec in enumerate(self._ready):
             if self.node.resources.try_acquire(spec.resources):
                 del self._ready[index]
+                ready_at = self._ready_since.pop(spec.task_id, None)
+                if ready_at is not None:
+                    self._m_dispatch.observe(time.monotonic() - ready_at)
                 return spec
         return None
 
@@ -203,6 +253,7 @@ class LocalScheduler:
             self._ready.clear()
             self._waiting.clear()
             self._waiting_specs.clear()
+            self._ready_since.clear()
             return drained
 
     def stop(self) -> None:

@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional
 from repro.common.errors import ObjectStoreFullError
 from repro.common.events import Completion, WaitStats
 from repro.common.ids import NodeID, ObjectID
+from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.common.serialization import SerializedObject
 
 
@@ -44,6 +45,7 @@ class LocalObjectStore:
         on_evict: Optional[Callable[[ObjectID], None]] = None,
         spill_directory: Optional[str] = None,
         wait_stats: Optional[WaitStats] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.node_id = node_id
         self.capacity_bytes = capacity_bytes
@@ -62,6 +64,32 @@ class LocalObjectStore:
         self._spilled: Dict[ObjectID, str] = {}
         if spill_directory is not None:
             os.makedirs(spill_directory, exist_ok=True)
+        metrics = metrics or NULL_REGISTRY
+        node = node_id.hex()[:8]
+        self._m_puts = metrics.counter(
+            "object_store_puts_total", "Objects stored (first copy)", node=node
+        )
+        self._m_gets = metrics.counter(
+            "object_store_gets_total", "Read attempts", node=node
+        )
+        self._m_hits = metrics.counter(
+            "object_store_hits_total", "Reads served locally", node=node
+        )
+        self._m_misses = metrics.counter(
+            "object_store_misses_total", "Reads that found nothing", node=node
+        )
+        self._m_evictions = metrics.counter(
+            "object_store_evictions_total", "LRU evictions (incl. spills)", node=node
+        )
+        self._m_evicted_bytes = metrics.counter(
+            "object_store_evicted_bytes_total", "Bytes evicted by LRU", node=node
+        )
+        metrics.gauge(
+            "object_store_used_bytes",
+            "Bytes resident in memory",
+            fn=lambda: self.used_bytes,
+            node=node,
+        )
 
     # -- core operations -----------------------------------------------------
 
@@ -85,6 +113,7 @@ class LocalObjectStore:
             self._objects[object_id] = value
             self._used_bytes += value.total_bytes
             self.put_count += 1
+            self._m_puts.inc()
             completion = self._events.get(object_id)
         # Signal outside the store lock: waiter callbacks (scheduler input-
         # ready, fetcher bookkeeping) take their own locks.
@@ -93,13 +122,19 @@ class LocalObjectStore:
         return True
 
     def get(self, object_id: ObjectID) -> Optional[SerializedObject]:
+        self._m_gets.inc()
         with self._lock:
             value = self._objects.get(object_id)
             if value is not None:
                 self._objects.move_to_end(object_id)  # LRU touch
+                self._m_hits.inc()
                 return value
             if object_id in self._spilled:
-                return self._restore_from_disk(object_id)
+                value = self._restore_from_disk(object_id)
+                if value is not None:
+                    self._m_hits.inc()
+                    return value
+            self._m_misses.inc()
             return None
 
     def contains(self, object_id: ObjectID) -> bool:
@@ -163,6 +198,8 @@ class LocalObjectStore:
             value = self._objects.pop(object_id)
             self._used_bytes -= value.total_bytes
             self.eviction_count += 1
+            self._m_evictions.inc()
+            self._m_evicted_bytes.inc(value.total_bytes)
             if self._spill_directory is not None:
                 self._spill_to_disk(object_id, value)
                 continue  # still available: no event clear, no callback

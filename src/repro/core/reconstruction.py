@@ -32,6 +32,13 @@ class ReconstructionManager:
         self._inflight: Set[TaskID] = set()
         self.reconstructed_tasks = 0
         self.reconstructed_objects = 0
+        self._m_tasks = runtime.metrics.counter(
+            "reconstruction_tasks_total", "Tasks re-executed to recover objects"
+        )
+        self._m_objects = runtime.metrics.counter(
+            "reconstruction_objects_total",
+            "Objects recovered through lineage replay",
+        )
 
     def task_finished(self, task_id: TaskID) -> None:
         with self._lock:
@@ -80,6 +87,8 @@ class ReconstructionManager:
             self._inflight.add(task_id)
             self.reconstructed_tasks += 1
             self.reconstructed_objects += spec.num_returns
+        self._m_tasks.inc()
+        self._m_objects.inc(spec.num_returns)
         runtime.gcs.update_task_status(task_id, TaskStatus.PENDING)
         runtime.gcs.record_event(
             "task_reconstructed",

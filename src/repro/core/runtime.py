@@ -28,6 +28,7 @@ from repro.common.errors import (
     TaskExecutionError,
 )
 from repro.common.events import BACKSTOP_INTERVAL, Completion, WaitStats, wait_any
+from repro.common.metrics import MetricsRegistry
 from repro.common.ids import (
     ActorID,
     FunctionID,
@@ -76,6 +77,12 @@ class RuntimeConfig:
     # snapshot for collected task records.
     gcs_flush_path: Optional[str] = None
     gcs_flush_threshold: int = 10_000
+    # Observability layer: the metrics registry (counters/gauges/histograms
+    # maintained by every hot layer) and task-lifecycle trace events
+    # (task_submitted / task_scheduled / task_inputs_ready in the GCS event
+    # log).  Both default on; the micro benchmark measures their cost.
+    metrics_enabled: bool = True
+    trace_events_enabled: bool = True
 
 
 class Node:
@@ -102,6 +109,7 @@ class Node:
             on_evict=lambda oid: runtime.gcs.remove_object_location(oid, node_id),
             spill_directory=spill_directory,
             wait_stats=runtime.wait_stats,
+            metrics=runtime.metrics,
         )
         self.local_scheduler = LocalScheduler(
             node=self,
@@ -111,6 +119,8 @@ class Node:
             execute=lambda node, spec, held: execute_task(runtime, node, spec, held),
             spillback_threshold=runtime.config.spillback_threshold,
             wait_stats=runtime.wait_stats,
+            metrics=runtime.metrics,
+            trace=runtime.trace_event,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -127,15 +137,27 @@ class Runtime:
             raise ValueError("pass either a config object or keyword overrides")
         self.config = config
         self.stopped = False
+        # The cluster-wide metrics registry: every hot layer registers its
+        # series here at construction time; the dashboard exports them.
+        self.metrics = MetricsRegistry(enabled=config.metrics_enabled)
+        self._trace_enabled = config.trace_events_enabled
         # One cluster-wide counter block for the notification layer; every
-        # store, scheduler, and blocking wait reports into it.
-        self.wait_stats = WaitStats()
+        # store, scheduler, and blocking wait reports into it.  The wait-
+        # latency histogram gives the counters a distribution to stand on.
+        self.wait_stats = WaitStats(
+            wait_histogram=self.metrics.histogram(
+                "wait_latency_seconds",
+                "Duration of blocking waits in the notification layer",
+            )
+        )
 
         self.gcs = GlobalControlStore(
-            num_shards=config.gcs_shards, num_replicas=config.gcs_replicas
+            num_shards=config.gcs_shards,
+            num_replicas=config.gcs_replicas,
+            metrics=self.metrics,
         )
-        self.transfer = TransferService(self.gcs)
-        self.fetcher = ObjectFetcher(self.gcs, self.transfer)
+        self.transfer = TransferService(self.gcs, metrics=self.metrics)
+        self.fetcher = ObjectFetcher(self.gcs, self.transfer, metrics=self.metrics)
         self.graph = TaskGraph()
         self.global_schedulers = [
             GlobalScheduler(
@@ -143,9 +165,17 @@ class Runtime:
                 get_nodes=self.live_nodes,
                 locality_aware=config.locality_aware,
                 decision_delay=config.scheduler_delay,
+                metrics=self.metrics,
+                index=index,
             )
-            for _ in range(max(1, config.num_global_schedulers))
+            for index in range(max(1, config.num_global_schedulers))
         ]
+        self._m_tasks_submitted = self.metrics.counter(
+            "tasks_submitted_total", "Stateless task submissions"
+        )
+        self._m_methods_submitted = self.metrics.counter(
+            "actor_methods_submitted_total", "Actor method submissions"
+        )
         # itertools.count() is C-implemented, so next() is atomic: safe for
         # concurrent submitters without a lock.
         self._scheduler_rr = itertools.count()
@@ -242,6 +272,12 @@ class Runtime:
     def global_scheduler_for(self, spec: TaskSpec) -> GlobalScheduler:
         index = next(self._scheduler_rr) % len(self.global_schedulers)
         return self.global_schedulers[index]
+
+    def trace_event(self, category: str, **payload: Any) -> None:
+        """Append a task-lifecycle event to the GCS event log (gated by
+        ``config.trace_events_enabled``)."""
+        if self._trace_enabled:
+            self.gcs.record_event(category, **payload)
 
     def route_and_place(self, spec: TaskSpec) -> None:
         node = self.global_scheduler_for(spec).schedule(spec)
@@ -343,6 +379,13 @@ class Runtime:
             self.gcs.update_task_status(task_id, TaskStatus.PENDING)
         else:
             self.gcs.add_task(task_id, spec)
+        self._m_tasks_submitted.inc()
+        self.trace_event(
+            "task_submitted",
+            task=task_id.hex()[:8],
+            name=function_name,
+            t=time.perf_counter(),
+        )
         self.graph.add_task(spec)
         node.local_scheduler.submit(spec)
         return spec.return_ids
@@ -422,6 +465,13 @@ class Runtime:
 
         spec = self.actors.submit_method(build, actor_id)
         self.gcs.add_task(spec.task_id, spec)
+        self._m_methods_submitted.inc()
+        self.trace_event(
+            "task_submitted",
+            task=spec.task_id.hex()[:8],
+            name=spec.function_name,
+            t=time.perf_counter(),
+        )
         self.graph.add_task(spec)
         return spec.return_ids
 
@@ -502,7 +552,7 @@ class Runtime:
                 if deadline is not None:
                     remaining = min(remaining, deadline - time.monotonic())
                 if remaining > 0:
-                    wait_any(waitables, timeout=remaining)
+                    wait_any(waitables, timeout=remaining, stats=self.wait_stats)
                 if available.is_set():
                     return True
                 if cancelled is not None and cancelled():

@@ -110,6 +110,27 @@ class TaskGraph:
                 if e.kind == EdgeType.DATA
             ]
 
+    def predecessors_of(self, task_id: TaskID) -> List[TaskID]:
+        """Tasks that must *finish* before ``task_id`` can run: producers
+        of its data dependencies plus its stateful predecessor (control
+        edges are excluded — a parent merely submits the child mid-run)."""
+        with self._lock:
+            out: List[TaskID] = []
+            for edge in self._in.get(task_id, ()):
+                if edge.kind == EdgeType.STATEFUL and isinstance(edge.src, TaskID):
+                    out.append(edge.src)
+                elif edge.kind == EdgeType.DATA and isinstance(edge.src, ObjectID):
+                    for producer_edge in self._in.get(edge.src, ()):
+                        if producer_edge.kind == EdgeType.DATA and isinstance(
+                            producer_edge.src, TaskID
+                        ):
+                            out.append(producer_edge.src)
+            return out
+
+    def task_ids(self) -> List[TaskID]:
+        with self._lock:
+            return list(self._tasks)
+
     def children_of(self, task_id: TaskID) -> List[TaskID]:
         """Tasks invoked by ``task_id`` (control edges out)."""
         with self._lock:

@@ -21,9 +21,11 @@ blocked reader — there is no polling anywhere on this path.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
 
 from repro.common.ids import NodeID, ObjectID
+from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.common.serialization import SerializedObject
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,13 +57,28 @@ def striped_copy(value: SerializedObject, chunk_bytes: int = DEFAULT_CHUNK_BYTES
 class TransferService:
     """Copies objects between node stores and updates the object table."""
 
-    def __init__(self, gcs: "GlobalControlStore", chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+    def __init__(
+        self,
+        gcs: "GlobalControlStore",
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.gcs = gcs
         self.chunk_bytes = chunk_bytes
         self._nodes: Dict[NodeID, "Node"] = {}
         self.transfer_count = 0
         self.bytes_transferred = 0
         self._lock = threading.Lock()
+        metrics = metrics or NULL_REGISTRY
+        self._m_transfers = metrics.counter(
+            "transfer_objects_total", "Inter-node object replications"
+        )
+        self._m_bytes = metrics.counter(
+            "transfer_bytes_total", "Bytes replicated between node stores"
+        )
+        self._m_seconds = metrics.histogram(
+            "transfer_seconds", "Wall-clock duration of one object replication"
+        )
 
     def register_node(self, node: "Node") -> None:
         self._nodes[node.node_id] = node
@@ -93,12 +110,16 @@ class TransferService:
             if value is None:
                 # Stale GCS entry (e.g. evicted between lookup and read).
                 continue
+            started = time.monotonic()
             copy = striped_copy(value, self.chunk_bytes)
             stored = dst.store.put(object_id, copy)
             if stored:
                 with self._lock:
                     self.transfer_count += 1
                     self.bytes_transferred += copy.total_bytes
+                self._m_transfers.inc()
+                self._m_bytes.inc(copy.total_bytes)
+                self._m_seconds.observe(time.monotonic() - started)
                 self.gcs.add_object_location(object_id, dst.node_id)
             return True
         return False
@@ -107,14 +128,24 @@ class TransferService:
 class ObjectFetcher:
     """Makes objects local to a node, by transfer or reconstruction."""
 
-    def __init__(self, gcs: "GlobalControlStore", transfer: TransferService):
+    def __init__(
+        self,
+        gcs: "GlobalControlStore",
+        transfer: TransferService,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.gcs = gcs
         self.transfer = transfer
         # reconstruct(object_id) is installed by the runtime after the
         # reconstruction manager exists (breaks a construction cycle).
         self.reconstruct: Optional[Callable[[ObjectID], None]] = None
-        self._inflight: Set[Tuple[NodeID, ObjectID]] = set()
+        self._inflight: Dict[Tuple[NodeID, ObjectID], float] = {}
         self._inflight_lock = threading.Lock()
+        metrics = metrics or NULL_REGISTRY
+        self._m_fetch_seconds = metrics.histogram(
+            "fetch_seconds",
+            "Latency from a fetch request to the object being local",
+        )
 
     def ensure_local(self, object_id: ObjectID, node: "Node") -> None:
         """Arrange for ``object_id`` to (eventually) appear in ``node``'s
@@ -126,11 +157,13 @@ class ObjectFetcher:
         with self._inflight_lock:
             if key in self._inflight:
                 return
-            self._inflight.add(key)
+            self._inflight[key] = time.monotonic()
 
         def finished(_oid: ObjectID) -> None:
             with self._inflight_lock:
-                self._inflight.discard(key)
+                started = self._inflight.pop(key, None)
+            if started is not None:
+                self._m_fetch_seconds.observe(time.monotonic() - started)
 
         node.store.on_available(object_id, finished)
 

@@ -38,11 +38,13 @@ class GlobalControlStore:
         num_shards: int = 1,
         num_replicas: int = 2,
         hop_delay: float = 0.0,
+        metrics: Any = None,
     ):
         self.kv = ShardedKV(
             num_shards=num_shards,
             num_replicas=num_replicas,
             hop_delay=hop_delay,
+            metrics=metrics,
         )
         self._lock = threading.RLock()
 

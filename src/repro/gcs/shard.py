@@ -10,9 +10,10 @@ one shard.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
 from repro.common.ids import BaseID, shard_index
+from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.gcs.chain import ReplicatedChain
 
 
@@ -33,6 +34,7 @@ class ShardedKV:
         num_replicas: int = 2,
         hop_delay: float = 0.0,
         transfer_delay_per_entry: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -43,6 +45,29 @@ class ShardedKV:
                 transfer_delay_per_entry=transfer_delay_per_entry,
             )
             for _ in range(num_shards)
+        ]
+        metrics = metrics or NULL_REGISTRY
+        # Pre-built per-shard counter rows: the hot path does one dict
+        # lookup + one locked increment per operation.
+        self._op_counters = [
+            {
+                op: metrics.counter(
+                    "gcs_ops_total",
+                    "GCS single-key operations per shard",
+                    shard=str(index),
+                    op=op,
+                )
+                for op in ("get", "put", "append", "log")
+            }
+            for index in range(num_shards)
+        ]
+        self._publish_counters = [
+            metrics.counter(
+                "gcs_publishes_total",
+                "Pub-sub publications (one per successful write)",
+                shard=str(index),
+            )
+            for index in range(num_shards)
         ]
 
     @property
@@ -55,16 +80,26 @@ class ShardedKV:
     # -- delegated single-key surface ---------------------------------------
 
     def put(self, key: Any, value: Any) -> None:
-        self.shard_for(key).put(key, value)
+        index = _shard_of(key, len(self.shards))
+        self.shards[index].put(key, value)
+        self._op_counters[index]["put"].inc()
+        self._publish_counters[index].inc()
 
     def get(self, key: Any, default: Any = None) -> Any:
-        return self.shard_for(key).get(key, default)
+        index = _shard_of(key, len(self.shards))
+        self._op_counters[index]["get"].inc()
+        return self.shards[index].get(key, default)
 
     def append(self, key: Any, entry: Any) -> None:
-        self.shard_for(key).append(key, entry)
+        index = _shard_of(key, len(self.shards))
+        self.shards[index].append(key, entry)
+        self._op_counters[index]["append"].inc()
+        self._publish_counters[index].inc()
 
     def log(self, key: Any) -> List[Any]:
-        return self.shard_for(key).log(key)
+        index = _shard_of(key, len(self.shards))
+        self._op_counters[index]["log"].inc()
+        return self.shards[index].log(key)
 
     def contains(self, key: Any) -> bool:
         return self.shard_for(key).contains(key)

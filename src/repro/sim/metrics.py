@@ -11,6 +11,8 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Sequence, Tuple
 
+from repro.common.metrics import percentile as _percentile
+
 
 class ThroughputTimeline:
     """Completion counts bucketed by (time bucket, category)."""
@@ -68,11 +70,9 @@ class LatencyStats:
         return min(self.samples) if self.samples else math.nan
 
     def percentile(self, p: float) -> float:
-        if not self.samples:
-            return math.nan
-        ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, max(0, int(round(p / 100 * (len(ordered) - 1)))))
-        return ordered[index]
+        # Quantile math shared with the runtime metrics layer
+        # (repro.common.metrics), so sim and runtime summaries agree.
+        return _percentile(sorted(self.samples), p)
 
 
 def mean(values: Sequence[float]) -> float:

@@ -12,18 +12,25 @@ inspect — they simply read the GCS.  These are those tools:
   (the paper's timeline visualization tool).
 * :class:`~repro.tools.profiler.Profiler` — per-function aggregate
   durations and counts from the same events.
+* :class:`~repro.tools.critical_path.CriticalPath` — walks task-graph
+  lineage to report the chain of task executions that bounded the job's
+  wall clock, attributed to scheduling / transfer / execution phases.
 """
 
+from repro.tools.critical_path import CriticalPath, CriticalPathReport
 from repro.tools.inspect import ClusterInspector, ClusterSnapshot
 from repro.tools.profiler import FunctionProfile, Profiler
-from repro.tools.timeline import Timeline, TimelineSpan
+from repro.tools.timeline import TaskLifecycle, Timeline, TimelineSpan
 from repro.tools.http_dashboard import DashboardServer
 
 __all__ = [
     "ClusterInspector",
     "ClusterSnapshot",
+    "CriticalPath",
+    "CriticalPathReport",
     "Timeline",
     "TimelineSpan",
+    "TaskLifecycle",
     "Profiler",
     "FunctionProfile",
     "DashboardServer",

@@ -1,9 +1,11 @@
 """A minimal Web UI over the GCS (the "Web UI" box of Figure 5).
 
-Serves the cluster inspector's snapshot, the per-function profile, and the
-Chrome trace as JSON/HTML over HTTP on localhost.  Everything is read from
-the GCS — the dashboard asks no component for anything, the paper's point
-about tooling on a centralized control store.
+Serves the cluster inspector's snapshot, the per-function profile, the
+Chrome trace, the metrics registry, and the critical-path report as
+JSON/HTML/Prometheus text over HTTP on localhost.  Everything is read from
+the GCS and the runtime's metrics registry — the dashboard asks no
+component for anything, the paper's point about tooling on a centralized
+control store.
 
     from repro.tools.http_dashboard import DashboardServer
     server = DashboardServer(runtime)
@@ -12,12 +14,15 @@ about tooling on a centralized control store.
     server.stop()
 
 Endpoints:
-  /            tiny HTML overview
-  /snapshot    cluster snapshot JSON
-  /profile     per-function execution statistics JSON
-  /trace       Chrome trace JSON (load in chrome://tracing)
-  /tasks       task-status counts JSON
-  /waits       wait-path / notification-layer statistics JSON
+  /              tiny HTML overview
+  /snapshot      cluster snapshot JSON
+  /profile       per-function execution statistics JSON
+  /trace         Chrome trace JSON (load in chrome://tracing)
+  /tasks         task-status counts JSON
+  /waits         wait-path / notification-layer statistics JSON
+  /metrics       cluster metrics, Prometheus text-exposition format
+  /metrics.json  the same metrics as JSON
+  /critical_path critical-path report JSON
 """
 
 from __future__ import annotations
@@ -26,8 +31,9 @@ import json
 import threading
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
+from repro.tools.critical_path import CriticalPath
 from repro.tools.inspect import ClusterInspector
 from repro.tools.profiler import Profiler
 from repro.tools.timeline import Timeline
@@ -36,18 +42,42 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import Runtime
 
 
+def _sanitize(obj: Any) -> Any:
+    """Replace non-finite floats with None, recursively.
+
+    ``json.dumps`` happily emits bare ``Infinity``/``NaN`` tokens, which
+    are *not* JSON — strict parsers (browsers, jq) reject the whole body.
+    A never-called function's ``min_seconds`` is ``inf``, so this is a
+    real path, not an edge case.
+    """
+    if isinstance(obj, float):
+        return obj if obj == obj and obj not in (float("inf"), float("-inf")) else None
+    if isinstance(obj, dict):
+        return {key: _sanitize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitize(value) for value in obj]
+    return obj
+
+
+def _json_dumps(obj: Any) -> str:
+    # allow_nan=False turns any non-finite float that slips past
+    # _sanitize into a loud ValueError instead of invalid JSON.
+    return json.dumps(_sanitize(obj), allow_nan=False)
+
+
 def _snapshot_json(runtime: "Runtime") -> str:
-    return json.dumps(asdict(ClusterInspector(runtime).snapshot()))
+    return _json_dumps(asdict(ClusterInspector(runtime).snapshot()))
 
 
 def _profile_json(runtime: "Runtime") -> str:
     profiles = Profiler(runtime).profiles()
-    return json.dumps(
+    return _json_dumps(
         {
             name: {
                 "calls": p.calls,
                 "total_seconds": p.total_seconds,
                 "mean_seconds": p.mean_seconds,
+                "min_seconds": p.min_seconds,
                 "max_seconds": p.max_seconds,
                 "failures": p.failures,
             }
@@ -66,7 +96,10 @@ def _index_html(runtime: "Runtime") -> str:
         '<a href="/profile">profile.json</a> · '
         '<a href="/trace">trace.json</a> · '
         '<a href="/tasks">tasks.json</a> · '
-        '<a href="/waits">waits.json</a></p>'
+        '<a href="/waits">waits.json</a> · '
+        '<a href="/metrics">metrics</a> · '
+        '<a href="/metrics.json">metrics.json</a> · '
+        '<a href="/critical_path">critical_path.json</a></p>'
         "</body></html>"
     )
 
@@ -97,12 +130,27 @@ class DashboardServer:
                         )
                     elif self.path == "/tasks":
                         body, content_type = (
-                            json.dumps(ClusterInspector(outer.runtime).tasks_by_status()),
+                            _json_dumps(ClusterInspector(outer.runtime).tasks_by_status()),
                             "application/json",
                         )
                     elif self.path == "/waits":
                         body, content_type = (
-                            json.dumps(ClusterInspector(outer.runtime).wait_path_stats()),
+                            _json_dumps(ClusterInspector(outer.runtime).wait_path_stats()),
+                            "application/json",
+                        )
+                    elif self.path == "/metrics":
+                        body, content_type = (
+                            outer.runtime.metrics.to_prometheus_text(),
+                            "text/plain; version=0.0.4",
+                        )
+                    elif self.path == "/metrics.json":
+                        body, content_type = (
+                            _json_dumps(outer.runtime.metrics.to_dict()),
+                            "application/json",
+                        )
+                    elif self.path == "/critical_path":
+                        body, content_type = (
+                            _json_dumps(CriticalPath(outer.runtime).analyze().as_dict()),
                             "application/json",
                         )
                     else:

@@ -118,6 +118,12 @@ class ClusterInspector:
         stats["gcs_subscriptions"] = self.gcs.num_subscriptions()
         return stats
 
+    def critical_path(self):
+        """The job's critical path (see :mod:`repro.tools.critical_path`)."""
+        from repro.tools.critical_path import CriticalPath
+
+        return CriticalPath(self.runtime).analyze()
+
     def actor_summary(self):
         alive = dead = 0
         for _actor_id, entry in self._rows(_ACTOR):

@@ -6,7 +6,17 @@ import urllib.request
 import pytest
 
 import repro
-from repro.tools.http_dashboard import DashboardServer
+from repro.tools.http_dashboard import DashboardServer, _json_dumps
+
+
+def strict_loads(body):
+    """json.loads that rejects the bare Infinity/NaN tokens Python's
+    encoder emits by default — the strictness real JSON parsers have."""
+
+    def reject(token):
+        raise ValueError(f"non-JSON constant in body: {token}")
+
+    return json.loads(body, parse_constant=reject)
 
 
 @repro.remote
@@ -60,6 +70,84 @@ class TestDashboard:
         repro.get(work.remote(1))
         _status, body = fetch(dashboard, "/tasks")
         assert json.loads(body).get("finished", 0) >= 1
+
+    def test_metrics_endpoint_is_prometheus_text(self, runtime, dashboard):
+        repro.get([work.remote(i) for i in range(3)])
+        status, body = fetch(dashboard, "/metrics")
+        assert status == 200
+        assert "# TYPE tasks_submitted_total counter" in body
+        assert "# TYPE scheduler_dispatch_seconds histogram" in body
+        # Exposition shape: every non-comment line is "name{labels} value".
+        for line in body.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value)  # must parse
+
+    def test_metrics_json_endpoint(self, runtime, dashboard):
+        repro.get(work.remote(1))
+        _status, body = fetch(dashboard, "/metrics.json")
+        flat = strict_loads(body)
+        assert flat["tasks_submitted_total"]["type"] == "counter"
+        assert flat["wait_latency_seconds"]["type"] == "histogram"
+
+    def test_critical_path_endpoint(self, runtime, dashboard):
+        repro.get(work.remote(work.remote(1)))
+        _status, body = fetch(dashboard, "/critical_path")
+        report = strict_loads(body)
+        assert len(report["steps"]) == 2
+        assert report["coverage"] >= 0.9
+        assert report["dominant_phase"] in ("scheduling", "transfer", "execution")
+
+    def test_profile_json_valid_with_zero_call_function(self, runtime, dashboard):
+        """Regression: FunctionProfile.min_seconds defaults to inf; the
+        profile endpoint must still emit strictly valid JSON."""
+        from repro.tools import profiler
+
+        class InfProfiler(profiler.Profiler):
+            def profiles(self):
+                return {"ghost": profiler.FunctionProfile("ghost")}
+
+        real = profiler.Profiler
+        profiler.Profiler = InfProfiler
+        try:
+            from repro.tools import http_dashboard
+
+            http_dashboard.Profiler = InfProfiler
+            _status, body = fetch(dashboard, "/profile")
+            profile = strict_loads(body)
+            assert profile["ghost"]["min_seconds"] is None
+        finally:
+            profiler.Profiler = real
+            http_dashboard.Profiler = real
+
+    def test_all_json_endpoints_are_strict_json(self, runtime, dashboard):
+        repro.get([work.remote(i) for i in range(2)])
+        for path in (
+            "/snapshot",
+            "/profile",
+            "/trace",
+            "/tasks",
+            "/waits",
+            "/metrics.json",
+            "/critical_path",
+        ):
+            _status, body = fetch(dashboard, path)
+            strict_loads(body)
+
+    def test_sanitizer_maps_nonfinite_to_none(self):
+        raw = {
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+            "nan": float("nan"),
+            "nested": [1.0, {"x": float("inf")}],
+        }
+        out = strict_loads(_json_dumps(raw))
+        assert out["inf"] is None
+        assert out["ninf"] is None
+        assert out["nan"] is None
+        assert out["nested"] == [1.0, {"x": None}]
 
     def test_unknown_path_404(self, dashboard):
         with pytest.raises(urllib.error.HTTPError) as info:
