@@ -9,9 +9,18 @@ properties that matter to the system:
   next to a small pickled control message — the analogue of Arrow's
   data/metadata split.  Copying an object between node stores is then a
   buffer copy, not a re-encode.
+* **Zero-copy write path.**  :func:`serialize` keeps the out-of-band
+  buffers as ``memoryview``\\ s over the producer's memory — no copy is made
+  at serialization time.  The single copy on the write path happens when
+  the object is *sealed* into store-owned memory (``SerializedObject.seal``,
+  called by ``LocalObjectStore.put``) or striped into a destination store
+  by the transfer service.  ``owned`` tracks whether the buffers are
+  private to the object (safe to keep at rest) or still alias producer
+  memory.
 * **Exact size accounting.**  The store's capacity and LRU eviction operate
   on the serialized size, so ``SerializedObject.total_bytes`` must be the
-  real footprint.
+  real footprint.  ``object_size`` computes it without materializing any
+  buffer copies.
 """
 
 from __future__ import annotations
@@ -19,9 +28,12 @@ from __future__ import annotations
 import io
 import pickle
 import threading
-from typing import Any, Callable, Dict, List, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
 _PROTOCOL = 5
+
+#: Anything the buffer protocol accepts as an out-of-band buffer.
+BufferLike = Union[bytes, bytearray, memoryview]
 
 # Custom serializer registry (Ray's register_serializer): lets
 # applications store types that pickle cannot handle (simulator handles,
@@ -69,45 +81,85 @@ def _reduce_registered(obj: Any):
     return (_reconstruct_registered, (type(obj), serializer(obj)))
 
 
+def buffer_nbytes(buf: BufferLike) -> int:
+    """Byte length of a buffer regardless of its concrete type."""
+    if isinstance(buf, memoryview):
+        return buf.nbytes
+    return len(buf)
+
+
 class SerializedObject:
-    """An immutable serialized value: a control payload plus raw buffers."""
+    """An immutable serialized value: a control payload plus raw buffers.
 
-    __slots__ = ("payload", "buffers", "total_bytes")
+    ``owned=False`` means the buffers may alias producer memory (the
+    zero-copy output of :func:`serialize`); ``owned=True`` means the
+    buffers are private to this object and safe to keep at rest in a
+    store.
+    """
 
-    def __init__(self, payload: bytes, buffers: List[bytes]):
+    __slots__ = ("payload", "buffers", "total_bytes", "owned")
+
+    def __init__(
+        self, payload: bytes, buffers: List[BufferLike], owned: bool = False
+    ):
         self.payload = payload
         self.buffers = buffers
-        self.total_bytes = len(payload) + sum(len(b) for b in buffers)
+        self.total_bytes = len(payload) + sum(buffer_nbytes(b) for b in buffers)
+        self.owned = owned
+
+    def seal(self) -> "SerializedObject":
+        """Copy any producer-aliased buffers into private memory.
+
+        The single copy of the local write path: an already-owned object is
+        returned unchanged, so transfer-produced copies are never copied
+        again.
+        """
+        if self.owned:
+            return self
+        return SerializedObject(
+            self.payload, [bytes(b) for b in self.buffers], owned=True
+        )
 
     def copy(self) -> "SerializedObject":
         """A deep copy, modelling replication of the object to another store."""
-        return SerializedObject(self.payload, [bytes(b) for b in self.buffers])
+        return SerializedObject(
+            self.payload, [bytes(b) for b in self.buffers], owned=True
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SerializedObject({self.total_bytes} bytes, {len(self.buffers)} buffers)"
 
 
-def serialize(value: Any) -> SerializedObject:
-    """Serialize ``value`` using out-of-band buffers for large payloads."""
-    buffers: List[pickle.PickleBuffer] = []
+def _dump(
+    value: Any, buffer_callback: Callable[[pickle.PickleBuffer], None]
+) -> bytes:
+    """Pickle ``value`` with out-of-band buffers routed to ``buffer_callback``,
+    honouring the custom serializer registry."""
     with _custom_lock:
-        dispatch = {
-            cls: _reduce_registered for cls in _custom_serializers
-        }
+        dispatch = {cls: _reduce_registered for cls in _custom_serializers}
     if dispatch:
         sink = io.BytesIO()
         pickler = pickle.Pickler(
-            sink, protocol=_PROTOCOL, buffer_callback=buffers.append
+            sink, protocol=_PROTOCOL, buffer_callback=buffer_callback
         )
         pickler.dispatch_table = dispatch
         pickler.dump(value)
-        payload = sink.getvalue()
-    else:
-        payload = pickle.dumps(
-            value, protocol=_PROTOCOL, buffer_callback=buffers.append
-        )
-    raw = [buf.raw().tobytes() for buf in buffers]
-    return SerializedObject(payload, raw)
+        return sink.getvalue()
+    return pickle.dumps(value, protocol=_PROTOCOL, buffer_callback=buffer_callback)
+
+
+def serialize(value: Any) -> SerializedObject:
+    """Serialize ``value`` using out-of-band buffers for large payloads.
+
+    Zero-copy: the returned object's buffers are ``memoryview``\\ s over the
+    producer's memory (``owned=False``).  Storing it at rest requires
+    :meth:`SerializedObject.seal` (one copy), which ``LocalObjectStore.put``
+    performs.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    payload = _dump(value, buffers.append)
+    raw: List[BufferLike] = [buf.raw() for buf in buffers]
+    return SerializedObject(payload, raw, owned=not raw)
 
 
 def deserialize(serialized: SerializedObject) -> Any:
@@ -116,5 +168,16 @@ def deserialize(serialized: SerializedObject) -> Any:
 
 
 def object_size(value: Any) -> int:
-    """Serialized footprint of ``value`` in bytes."""
-    return serialize(value).total_bytes
+    """Serialized footprint of ``value`` in bytes.
+
+    Computed from the pickle stream length plus raw out-of-band buffer
+    lengths — no buffer is ever materialized or copied.
+    """
+    buffer_bytes = 0
+
+    def count(buf: pickle.PickleBuffer) -> None:
+        nonlocal buffer_bytes
+        buffer_bytes += buf.raw().nbytes
+
+    payload = _dump(value, count)
+    return len(payload) + buffer_bytes

@@ -161,6 +161,11 @@ class ActorManager:
             state.submitted += 1
         spec = state_spec_builder(counter)
         gcs = self.runtime.gcs
+        # The task-table row must exist before the spec can reach the actor
+        # thread: the method may start the instant it lands in the mailbox,
+        # and its first act is an update_task_status against that row.  (With
+        # any real GCS write latency the actor reliably wins that race.)
+        gcs.add_task(spec.task_id, spec)
         gcs.kv.append((_ACTOR_LOG, actor_id), spec)
         if state.dead_forever:
             self._store_method_error(state, spec)
@@ -177,9 +182,6 @@ class ActorManager:
             ActorDiedError(f"actor {state.class_name} died permanently"),
         )
         store_outputs(self.runtime, node, spec, [error] * spec.num_returns)
-        # The runtime records the task after submit_method returns, so make
-        # sure a row exists before marking it failed.
-        self.runtime.gcs.add_task(spec.task_id, spec)
         self.runtime.gcs.update_task_status(spec.task_id, TaskStatus.FAILED)
 
     # ------------------------------------------------------------------
@@ -278,6 +280,7 @@ class ActorManager:
     ) -> Any:
         runtime = self.runtime
         spec = state.creation_spec
+        runtime.fetcher.prefetch(spec.dependencies(), node)
         for dep in spec.dependencies():
             if not runtime.fetch_to_node(
                 dep,
@@ -360,6 +363,7 @@ class ActorManager:
             node=node.node_id.hex()[:8],
             t=time.perf_counter(),
         )
+        runtime.fetcher.prefetch(spec.dependencies(), node)
         for dep in spec.dependencies():
             if not runtime.fetch_to_node(
                 dep,
@@ -394,26 +398,34 @@ class ActorManager:
             except BaseException as exc:  # noqa: BLE001
                 status = TaskStatus.FAILED
                 values = [TaskExecutionError(spec.task_id, exc)] * spec.num_returns
-        store_outputs(runtime, node, spec, values)
+        entries = store_outputs(runtime, node, spec, values, publish=False)
         for dep in deps:
             node.store.unpin(dep)
         with state.cond:
             state.next_counter = spec.actor_counter + 1
             executed = state.next_counter
-        gcs.update_task_status(spec.task_id, status, node_id=node.node_id)
-        gcs.update_actor(state.actor_id, methods_executed=executed)
         duration = time.perf_counter() - started
-        runtime.report_task_duration(duration)
-        gcs.record_event(
-            "task_finished",
-            task=spec.task_id.hex()[:8],
-            name=spec.function_name,
-            node=node.node_id.hex()[:8],
-            start=started,
-            duration=duration,
-            status=status.value,
-            kind="actor_method",
+        gcs.finish_task(
+            spec.task_id,
+            status,
+            node.node_id,
+            entries,
+            event=(
+                "task_finished",
+                dict(
+                    task=spec.task_id.hex()[:8],
+                    name=spec.function_name,
+                    node=node.node_id.hex()[:8],
+                    start=started,
+                    duration=duration,
+                    status=status.value,
+                    kind="actor_method",
+                ),
+            ),
+            batched=runtime.config.gcs_batched_writes,
         )
+        gcs.update_actor(state.actor_id, methods_executed=executed)
+        runtime.report_task_duration(duration)
         if (
             state.checkpoint_interval
             and executed % state.checkpoint_interval == 0
@@ -425,7 +437,9 @@ class ActorManager:
             payload = instance.save_checkpoint()
         else:
             payload = dict(instance.__dict__)
-        blob = serialize(payload)
+        # Seal: the checkpoint must not alias live actor state (the actor
+        # keeps mutating its arrays after the snapshot is taken).
+        blob = serialize(payload).seal()
         self.runtime.gcs.kv.put((_ACTOR_CKPT, state.actor_id), (counter, blob))
         self.runtime.gcs.update_actor(state.actor_id, checkpoint_index=counter)
         with self._lock:

@@ -139,11 +139,14 @@ class LocalScheduler:
         with self._cond:
             self._waiting[spec.task_id] = set(missing)
             self._waiting_specs[spec.task_id] = spec
+        # Register every readiness callback first (fires immediately for
+        # anything already arrived), then fan the fetches out to the
+        # prefetch pool so the missing inputs replicate in parallel.
         for dep in missing:
             self.node.store.on_available(
                 dep, lambda oid, tid=spec.task_id: self._input_ready(tid, oid)
             )
-            self.fetcher.ensure_local(dep, self.node)
+        self.fetcher.prefetch(list(missing), self.node)
 
     def _emit(self, category: str, spec: TaskSpec) -> None:
         """Record a task-lifecycle trace event (never under ``_cond``)."""

@@ -14,6 +14,14 @@ Section 4.2.3).  Properties reproduced from the paper:
   disk using an LRU policy"); without one the copy is dropped and lineage
   reconstruction recovers it on demand.  Objects pinned by executing
   tasks are never evicted.
+* **Zero-copy reads** — the analogue of Plasma's shared-memory reads: a
+  per-node :class:`DeserializedValueCache` holds the deserialized value of
+  recently read objects, so repeated same-node reads of an immutable
+  object pay ``pickle.loads`` once.  Coherence rule: a cached value exists
+  only while the serialized copy is resident in memory; any removal
+  (delete, LRU eviction, spill, node loss) invalidates it, and an
+  in-flight deserialization racing a removal is discarded via a per-ID
+  version guard rather than cached.
 * **Availability notifications** — readers wait on (or register callbacks
   against) a :class:`~repro.common.events.Completion` that is signalled
   the moment the object becomes local (Figure 7b).  All blocking readers
@@ -26,13 +34,118 @@ import os
 import pickle
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ObjectStoreFullError
 from repro.common.events import Completion, WaitStats
 from repro.common.ids import NodeID, ObjectID
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
-from repro.common.serialization import SerializedObject
+from repro.common.serialization import SerializedObject, deserialize
+
+DEFAULT_VALUE_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class DeserializedValueCache:
+    """Bounded LRU cache of deserialized values, keyed by ObjectID.
+
+    Sized and evicted independently of the serialized store: the byte
+    accounting uses the serialized footprint of the source object as a
+    proxy for the value's size.  Thread-safe; a leaf lock (never calls
+    back into the store).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = DEFAULT_VALUE_CACHE_BYTES,
+        metrics: Optional[MetricsRegistry] = None,
+        node: str = "",
+    ):
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        self._values: "OrderedDict[ObjectID, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        metrics = metrics or NULL_REGISTRY
+        self._m_hits = metrics.counter(
+            "value_cache_hits_total", "Reads served from the deserialized cache",
+            node=node,
+        )
+        self._m_misses = metrics.counter(
+            "value_cache_misses_total", "Reads that had to deserialize",
+            node=node,
+        )
+        self._m_evictions = metrics.counter(
+            "value_cache_evictions_total", "LRU evictions from the value cache",
+            node=node,
+        )
+        self._m_invalidations = metrics.counter(
+            "value_cache_invalidations_total",
+            "Entries dropped because the serialized copy left memory",
+            node=node,
+        )
+        metrics.gauge(
+            "value_cache_bytes",
+            "Serialized-size proxy of cached deserialized values",
+            fn=lambda: self.used_bytes,
+            node=node,
+        )
+
+    def get(self, object_id: ObjectID) -> Tuple[Any, bool]:
+        """(value, hit).  A hit LRU-touches the entry."""
+        with self._lock:
+            entry = self._values.get(object_id)
+            if entry is None:
+                self._m_misses.inc()
+                return None, False
+            self._values.move_to_end(object_id)
+            self._m_hits.inc()
+            return entry[0], True
+
+    def put(self, object_id: ObjectID, value: Any, nbytes: int) -> None:
+        with self._lock:
+            if object_id in self._values:
+                return
+            if self.capacity_bytes is not None:
+                if nbytes > self.capacity_bytes:
+                    return  # larger than the whole cache: never admit
+                while self._bytes + nbytes > self.capacity_bytes and self._values:
+                    _oid, (_val, dropped) = self._values.popitem(last=False)
+                    self._bytes -= dropped
+                    self._m_evictions.inc()
+            self._values[object_id] = (value, nbytes)
+            self._bytes += nbytes
+
+    def invalidate(self, object_id: ObjectID) -> bool:
+        with self._lock:
+            entry = self._values.pop(object_id, None)
+            if entry is None:
+                return False
+            self._bytes -= entry[1]
+            self._m_invalidations.inc()
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+            self._bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self),
+            "bytes": self.used_bytes,
+            "hits": self._m_hits.value,
+            "misses": self._m_misses.value,
+            "evictions": self._m_evictions.value,
+            "invalidations": self._m_invalidations.value,
+        }
 
 
 class LocalObjectStore:
@@ -46,6 +159,8 @@ class LocalObjectStore:
         spill_directory: Optional[str] = None,
         wait_stats: Optional[WaitStats] = None,
         metrics: Optional[MetricsRegistry] = None,
+        value_cache_capacity_bytes: Optional[int] = DEFAULT_VALUE_CACHE_BYTES,
+        value_cache_enabled: bool = True,
     ):
         self.node_id = node_id
         self.capacity_bytes = capacity_bytes
@@ -56,6 +171,9 @@ class LocalObjectStore:
         self._used_bytes = 0
         self._wait_stats = wait_stats
         self._events: Dict[ObjectID, Completion] = {}
+        # Per-ID removal counter: an in-flight deserialization only enters
+        # the value cache if the version it read is still current.
+        self._versions: Dict[ObjectID, int] = {}
         self.put_count = 0
         self.eviction_count = 0
         self.spill_count = 0
@@ -66,6 +184,13 @@ class LocalObjectStore:
             os.makedirs(spill_directory, exist_ok=True)
         metrics = metrics or NULL_REGISTRY
         node = node_id.hex()[:8]
+        self.value_cache: Optional[DeserializedValueCache] = None
+        if value_cache_enabled:
+            self.value_cache = DeserializedValueCache(
+                capacity_bytes=value_cache_capacity_bytes,
+                metrics=metrics,
+                node=node,
+            )
         self._m_puts = metrics.counter(
             "object_store_puts_total", "Objects stored (first copy)", node=node
         )
@@ -84,6 +209,11 @@ class LocalObjectStore:
         self._m_evicted_bytes = metrics.counter(
             "object_store_evicted_bytes_total", "Bytes evicted by LRU", node=node
         )
+        self._m_seal_bytes = metrics.counter(
+            "object_store_seal_bytes_total",
+            "Bytes copied sealing producer-aliased buffers at put",
+            node=node,
+        )
         metrics.gauge(
             "object_store_used_bytes",
             "Bytes resident in memory",
@@ -99,7 +229,18 @@ class LocalObjectStore:
         Returns True if stored, False if the object was already present
         (objects are immutable, so a duplicate put is a no-op).  Raises
         :class:`ObjectStoreFullError` if eviction cannot make room.
+
+        An unowned value (zero-copy ``serialize`` output whose buffers
+        alias producer memory) is sealed — copied once into store-owned
+        memory — before insertion, so resident objects never change when a
+        producer mutates its arrays.  Transfer-produced copies arrive
+        already owned and are not copied again.
         """
+        if not value.owned:
+            # Seal outside the store lock: this is the write path's one copy.
+            sealed = value.seal()
+            self._m_seal_bytes.inc(sealed.total_bytes - len(sealed.payload))
+            value = sealed
         with self._lock:
             if object_id in self._objects or object_id in self._spilled:
                 return False
@@ -137,6 +278,39 @@ class LocalObjectStore:
             self._m_misses.inc()
             return None
 
+    def load_value(self, object_id: ObjectID) -> Tuple[Any, bool]:
+        """Deserialized read through the per-node value cache.
+
+        Returns ``(value, found)``; ``found`` is False when the object is
+        not local.  The cache is only populated if the serialized copy is
+        still resident *and unremoved* after deserialization finishes (the
+        version guard), so a reader racing eviction or an explicit delete
+        can never install a stale value for a reconstructed ObjectID.
+        """
+        cache = self.value_cache
+        if cache is not None:
+            value, hit = cache.get(object_id)
+            if hit:
+                with self._lock:
+                    if object_id in self._objects:
+                        self._objects.move_to_end(object_id)  # keep LRUs aligned
+                return value, True
+        with self._lock:
+            version = self._versions.get(object_id, 0)
+        serialized = self.get(object_id)
+        if serialized is None:
+            return None, False
+        value = deserialize(serialized)
+        if cache is not None:
+            with self._lock:
+                unchanged = (
+                    self._versions.get(object_id, 0) == version
+                    and object_id in self._objects
+                )
+            if unchanged:
+                cache.put(object_id, value, serialized.total_bytes)
+        return value, True
+
     def contains(self, object_id: ObjectID) -> bool:
         with self._lock:
             return object_id in self._objects or object_id in self._spilled
@@ -155,10 +329,19 @@ class LocalObjectStore:
                 return False
             if value is not None:
                 self._used_bytes -= value.total_bytes
+            self._invalidate_value(object_id)
             event = self._events.get(object_id)
             if event is not None:
                 event.clear()  # waiters re-arm; a re-put sets it again
             return True
+
+    def _invalidate_value(self, object_id: ObjectID) -> None:
+        """The in-memory serialized copy is going away (lock held): bump the
+        version so racing readers discard their result, and drop any cached
+        deserialized value."""
+        self._versions[object_id] = self._versions.get(object_id, 0) + 1
+        if self.value_cache is not None:
+            self.value_cache.invalidate(object_id)
 
     # -- pinning (inputs of executing tasks must not be evicted) -------------
 
@@ -185,7 +368,10 @@ class LocalObjectStore:
 
         With a spill directory, evicted copies go to disk and stay
         addressable (no location retraction); otherwise they are dropped
-        and the on_evict callback retracts the GCS location.
+        and the on_evict callback retracts the GCS location.  Either way
+        the deserialized-value cache entry is invalidated: a cached value
+        must never outlive its in-memory serialized copy (it would pin the
+        very bytes eviction is trying to free).
         """
         if self._used_bytes <= target_bytes:
             return
@@ -200,6 +386,7 @@ class LocalObjectStore:
             self.eviction_count += 1
             self._m_evictions.inc()
             self._m_evicted_bytes.inc(value.total_bytes)
+            self._invalidate_value(object_id)
             if self._spill_directory is not None:
                 self._spill_to_disk(object_id, value)
                 continue  # still available: no event clear, no callback
@@ -222,8 +409,13 @@ class LocalObjectStore:
 
     def _spill_to_disk(self, object_id: ObjectID, value: SerializedObject) -> None:
         path = self._spill_path(object_id)
+        # memoryview buffers (transfer-striped copies) cannot be pickled;
+        # materialize to bytes for the disk image.
+        buffers = [
+            b if isinstance(b, bytes) else bytes(b) for b in value.buffers
+        ]
         with open(path, "wb") as f:
-            pickle.dump((value.payload, value.buffers), f)
+            pickle.dump((value.payload, buffers), f)
         self._spilled[object_id] = path
         self.spill_count += 1
 
@@ -234,7 +426,7 @@ class LocalObjectStore:
             return None
         with open(path, "rb") as f:
             payload, buffers = pickle.load(f)
-        value = SerializedObject(payload, buffers)
+        value = SerializedObject(payload, buffers, owned=True)
         if self.capacity_bytes is not None:
             self._evict_until(self.capacity_bytes - value.total_bytes)
         self._remove_spill_file(object_id)
@@ -299,9 +491,13 @@ class LocalObjectStore:
             lost.extend(self._spilled.keys())
             for object_id in list(self._spilled.keys()):
                 self._remove_spill_file(object_id)
+            for object_id in list(self._objects.keys()):
+                self._invalidate_value(object_id)
             self._objects.clear()
             self._pins.clear()
             self._used_bytes = 0
+            if self.value_cache is not None:
+                self.value_cache.clear()
             for event in self._events.values():
                 event.clear()
             return lost

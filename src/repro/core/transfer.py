@@ -4,13 +4,20 @@ If a task's inputs are not local, they are replicated to the local object
 store before execution (paper Section 4.2.3).  The transfer service copies
 serialized objects between stores, striping large objects across multiple
 chunks — the analogue of Ray striping objects across multiple TCP
-connections — and records the new location in the GCS.
+connections — and records the new location in the GCS.  When more than one
+live replica of a large object exists, alternating stripes are read from
+different replicas (the multi-connection replication of Section 5.1 /
+Figure 9), and each buffer is written stripe-by-stripe into a single
+preallocated destination allocation: one copy, no intermediate chunk list.
 
 :class:`ObjectFetcher` implements the full Figure 7 control path for making
 an object local: check the local store, look up locations in the GCS,
 transfer if a copy exists, otherwise register a pub-sub callback on the
 object's GCS entry, and fall back to lineage reconstruction when the object
-existed but every copy has been lost.
+existed but every copy has been lost.  ``prefetch`` fans a task's missing
+inputs out to a bounded worker pool so they replicate in parallel; callers
+join on the destination store's availability completions, exactly as for a
+single fetch.
 
 Both classes signal completions through the destination store: a
 successful replication runs ``dst.store.put``, which sets the object's
@@ -22,7 +29,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.ids import NodeID, ObjectID
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
@@ -33,9 +41,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.gcs.client import GlobalControlStore
 
 DEFAULT_CHUNK_BYTES = 1 << 20  # 1 MiB stripes
+DEFAULT_PREFETCH_PARALLELISM = 8
+MAX_STRIPE_SOURCES = 4
 
 
-def striped_copy(value: SerializedObject, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> SerializedObject:
+def _byte_view(buf) -> memoryview:
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    if view.format != "B":
+        view = view.cast("B")
+    return view
+
+
+def striped_copy(
+    value: SerializedObject, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> SerializedObject:
     """Copy a serialized object buffer-by-buffer in chunks.
 
     Functionally a deep copy; structured as chunked stripe copies so the
@@ -43,15 +62,39 @@ def striped_copy(value: SerializedObject, chunk_bytes: int = DEFAULT_CHUNK_BYTES
     benchmark measures a realistic memcpy loop rather than one opaque
     ``bytes()`` call).
     """
-    copied = []
-    for buf in value.buffers:
-        view = memoryview(buf)
-        parts = [
-            bytes(view[offset : offset + chunk_bytes])
-            for offset in range(0, len(view), chunk_bytes)
-        ]
-        copied.append(b"".join(parts))
-    return SerializedObject(value.payload, copied)
+    return striped_copy_multi([value], chunk_bytes)
+
+
+def striped_copy_multi(
+    sources: Sequence[SerializedObject], chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> SerializedObject:
+    """Stripe-copy an object, reading alternating chunks from ``sources``.
+
+    All sources hold the same immutable object (replicas on different
+    nodes); chunk ``i`` of each buffer is read from source ``i % len``.
+    Each destination buffer is one preallocated ``bytearray`` written in
+    place — a single copy with no intermediate chunk list, at half the
+    peak memory of the old join-of-chunks implementation.
+    """
+    if chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    primary = sources[0]
+    copied: List[memoryview] = []
+    for index, buf in enumerate(primary.buffers):
+        views = [_byte_view(src.buffers[index]) for src in sources]
+        nbytes = views[0].nbytes
+        out = bytearray(nbytes)
+        out_view = memoryview(out)
+        stripe = 0
+        for offset in range(0, nbytes, chunk_bytes):
+            src = views[stripe % len(views)]
+            out_view[offset : offset + chunk_bytes] = src[
+                offset : offset + chunk_bytes
+            ]
+            stripe += 1
+        # The store must never hand out writable views of resident memory.
+        copied.append(out_view.toreadonly())
+    return SerializedObject(primary.payload, copied, owned=True)
 
 
 class TransferService:
@@ -62,10 +105,15 @@ class TransferService:
         gcs: "GlobalControlStore",
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         metrics: Optional[MetricsRegistry] = None,
+        max_stripe_sources: int = MAX_STRIPE_SOURCES,
     ):
         self.gcs = gcs
         self.chunk_bytes = chunk_bytes
+        self.max_stripe_sources = max(1, max_stripe_sources)
         self._nodes: Dict[NodeID, "Node"] = {}
+        # register_node races live_locations/node from scheduler, fetcher,
+        # and worker threads; all _nodes access goes through this lock.
+        self._nodes_lock = threading.Lock()
         self.transfer_count = 0
         self.bytes_transferred = 0
         self._lock = threading.Lock()
@@ -79,50 +127,84 @@ class TransferService:
         self._m_seconds = metrics.histogram(
             "transfer_seconds", "Wall-clock duration of one object replication"
         )
+        self._m_multi_source = metrics.counter(
+            "transfer_multi_source_total",
+            "Replications striped across more than one live replica",
+        )
+        self._m_sources = metrics.histogram(
+            "transfer_stripe_sources",
+            "Replica count each replication striped from",
+            buckets=(1, 2, 3, 4, 8),
+        )
 
     def register_node(self, node: "Node") -> None:
-        self._nodes[node.node_id] = node
+        with self._nodes_lock:
+            self._nodes[node.node_id] = node
 
     def node(self, node_id: NodeID) -> Optional["Node"]:
-        return self._nodes.get(node_id)
+        with self._nodes_lock:
+            return self._nodes.get(node_id)
+
+    def _node_snapshot(self) -> Dict[NodeID, "Node"]:
+        with self._nodes_lock:
+            return dict(self._nodes)
 
     def live_locations(self, object_id: ObjectID) -> Set[NodeID]:
         """GCS locations filtered to nodes that are still alive."""
         locations = self.gcs.get_object_locations(object_id)
+        nodes = self._node_snapshot()
         return {
             node_id
             for node_id in locations
-            if (node := self._nodes.get(node_id)) is not None and node.alive
+            if (node := nodes.get(node_id)) is not None and node.alive
         }
 
     def transfer(self, object_id: ObjectID, dst: "Node") -> bool:
         """Replicate ``object_id`` into ``dst``'s store from any live copy.
 
+        Large objects (more than one stripe) are read from up to
+        ``max_stripe_sources`` live replicas in alternating chunks.
         Returns True on success; False if no live copy exists right now.
         """
         if dst.store.contains(object_id):
             return True
-        for node_id in sorted(self.live_locations(object_id)):
-            src = self._nodes.get(node_id)
-            if src is None or not src.alive:
+        nodes = self._node_snapshot()
+        sources: List[SerializedObject] = []
+        for node_id in sorted(self.gcs.get_object_locations(object_id)):
+            src = nodes.get(node_id)
+            if src is None or not src.alive or src is dst:
                 continue
             value = src.store.get(object_id)
             if value is None:
                 # Stale GCS entry (e.g. evicted between lookup and read).
                 continue
-            started = time.monotonic()
-            copy = striped_copy(value, self.chunk_bytes)
-            stored = dst.store.put(object_id, copy)
-            if stored:
-                with self._lock:
-                    self.transfer_count += 1
-                    self.bytes_transferred += copy.total_bytes
-                self._m_transfers.inc()
-                self._m_bytes.inc(copy.total_bytes)
-                self._m_seconds.observe(time.monotonic() - started)
-                self.gcs.add_object_location(object_id, dst.node_id)
-            return True
-        return False
+            sources.append(value)
+            if len(sources) >= self.max_stripe_sources:
+                break
+        if not sources:
+            return False
+        started = time.monotonic()
+        largest = max(
+            (len(b) if isinstance(b, bytes) else memoryview(b).nbytes
+             for b in sources[0].buffers),
+            default=0,
+        )
+        if largest <= self.chunk_bytes:
+            sources = sources[:1]  # single stripe: nothing to parallelize
+        copy = striped_copy_multi(sources, self.chunk_bytes)
+        stored = dst.store.put(object_id, copy)
+        if stored:
+            with self._lock:
+                self.transfer_count += 1
+                self.bytes_transferred += copy.total_bytes
+            self._m_transfers.inc()
+            self._m_bytes.inc(copy.total_bytes)
+            self._m_seconds.observe(time.monotonic() - started)
+            self._m_sources.observe(len(sources))
+            if len(sources) > 1:
+                self._m_multi_source.inc()
+            self.gcs.add_object_location(object_id, dst.node_id)
+        return True
 
 
 class ObjectFetcher:
@@ -133,19 +215,84 @@ class ObjectFetcher:
         gcs: "GlobalControlStore",
         transfer: TransferService,
         metrics: Optional[MetricsRegistry] = None,
+        prefetch_parallelism: int = DEFAULT_PREFETCH_PARALLELISM,
     ):
         self.gcs = gcs
         self.transfer = transfer
+        self.prefetch_parallelism = prefetch_parallelism
         # reconstruct(object_id) is installed by the runtime after the
         # reconstruction manager exists (breaks a construction cycle).
         self.reconstruct: Optional[Callable[[ObjectID], None]] = None
         self._inflight: Dict[Tuple[NodeID, ObjectID], float] = {}
         self._inflight_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
         metrics = metrics or NULL_REGISTRY
         self._m_fetch_seconds = metrics.histogram(
             "fetch_seconds",
             "Latency from a fetch request to the object being local",
         )
+        self._m_prefetch_requests = metrics.counter(
+            "prefetch_requests_total", "Inputs handed to the prefetch pool"
+        )
+        self._m_prefetch_batch = metrics.histogram(
+            "prefetch_batch_size",
+            "Missing inputs prefetched in parallel per task",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
+        self._m_prefetch_errors = metrics.counter(
+            "prefetch_errors_total",
+            "Prefetch attempts that raised (recovered by the blocking path)",
+        )
+
+    # -- parallel input prefetch --------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.prefetch_parallelism,
+                    thread_name_prefix="prefetch",
+                )
+            return self._pool
+
+    def _guarded_ensure(self, object_id: ObjectID, node: "Node") -> None:
+        try:
+            self.ensure_local(object_id, node)
+        except Exception:  # noqa: BLE001 - blocking readers re-arm the fetch
+            self._m_prefetch_errors.inc()
+
+    def ensure_local_async(self, object_id: ObjectID, node: "Node") -> None:
+        """``ensure_local`` on the prefetch pool (inline when the pool is
+        disabled).  Errors are swallowed: every blocking reader re-issues
+        ``ensure_local`` from its backstop, so a failed prefetch only costs
+        latency, never correctness."""
+        if self.prefetch_parallelism <= 0:
+            self.ensure_local(object_id, node)
+            return
+        self._executor().submit(self._guarded_ensure, object_id, node)
+
+    def prefetch(self, object_ids: Sequence[ObjectID], node: "Node") -> int:
+        """Start parallel fetches for every non-local ID; returns how many
+        were issued.  Non-blocking: join on the store's availability
+        completions (``fetch_to_node`` / ``on_available``)."""
+        missing = [oid for oid in object_ids if not node.store.contains(oid)]
+        if not missing:
+            return 0
+        self._m_prefetch_batch.observe(len(missing))
+        for object_id in missing:
+            self._m_prefetch_requests.inc()
+            self.ensure_local_async(object_id, node)
+        return len(missing)
+
+    def close(self) -> None:
+        """Shut down the prefetch pool (runtime shutdown)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- the Figure 7 fetch path --------------------------------------------
 
     def ensure_local(self, object_id: ObjectID, node: "Node") -> None:
         """Arrange for ``object_id`` to (eventually) appear in ``node``'s

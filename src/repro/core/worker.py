@@ -17,7 +17,7 @@ import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import TaskExecutionError
-from repro.common.serialization import deserialize, serialize
+from repro.common.serialization import serialize
 from repro.core import context
 from repro.core.task_spec import ArgRef, TaskSpec
 from repro.gcs.tables import TaskStatus
@@ -31,18 +31,28 @@ def resolve_args(
 ) -> Tuple[List[Any], Dict[str, Any], Optional[TaskExecutionError]]:
     """Deserialize the task's arguments from the local store.
 
+    Reads go through the node's deserialized-value cache, and a per-spec
+    memo guarantees an ObjectID referenced several times in one task's
+    arguments is resolved (and deserialized) exactly once even when the
+    cache is disabled or evicts between references.
+
     Returns (args, kwargs, input_error); ``input_error`` is the first
     upstream error found among the inputs, which the task must propagate.
     """
+    memo: Dict[Any, Any] = {}
 
     def resolve(value: Any) -> Any:
         if isinstance(value, ArgRef):
-            serialized = node.store.get(value.object_id)
-            if serialized is None:
+            object_id = value.object_id
+            if object_id in memo:
+                return memo[object_id]
+            resolved, found = node.store.load_value(object_id)
+            if not found:
                 raise RuntimeError(
-                    f"input {value.object_id!r} not local on {node.node_id!r}"
+                    f"input {object_id!r} not local on {node.node_id!r}"
                 )
-            return deserialize(serialized)
+            memo[object_id] = resolved
+            return resolved
         return value
 
     args: List[Any] = []
@@ -76,25 +86,53 @@ def normalize_returns(spec: TaskSpec, output: Any) -> List[Any]:
     return list(output)
 
 
-def store_outputs(runtime: "Runtime", node: "Node", spec: TaskSpec, values: List[Any]) -> None:
-    """Write outputs to the local store and the GCS object table."""
+def store_outputs(
+    runtime: "Runtime",
+    node: "Node",
+    spec: TaskSpec,
+    values: List[Any],
+    publish: bool = True,
+) -> list:
+    """Write outputs to the local store and the GCS object table.
+
+    All of one task's per-output GCS rows (location append + metadata put)
+    go out as a single batched shard write.  Within the batch the location
+    precedes the metadata for each object: once the object-table entry is
+    visible, a concurrent reader that sees it with *no* locations may
+    legitimately trigger reconstruction, so the location must already be
+    published (or the store put must have genuinely failed).
+
+    With ``publish=False`` only the local puts happen and the GCS rows are
+    returned to the caller, which folds them into the task's single
+    finish-time batch (``GlobalControlStore.finish_task``) together with
+    the status update and the ``task_finished`` event.
+    """
+    entries = []
     for object_id, value in zip(spec.return_ids, values):
         serialized = serialize(value)
-        # Location first, metadata second: once the object-table entry is
-        # visible, a concurrent reader that sees it with *no* locations may
-        # legitimately trigger reconstruction, so the location must already
-        # be published (or the store put must have genuinely failed).
-        if node.alive and node.store.put(object_id, serialized):
-            runtime.gcs.add_object_location(object_id, node.node_id)
-        runtime.gcs.add_object(object_id, serialized.total_bytes, spec.task_id)
+        stored = node.alive and node.store.put(object_id, serialized)
+        entries.append((
+            object_id,
+            serialized.total_bytes,
+            spec.task_id,
+            node.node_id if stored else None,
+        ))
+    if publish:
+        runtime.gcs.add_task_outputs(
+            entries, batched=runtime.config.gcs_batched_writes
+        )
+    return entries
 
 
 def pin_inputs(runtime: "Runtime", node: "Node", deps) -> None:
     """Pin each input, re-fetching any that was evicted after readiness.
 
     Pin-then-verify: once an object is pinned *while present*, LRU eviction
-    cannot remove it, so the subsequent read is safe.
+    cannot remove it, so the subsequent read is safe.  Any inputs evicted
+    since readiness are re-fetched in parallel before the blocking loop
+    joins them one by one.
     """
+    runtime.fetcher.prefetch(deps, node)
     for dep in deps:
         while True:
             node.store.pin(dep)
@@ -117,6 +155,7 @@ def execute_task(
     pin_inputs(runtime, node, deps)
     started = time.perf_counter()
     status = TaskStatus.FINISHED
+    entries: list = []
     try:
         args, kwargs, input_error = resolve_args(node, spec)
         if input_error is not None:
@@ -133,21 +172,29 @@ def execute_task(
                 status = TaskStatus.FAILED
                 error = TaskExecutionError(spec.task_id, exc)
                 values = [error] * spec.num_returns
-        store_outputs(runtime, node, spec, values)
+        entries = store_outputs(runtime, node, spec, values, publish=False)
     finally:
         for dep in deps:
             node.store.unpin(dep)
         duration = time.perf_counter() - started
-        gcs.update_task_status(spec.task_id, status, node_id=node.node_id)
+        gcs.finish_task(
+            spec.task_id,
+            status,
+            node.node_id,
+            entries,
+            event=(
+                "task_finished",
+                dict(
+                    task=spec.task_id.hex()[:8],
+                    name=spec.function_name,
+                    node=node.node_id.hex()[:8],
+                    start=started,
+                    duration=duration,
+                    status=status.value,
+                    kind="task",
+                ),
+            ),
+            batched=runtime.config.gcs_batched_writes,
+        )
         runtime.report_task_duration(duration)
         runtime.reconstruction.task_finished(spec.task_id)
-        gcs.record_event(
-            "task_finished",
-            task=spec.task_id.hex()[:8],
-            name=spec.function_name,
-            node=node.node_id.hex()[:8],
-            start=started,
-            duration=duration,
-            status=status.value,
-            kind="task",
-        )

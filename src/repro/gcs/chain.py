@@ -150,6 +150,39 @@ class ReplicatedChain:
     def append(self, key: Any, entry: Any, max_retries: int = 8) -> None:
         self._write(key, entry, op="append", max_retries=max_retries)
 
+    def write_batch(
+        self, ops: List[tuple], max_retries: int = 8
+    ) -> None:
+        """Apply ``[(op, key, value), ...]`` (op = "put" | "append") in one
+        pass down the chain: one hop per member for the whole batch instead
+        of one hop per member per operation, then one publication per op.
+        Retry semantics match ``_write`` (report the dead member, retry the
+        whole batch against the reconfigured chain)."""
+        if not ops:
+            return
+        for _ in range(max_retries + 1):
+            with self._lock:
+                members = list(self._members)
+            if not members:
+                raise ChainUnavailableError("chain has no members")
+            try:
+                for replica in members:
+                    if self.hop_delay:
+                        time.sleep(self.hop_delay)
+                    for op, key, value in ops:
+                        if op == "put":
+                            replica.apply_put(key, value)
+                        else:
+                            replica.apply_append(key, value)
+            except ReplicaDeadError as exc:
+                self.failed_writes += 1
+                self.report_failure(exc.replica)
+                continue
+            for _op, key, value in ops:
+                self._publish(key, value)
+            return
+        raise ChainUnavailableError("batched write failed after retries")
+
     def _write(self, key: Any, value: Any, op: str, max_retries: int) -> None:
         for _ in range(max_retries + 1):
             with self._lock:

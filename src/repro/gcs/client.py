@@ -10,7 +10,7 @@ chain-replicated KV store, mirroring the paper's Redis usage.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.ids import ActorID, FunctionID, NodeID, ObjectID, TaskID
 from repro.gcs.shard import ShardedKV
@@ -82,6 +82,85 @@ class GlobalControlStore:
 
     def remove_object_location(self, object_id: ObjectID, node_id: NodeID) -> None:
         self.kv.append((_OBJ_LOC, object_id), ("remove", node_id))
+
+    def add_task_outputs(
+        self,
+        entries: List[Tuple[ObjectID, int, Optional[TaskID], Optional[NodeID]]],
+        batched: bool = True,
+    ) -> None:
+        """Publish all outputs of one task finish in coalesced shard writes.
+
+        Each entry is ``(object_id, size, task_id, node_id_or_None)``; a
+        ``None`` node means the store put failed and no location is
+        published.  Per object the location append precedes the metadata
+        put (a reader that sees metadata with no locations may legitimately
+        trigger reconstruction), and both keys of one object shard
+        together, so the batch is one chain round-trip per shard instead
+        of two per output.  ``batched=False`` falls back to per-op writes
+        (the pre-batching path, kept for benchmarks/ablation).
+        """
+        if not batched:
+            for object_id, size, task_id, node_id in entries:
+                if node_id is not None:
+                    self.add_object_location(object_id, node_id)
+                self.add_object(object_id, size, task_id)
+            return
+        ops: List[tuple] = []
+        for object_id, size, task_id, node_id in entries:
+            if node_id is not None:
+                ops.append((
+                    "append", (_OBJ_LOC, object_id), ("add", node_id)
+                ))
+            ops.append(("put", (_OBJ, object_id), (size, task_id)))
+        if ops:
+            self.kv.batch(ops)
+
+    def finish_task(
+        self,
+        task_id: TaskID,
+        status: TaskStatus,
+        node_id: Optional[NodeID],
+        entries: List[Tuple[ObjectID, int, Optional[TaskID], Optional[NodeID]]],
+        event: Optional[Tuple[str, Dict[str, Any]]] = None,
+        batched: bool = True,
+    ) -> None:
+        """Coalesce *every* GCS write of one task finish into batched shard
+        writes: the per-output rows (as in :meth:`add_task_outputs`), the
+        task-table status update, and the ``task_finished`` event append.
+        Output rows precede the status put, so a reader that observes
+        ``FINISHED`` can already see the outputs' metadata.  ``batched=False``
+        issues the same writes per-op (the pre-batching path)."""
+        if not batched:
+            self.add_task_outputs(entries, batched=False)
+            self.update_task_status(task_id, status, node_id=node_id)
+            if event is not None:
+                self.record_event(event[0], **event[1])
+            return
+        task_entry = self.kv.get((_TASK, task_id))
+        if task_entry is None:
+            raise KeyError(f"task {task_id!r} not in task table")
+        ops: List[tuple] = []
+        for object_id, size, producer, node in entries:
+            if node is not None:
+                ops.append(("append", (_OBJ_LOC, object_id), ("add", node)))
+            ops.append(("put", (_OBJ, object_id), (size, producer)))
+        ops.append((
+            "put",
+            (_TASK, task_id),
+            TaskTableEntry(
+                task_id=task_id,
+                spec=task_entry.spec,
+                status=status,
+                node_id=node_id if node_id is not None else task_entry.node_id,
+            ),
+        ))
+        if event is not None:
+            ops.append((
+                "append",
+                (_EVENT, event[0]),
+                EventRecord.make(event[0], **event[1]),
+            ))
+        self.kv.batch(ops)
 
     def get_object_locations(self, object_id: ObjectID) -> Set[NodeID]:
         locations: Set[NodeID] = set()

@@ -1,11 +1,14 @@
 """Serialization layer: roundtrips, out-of-band buffers, size accounting."""
 
+import tracemalloc
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.serialization import (
     SerializedObject,
+    buffer_nbytes,
     deserialize,
     object_size,
     serialize,
@@ -89,3 +92,61 @@ class TestBuffers:
     def test_serialized_object_is_constructible(self):
         obj = SerializedObject(b"payload", [b"buf1", b"buf2"])
         assert obj.total_bytes == len(b"payload") + 4 + 4
+
+
+class TestZeroCopy:
+    def test_serialize_aliases_producer_memory(self):
+        """``serialize`` keeps out-of-band buffers as memoryviews over the
+        producer's memory — no copy until ``seal``."""
+        array = np.arange(1000, dtype=np.float64)
+        serialized = serialize(array)
+        assert all(isinstance(b, memoryview) for b in serialized.buffers)
+        assert not serialized.owned
+        array[0] = -7.0  # visible through the aliased view
+        np.testing.assert_array_equal(deserialize(serialized), array)
+
+    def test_seal_copies_once_and_detaches(self):
+        array = np.ones(1000)
+        serialized = serialize(array)
+        sealed = serialized.seal()
+        assert sealed.owned
+        array[:] = 0.0  # must NOT affect the sealed copy
+        np.testing.assert_array_equal(deserialize(sealed), np.ones(1000))
+
+    def test_seal_on_owned_object_is_identity(self):
+        sealed = serialize(np.ones(10)).seal()
+        assert sealed.seal() is sealed
+
+    def test_payload_only_objects_are_born_owned(self):
+        serialized = serialize({"a": [1, 2, 3]})
+        assert not serialized.buffers
+        assert serialized.owned
+        assert serialized.seal() is serialized
+
+    def test_object_size_matches_serialize_total(self):
+        for value in [42, "text", np.arange(5000), {"w": np.ones(300)}]:
+            assert object_size(value) == serialize(value).total_bytes
+
+    def test_object_size_does_not_materialize_buffers(self):
+        """Regression pin: ``object_size`` must count buffer lengths without
+        a ``.tobytes()``-style materialization — its peak allocation stays
+        far below the size of the data it measures."""
+        array = np.zeros(8 * 1024 * 1024, dtype=np.uint8)  # 8 MiB
+        object_size(array)  # warm up pickler internals
+        tracemalloc.start()
+        try:
+            object_size(array)
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < array.nbytes // 4, (
+            f"object_size allocated {peak} bytes for a {array.nbytes}-byte "
+            "array: a buffer copy has crept back in"
+        )
+
+    def test_buffer_nbytes_handles_all_buffer_types(self):
+        assert buffer_nbytes(b"abcd") == 4
+        assert buffer_nbytes(bytearray(8)) == 8
+        assert buffer_nbytes(memoryview(bytes(16))) == 16
+        wide = memoryview(np.zeros(4, dtype=np.float64))
+        assert buffer_nbytes(wide) == 32
