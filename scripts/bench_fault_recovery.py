@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""Fault-recovery benchmark: throughput under node kills, checkpoint restore.
+
+Exercises the deterministic fault-injection subsystem end to end and writes
+the results to ``BENCH_fault_recovery.json``:
+
+* **fig10_throughput_recovery** — Figure 10 analogue: a sustained wave
+  workload on 4 nodes while a seeded :class:`FaultSchedule` kills and then
+  restarts two nodes at staggered task counts.  Records the per-wave
+  throughput timeline; the acceptance bar is post-kill steady-state
+  throughput recovering to >=80% of the pre-kill steady state.
+* **fig11_actor_checkpoint** — Figure 11b analogue: a checkpointed counter
+  actor whose node is killed mid-stream.  The actor must come back from its
+  last checkpoint with no lost increments (replaying only the suffix),
+  proving actor state survives node failure.
+* **determinism** — two fresh same-seed chaos runs must inject the
+  byte-identical canonical fault log (the subsystem's replay guarantee).
+* **disabled_overhead** — the same wave workload with no schedule bound
+  (the null injector) vs. an enabled schedule with nothing planned; the
+  enabled-but-idle hooks must cost within noise of disabled.
+
+Run as:  PYTHONPATH=src python scripts/bench_fault_recovery.py [--smoke] [-o PATH]
+``--smoke`` shrinks the workload for CI and relaxes the recovery assertion
+(timings in shared CI containers are too noisy to gate on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+import repro
+from repro.common.faults import (
+    KILL_NODE,
+    RESTART_NODE,
+    FaultAction,
+    FaultSchedule,
+    FaultTrigger,
+    PlannedFault,
+)
+from repro.tools.chaos import ChaosRunner
+
+
+# ---------------------------------------------------------------------------
+# Section 1: Figure 10 analogue — throughput dip and recovery.
+# ---------------------------------------------------------------------------
+
+
+def bench_throughput_recovery(
+    waves: int, width: int, task_seconds: float, assert_recovery: bool
+) -> dict:
+    total_tasks = waves * width
+    first_kill = int(total_tasks * 0.30)
+    schedule = FaultSchedule(
+        seed=10,
+        faults=[
+            PlannedFault(
+                FaultTrigger(after_tasks=first_kill),
+                FaultAction(KILL_NODE, target=1),
+            ),
+            PlannedFault(
+                FaultTrigger(after_tasks=int(total_tasks * 0.40)),
+                FaultAction(RESTART_NODE, target=1),
+            ),
+            PlannedFault(
+                FaultTrigger(after_tasks=int(total_tasks * 0.50)),
+                FaultAction(KILL_NODE, target=2),
+            ),
+            PlannedFault(
+                FaultTrigger(after_tasks=int(total_tasks * 0.60)),
+                FaultAction(RESTART_NODE, target=2),
+            ),
+        ],
+    )
+    repro.init(num_nodes=4, num_cpus_per_node=4, fault_schedule=schedule)
+    try:
+
+        @repro.remote
+        def work(x):
+            time.sleep(task_seconds)
+            return x + 1
+
+        timeline = []
+        refs = None
+        for wave in range(waves):
+            started = time.perf_counter()
+            if refs is None:
+                refs = [work.remote(i) for i in range(width)]
+            else:
+                refs = [work.remote(r) for r in refs]
+            values = repro.get(refs, timeout=180)
+            elapsed = time.perf_counter() - started
+            timeline.append(
+                {"wave": wave, "seconds": elapsed, "tasks_per_second": width / elapsed}
+            )
+        assert values == [i + waves for i in range(width)], "workload corrupted"
+        event_log = [list(e) for e in schedule.event_log()]
+    finally:
+        repro.shutdown()
+
+    # Steady states: waves fully before the first kill vs. the final
+    # quarter of the run (all faults done by 60% of tasks).
+    pre_waves = [
+        w["tasks_per_second"]
+        for w in timeline
+        if (w["wave"] + 1) * width <= first_kill
+    ]
+    post_waves = [
+        w["tasks_per_second"] for w in timeline[-max(2, waves // 4):]
+    ]
+    pre = statistics.median(pre_waves)
+    post = statistics.median(post_waves)
+    dip = min(w["tasks_per_second"] for w in timeline)
+    recovery_ratio = post / pre
+    section = {
+        "waves": waves,
+        "width": width,
+        "task_seconds": task_seconds,
+        "timeline": timeline,
+        "pre_kill_tasks_per_second": pre,
+        "post_recovery_tasks_per_second": post,
+        "min_tasks_per_second": dip,
+        "recovery_ratio": recovery_ratio,
+        "fault_log": event_log,
+    }
+    applied = sum(1 for e in event_log if e and e[-1] == "applied")
+    if applied != 4:
+        raise AssertionError(f"expected 4 applied faults, saw {applied}")
+    if assert_recovery and recovery_ratio < 0.8:
+        raise AssertionError(
+            f"throughput recovered to {recovery_ratio:.2f} of pre-kill "
+            "steady state (< 0.8 bar)"
+        )
+    return section
+
+
+# ---------------------------------------------------------------------------
+# Section 2: Figure 11b analogue — actor checkpoint restore after node kill.
+# ---------------------------------------------------------------------------
+
+
+def bench_actor_checkpoint(increments: int, checkpoint_interval: int) -> dict:
+    runtime = repro.init(num_nodes=3, num_cpus_per_node=2)
+    try:
+
+        @repro.remote(checkpoint_interval=checkpoint_interval)
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            def add(self, amount):
+                self.value += amount
+                return self.value
+
+            @repro.method(read_only=True)
+            def total(self):
+                return self.value
+
+        counter = Counter.remote()
+        half = increments // 2
+        repro.get([counter.add.remote(1) for _ in range(half)])
+
+        state = runtime.actors.get_state(counter.actor_id)
+        killed_node = state.node.node_id
+        kill_started = time.perf_counter()
+        runtime.kill_node(killed_node)
+        # The actor restarts from its checkpoint on a surviving node and
+        # the remaining increments land on the rebuilt instance.
+        refs = [counter.add.remote(1) for _ in range(increments - half)]
+        repro.get(refs, timeout=60)
+        total = repro.get(counter.total.remote(), timeout=60)
+        recovery_seconds = time.perf_counter() - kill_started
+        if total != increments:
+            raise AssertionError(
+                f"counter lost increments across the kill: {total} != {increments}"
+            )
+        replayed = runtime.actors.replayed_methods
+        return {
+            "increments": increments,
+            "checkpoint_interval": checkpoint_interval,
+            "final_value": total,
+            "state_survived_kill": True,
+            "replayed_methods": replayed,
+            "recovery_seconds": recovery_seconds,
+        }
+    finally:
+        repro.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Section 3: same-seed replay determinism.
+# ---------------------------------------------------------------------------
+
+
+def bench_determinism(seed: int) -> dict:
+    runner = ChaosRunner(seed=seed, num_nodes=4, kills=2)
+    first = runner.run()
+    second = runner.run()
+    identical = first.event_log == second.event_log
+    if not identical:
+        raise AssertionError("same-seed fault schedules diverged")
+    return {
+        "seed": seed,
+        "runs": 2,
+        "identical_fault_logs": identical,
+        "signature": first.signature,
+        "events": [list(e) for e in first.event_log],
+        "applied": first.applied,
+        "tasks_run": first.tasks_run,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 4: disabled-mode overhead.
+# ---------------------------------------------------------------------------
+
+
+def _timed_waves(waves: int, width: int, schedule) -> float:
+    repro.init(num_nodes=4, num_cpus_per_node=4, fault_schedule=schedule)
+    try:
+
+        @repro.remote
+        def bump(x):
+            return x + 1
+
+        started = time.perf_counter()
+        refs = [bump.remote(i) for i in range(width)]
+        for _ in range(1, waves):
+            refs = [bump.remote(r) for r in refs]
+        repro.get(refs, timeout=120)
+        return time.perf_counter() - started
+    finally:
+        repro.shutdown()
+
+
+def bench_disabled_overhead(waves: int, width: int, repeats: int) -> dict:
+    # Interleave rounds so machine-load drift hits both configs equally.
+    disabled, idle = [], []
+    for _ in range(repeats):
+        disabled.append(_timed_waves(waves, width, None))
+        idle.append(_timed_waves(waves, width, FaultSchedule(seed=0)))
+    best_disabled = min(disabled)
+    best_idle = min(idle)
+    return {
+        "waves": waves,
+        "width": width,
+        "repeats": repeats,
+        "disabled_seconds": best_disabled,
+        "enabled_idle_seconds": best_idle,
+        "overhead_ratio": best_idle / best_disabled,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("-o", "--output", default="BENCH_fault_recovery.json")
+    args = parser.parse_args()
+
+    if args.smoke:
+        waves, width, task_seconds = 10, 12, 0.002
+        increments, ckpt = 12, 4
+        overhead_waves, overhead_repeats = 4, 1
+        assert_recovery = False
+    else:
+        waves, width, task_seconds = 24, 16, 0.005
+        increments, ckpt = 40, 8
+        overhead_waves, overhead_repeats = 8, 3
+        assert_recovery = True
+
+    report = {"smoke": args.smoke, "sections": {}}
+
+    print("== fig10_throughput_recovery ==")
+    section = bench_throughput_recovery(waves, width, task_seconds, assert_recovery)
+    report["sections"]["fig10_throughput_recovery"] = section
+    print(
+        f"  pre {section['pre_kill_tasks_per_second']:.1f} tasks/s, dip "
+        f"{section['min_tasks_per_second']:.1f}, post "
+        f"{section['post_recovery_tasks_per_second']:.1f} "
+        f"(recovery {section['recovery_ratio']:.2f})"
+    )
+
+    print("== fig11_actor_checkpoint ==")
+    section = bench_actor_checkpoint(increments, ckpt)
+    report["sections"]["fig11_actor_checkpoint"] = section
+    print(
+        f"  final value {section['final_value']}/{section['increments']}, "
+        f"replayed {section['replayed_methods']} methods, recovered in "
+        f"{section['recovery_seconds']:.3f}s"
+    )
+
+    print("== determinism ==")
+    section = bench_determinism(seed=3)
+    report["sections"]["determinism"] = section
+    print(
+        f"  {section['runs']} same-seed runs, identical logs: "
+        f"{section['identical_fault_logs']} (signature {section['signature'][:12]})"
+    )
+
+    print("== disabled_overhead ==")
+    section = bench_disabled_overhead(overhead_waves, width, overhead_repeats)
+    report["sections"]["disabled_overhead"] = section
+    print(
+        f"  disabled {section['disabled_seconds']:.3f}s, enabled-idle "
+        f"{section['enabled_idle_seconds']:.3f}s "
+        f"(ratio {section['overhead_ratio']:.2f})"
+    )
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

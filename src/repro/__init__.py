@@ -34,14 +34,17 @@ from repro.api import (
     ObjectRef,
     RemoteFunction,
     available_resources,
+    cancel,
     cluster_resources,
     free,
     get,
+    get_actor,
     get_runtime,
     init,
     is_initialized,
     kill,
     method,
+    nodes,
     put,
     remote,
     shutdown,
@@ -54,7 +57,14 @@ from repro.common.errors import (
     ObjectLostError,
     ObjectStoreFullError,
     ReproError,
+    TaskCancelledError,
     TaskExecutionError,
+)
+from repro.common.faults import (
+    FaultAction,
+    FaultSchedule,
+    FaultTrigger,
+    PlannedFault,
 )
 from repro.core.runtime import Runtime, RuntimeConfig
 
@@ -69,9 +79,12 @@ __all__ = [
     "get",
     "put",
     "wait",
+    "cancel",
     "kill",
     "free",
     "method",
+    "get_actor",
+    "nodes",
     "cluster_resources",
     "available_resources",
     "register_serializer",
@@ -84,9 +97,14 @@ __all__ = [
     "RuntimeConfig",
     "ReproError",
     "TaskExecutionError",
+    "TaskCancelledError",
     "ObjectLostError",
     "ObjectStoreFullError",
     "ActorDiedError",
     "GetTimeoutError",
+    "FaultSchedule",
+    "FaultTrigger",
+    "FaultAction",
+    "PlannedFault",
     "__version__",
 ]

@@ -100,6 +100,10 @@ class ObjectRef:
     def __init__(self, object_id: ObjectID):
         self.object_id = object_id
 
+    def hex(self) -> str:
+        """The full object ID as a hex string (like ``ObjectRef.hex`` in Ray)."""
+        return self.object_id.hex()
+
     def __hash__(self) -> int:
         return hash(self.object_id)
 
@@ -152,12 +156,34 @@ def wait(
     refs: Sequence[ObjectRef],
     num_returns: int = 1,
     timeout: Optional[float] = None,
+    fetch_local: bool = False,
 ) -> Tuple[List[ObjectRef], List[ObjectRef]]:
-    """Block until ``num_returns`` futures are complete or timeout expires."""
+    """Block until ``num_returns`` futures are complete or timeout expires.
+
+    With ``fetch_local=True`` the ready objects are also replicated to the
+    caller's node before returning, making the subsequent ``get`` local.
+    """
     ready, pending = get_runtime().wait(
-        [r.object_id for r in refs], num_returns=num_returns, timeout=timeout
+        [r.object_id for r in refs],
+        num_returns=num_returns,
+        timeout=timeout,
+        fetch_local=fetch_local,
     )
     return [ObjectRef(i) for i in ready], [ObjectRef(i) for i in pending]
+
+
+def cancel(ref: ObjectRef, force: bool = False) -> bool:
+    """Cancel the task that produces ``ref`` (like ``ray.cancel``).
+
+    A task that has not started is dequeued and never runs; a running task
+    is stopped cooperatively — its next blocking ``repro.get`` raises
+    :class:`~repro.common.errors.TaskCancelledError` inside the task.  With
+    ``force=True`` even a compute-bound task's outputs are replaced by the
+    error at its finish boundary.  Every ``repro.get`` of a cancelled
+    task's futures raises ``TaskCancelledError``.  Cancelling an already
+    finished task is a no-op (returns False).
+    """
+    return get_runtime().cancel(ref.object_id, force=force)
 
 
 # ---------------------------------------------------------------------------
@@ -193,10 +219,16 @@ class RemoteFunction:
         num_cpus: Optional[float] = None,
         num_gpus: Optional[float] = None,
         resources: Optional[Dict[str, float]] = None,
+        max_retries: int = 0,
+        retry_exceptions: Optional[Sequence[type]] = None,
     ):
         self._func = func
         self._num_returns = num_returns
         self._resources = normalize_resources(num_cpus, num_gpus, resources)
+        self._max_retries = max_retries
+        self._retry_exceptions = (
+            None if retry_exceptions is None else tuple(retry_exceptions)
+        )
         self._function_id = _function_id_for(func)
         self.__name__ = getattr(func, "__name__", "remote_function")
         self.__doc__ = func.__doc__
@@ -207,11 +239,19 @@ class RemoteFunction:
         num_cpus: Optional[float] = None,
         num_gpus: Optional[float] = None,
         resources: Optional[Dict[str, float]] = None,
+        max_retries: Optional[int] = None,
+        retry_exceptions: Optional[Sequence[type]] = None,
     ) -> "RemoteFunction":
         """A copy of this remote function with overridden invocation options."""
         clone = RemoteFunction(
             self._func,
             num_returns=self._num_returns if num_returns is None else num_returns,
+            max_retries=self._max_retries if max_retries is None else max_retries,
+            retry_exceptions=(
+                self._retry_exceptions
+                if retry_exceptions is None
+                else tuple(retry_exceptions)
+            ),
         )
         clone._resources = (
             self._resources
@@ -232,6 +272,8 @@ class RemoteFunction:
             encoded_kwargs,
             num_returns=self._num_returns,
             resources=dict(self._resources),
+            max_retries=self._max_retries,
+            retry_exceptions=self._retry_exceptions,
         )
         refs = tuple(ObjectRef(i) for i in return_ids)
         if self._num_returns == 1:
@@ -253,13 +295,39 @@ class RemoteFunction:
 class ActorMethod:
     """Bound ``actor.method`` supporting ``.remote(args)``."""
 
-    def __init__(self, handle: "ActorHandle", method_name: str, num_returns: int = 1):
+    def __init__(
+        self,
+        handle: "ActorHandle",
+        method_name: str,
+        num_returns: int = 1,
+        max_retries: Optional[int] = None,
+        retry_exceptions: Optional[Sequence[type]] = None,
+    ):
         self._handle = handle
         self._method_name = method_name
         self._num_returns = num_returns
+        self._max_retries = max_retries
+        self._retry_exceptions = (
+            None if retry_exceptions is None else tuple(retry_exceptions)
+        )
 
-    def options(self, num_returns: int) -> "ActorMethod":
-        return ActorMethod(self._handle, self._method_name, num_returns)
+    def options(
+        self,
+        num_returns: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        retry_exceptions: Optional[Sequence[type]] = None,
+    ) -> "ActorMethod":
+        return ActorMethod(
+            self._handle,
+            self._method_name,
+            self._num_returns if num_returns is None else num_returns,
+            max_retries=self._max_retries if max_retries is None else max_retries,
+            retry_exceptions=(
+                self._retry_exceptions
+                if retry_exceptions is None
+                else tuple(retry_exceptions)
+            ),
+        )
 
     def remote(self, *args: Any, **kwargs: Any):
         runtime = get_runtime()
@@ -270,6 +338,8 @@ class ActorMethod:
             encoded_args,
             encoded_kwargs,
             num_returns=self._num_returns,
+            max_retries=self._max_retries,
+            retry_exceptions=self._retry_exceptions,
         )
         refs = tuple(ObjectRef(i) for i in return_ids)
         if self._num_returns == 1:
@@ -306,11 +376,13 @@ class ActorClass:
         resources: Optional[Dict[str, float]] = None,
         checkpoint_interval: Optional[int] = None,
         max_restarts: int = 4,
+        name: Optional[str] = None,
     ):
         self._cls = cls
         self._resources = normalize_resources(num_cpus, num_gpus, resources)
         self._checkpoint_interval = checkpoint_interval
         self._max_restarts = max_restarts
+        self._name = name
         self.__name__ = cls.__name__
         self.__doc__ = cls.__doc__
 
@@ -321,6 +393,7 @@ class ActorClass:
         resources: Optional[Dict[str, float]] = None,
         checkpoint_interval: Optional[int] = None,
         max_restarts: Optional[int] = None,
+        name: Optional[str] = None,
     ) -> "ActorClass":
         return ActorClass(
             self._cls,
@@ -333,10 +406,16 @@ class ActorClass:
                 else checkpoint_interval
             ),
             max_restarts=self._max_restarts if max_restarts is None else max_restarts,
+            name=self._name if name is None else name,
         )
 
     def remote(self, *args: Any, **kwargs: Any) -> ActorHandle:
-        """Instantiate the class as a remote actor (paper Table 1)."""
+        """Instantiate the class as a remote actor (paper Table 1).
+
+        A ``name`` given via ``.options(name=...)`` registers the actor in
+        the cluster-wide name registry (``repro.get_actor``); duplicate
+        names raise ValueError before the actor is created.
+        """
         runtime = get_runtime()
         encoded_args, encoded_kwargs = _encode_args(args, kwargs)
         actor_id = runtime.create_actor(
@@ -346,6 +425,7 @@ class ActorClass:
             resources=dict(self._resources),
             checkpoint_interval=self._checkpoint_interval,
             max_restarts=self._max_restarts,
+            name=self._name,
         )
         return ActorHandle(actor_id)
 
@@ -354,6 +434,25 @@ class ActorClass:
             f"actor class {self.__name__} cannot be instantiated directly; "
             "use .remote()"
         )
+
+
+def get_actor(name: str) -> ActorHandle:
+    """Look up a live named actor (like ``ray.get_actor``).
+
+    Raises ValueError if no live actor holds the name — either it was
+    never registered, or it died permanently (which frees the name).
+    """
+    state = get_runtime().actors.get_by_name(name)
+    if state is None:
+        raise ValueError(f"no live actor named {name!r}")
+    return ActorHandle(state.actor_id)
+
+
+def nodes() -> List[Dict[str, Any]]:
+    """Cluster membership snapshot (like ``ray.nodes``): one dict per node
+    — id, liveness, resources, and object-store occupancy — including dead
+    nodes, in creation order."""
+    return get_runtime().nodes_info()
 
 
 def cluster_resources() -> Dict[str, float]:
@@ -366,13 +465,22 @@ def available_resources() -> Dict[str, float]:
     return get_runtime().available_resources()
 
 
-def method(read_only: bool = False):
+def method(
+    read_only: bool = False,
+    max_retries: int = 0,
+    retry_exceptions: Optional[Sequence[type]] = None,
+):
     """Annotate an actor method (like ``ray.method``).
 
     ``read_only=True`` declares that the method does not mutate the actor's
     state, allowing reconstruction to skip replaying it when its outputs
     still exist — the optimization the paper proposes in Section 5.1
     ("allowing users to annotate methods that do not mutate state").
+
+    ``max_retries`` / ``retry_exceptions`` enable in-place app-level
+    retries for the method (overridable per call via
+    ``actor.method.options(...)``); a retried method still counts once
+    toward ``checkpoint_interval``.
 
         @repro.remote
         class Store:
@@ -383,6 +491,10 @@ def method(read_only: bool = False):
 
     def decorator(func):
         func.__repro_read_only__ = read_only
+        func.__repro_max_retries__ = max_retries
+        func.__repro_retry_exceptions__ = (
+            None if retry_exceptions is None else tuple(retry_exceptions)
+        )
         return func
 
     return decorator
@@ -447,12 +559,20 @@ def _wrap_remote(target, **options: Any):
             "resources",
             "checkpoint_interval",
             "max_restarts",
+            "name",
         }
         unknown = set(options) - allowed
         if unknown:
             raise TypeError(f"unknown actor options: {sorted(unknown)}")
         return ActorClass(target, **options)
-    allowed = {"num_returns", "num_cpus", "num_gpus", "resources"}
+    allowed = {
+        "num_returns",
+        "num_cpus",
+        "num_gpus",
+        "resources",
+        "max_retries",
+        "retry_exceptions",
+    }
     unknown = set(options) - allowed
     if unknown:
         raise TypeError(f"unknown task options: {sorted(unknown)}")

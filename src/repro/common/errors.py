@@ -46,6 +46,37 @@ class ActorDiedError(ReproError):
     """A method was called on an actor that died and cannot be restarted."""
 
 
+class NodeDiedError(ReproError):
+    """The node an operation was bound to died while the operation blocked.
+
+    Raised out of blocking fetches pinned to a node that failed mid-wait.
+    Worker threads stranded on a killed node use it to exit quietly: the
+    failure path (``Runtime.kill_node``) has already resubmitted their
+    tasks elsewhere, so the replacement execution owns the outputs.
+    """
+
+    def __init__(self, node_id=None):
+        self.node_id = node_id
+        super().__init__(f"node {node_id!r} died during the operation")
+
+
+class TaskCancelledError(ReproError):
+    """A task was cancelled via ``repro.cancel``.
+
+    Like :class:`TaskExecutionError`, the instance is stored in place of
+    the task's return value(s): every ``get`` of a cancelled output
+    re-raises it, and downstream tasks consuming the output propagate it
+    instead of running.
+    """
+
+    def __init__(self, task_id=None, message: str = ""):
+        self.task_id = task_id
+        super().__init__(message or f"task {task_id!r} was cancelled")
+
+    def __reduce__(self):
+        return (type(self), (self.task_id, self.args[0]))
+
+
 class GetTimeoutError(ReproError):
     """``get`` with a timeout expired before the object became available."""
 

@@ -20,7 +20,12 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
-from repro.common.errors import ActorDiedError, TaskExecutionError
+from repro.common.errors import (
+    ActorDiedError,
+    NodeDiedError,
+    TaskCancelledError,
+    TaskExecutionError,
+)
 from repro.common.events import BACKSTOP_INTERVAL, Completion
 from repro.common.ids import ActorID, NodeID
 from repro.common.serialization import deserialize, serialize
@@ -30,6 +35,8 @@ from repro.core.worker import (
     normalize_returns,
     pin_inputs,
     resolve_args,
+    retry_delay,
+    should_retry,
     store_outputs,
 )
 from repro.gcs.tables import TaskStatus
@@ -53,6 +60,7 @@ class ActorState:
         creation_spec: TaskSpec,
         checkpoint_interval: Optional[int],
         max_restarts: int,
+        name: Optional[str] = None,
     ):
         self.actor_id = actor_id
         self.cls = cls
@@ -60,6 +68,7 @@ class ActorState:
         self.creation_spec = creation_spec
         self.checkpoint_interval = checkpoint_interval
         self.max_restarts = max_restarts
+        self.name = name  # user-visible name (``get_actor`` registry)
 
         self.cond = threading.Condition()
         self.node: Optional["Node"] = None
@@ -99,9 +108,13 @@ class ActorManager:
         creation_spec: TaskSpec,
         checkpoint_interval: Optional[int] = None,
         max_restarts: int = 4,
+        name: Optional[str] = None,
     ) -> ActorState:
         actor_id = creation_spec.actor_id
         assert actor_id is not None
+        gcs = self.runtime.gcs
+        # The name (if any) was already claimed by the caller — the claim
+        # must precede the durable task row so duplicates have no effect.
         state = ActorState(
             actor_id,
             cls,
@@ -109,10 +122,10 @@ class ActorManager:
             creation_spec,
             checkpoint_interval,
             max_restarts,
+            name=name,
         )
         with self._lock:
             self.actors[actor_id] = state
-        gcs = self.runtime.gcs
         gcs.register_actor(actor_id, cls.__name__, None)
         gcs.kv.put((_ACTOR_CREATION, actor_id), creation_spec)
         self._start_incarnation(state)
@@ -261,6 +274,11 @@ class ActorManager:
                 )
                 if self._stale(state, incarnation):
                     return
+        except NodeDiedError:
+            # The node died under this incarnation mid-fetch or mid-method.
+            # Exit quietly without advancing the counter: on_node_death
+            # restarts the actor elsewhere and replays from the checkpoint.
+            return
         finally:
             node.resources.release(state.creation_spec.resources)
 
@@ -342,6 +360,13 @@ class ActorManager:
     ) -> None:
         runtime = self.runtime
         gcs = runtime.gcs
+        if runtime.is_cancelled(spec.task_id):
+            # A cancelled method is *flagged*, never dequeued: the mailbox
+            # must stay counter-contiguous or the actor loop would block
+            # forever on the gap.  Skip execution here, still advancing the
+            # counter and storing cancelled outputs for any waiting get().
+            self._skip_cancelled_method(state, node, spec)
+            return
         with state.cond:
             is_replay = spec.actor_counter < state.replay_boundary
         if is_replay and spec.is_read_only:
@@ -389,15 +414,39 @@ class ActorManager:
             values = [input_error] * spec.num_returns
         else:
             method = getattr(instance, spec.actor_method)
-            try:
-                with context.execution_scope(
-                    runtime, node, spec.task_id, dict(spec.resources)
-                ):
-                    output = method(*args, **kwargs)
-                values = normalize_returns(spec, output)
-            except BaseException as exc:  # noqa: BLE001
-                status = TaskStatus.FAILED
-                values = [TaskExecutionError(spec.task_id, exc)] * spec.num_returns
+            attempt = 0
+            while True:
+                try:
+                    with context.execution_scope(
+                        runtime, node, spec.task_id, dict(spec.resources)
+                    ):
+                        output = method(*args, **kwargs)
+                    values = normalize_returns(spec, output)
+                    break
+                except TaskCancelledError as exc:
+                    status = TaskStatus.CANCELLED
+                    values = [exc] * spec.num_returns
+                    break
+                except NodeDiedError:
+                    # Never retried in place: bubble to the actor loop's
+                    # quiet-exit path; the restart replays this method.
+                    raise
+                except BaseException as exc:  # noqa: BLE001
+                    if should_retry(spec, exc, attempt) and not (
+                        runtime.is_cancelled(spec.task_id)
+                    ):
+                        # In-place retry: the attempt is invisible to the
+                        # method counter, so a retried method still counts
+                        # once toward checkpoint_interval.
+                        runtime.record_task_retry(spec, exc, attempt)
+                        time.sleep(retry_delay(runtime, attempt))
+                        attempt += 1
+                        continue
+                    status = TaskStatus.FAILED
+                    values = [
+                        TaskExecutionError(spec.task_id, exc)
+                    ] * spec.num_returns
+                    break
         entries = store_outputs(runtime, node, spec, values, publish=False)
         for dep in deps:
             node.store.unpin(dep)
@@ -426,11 +475,45 @@ class ActorManager:
         )
         gcs.update_actor(state.actor_id, methods_executed=executed)
         runtime.report_task_duration(duration)
+        runtime.discard_cancellation_event(spec.task_id)
         if (
             state.checkpoint_interval
             and executed % state.checkpoint_interval == 0
         ):
             self._save_checkpoint(state, instance, executed)
+
+    def _skip_cancelled_method(
+        self, state: ActorState, node: "Node", spec: TaskSpec
+    ) -> None:
+        """Advance past a cancelled mailbox entry without running it."""
+        runtime = self.runtime
+        error = TaskCancelledError(spec.task_id)
+        entries = store_outputs(
+            runtime, node, spec, [error] * spec.num_returns, publish=False
+        )
+        with state.cond:
+            state.next_counter = spec.actor_counter + 1
+            executed = state.next_counter
+        runtime.gcs.finish_task(
+            spec.task_id,
+            TaskStatus.CANCELLED,
+            node.node_id,
+            entries,
+            event=(
+                "task_finished",
+                dict(
+                    task=spec.task_id.hex()[:8],
+                    name=spec.function_name,
+                    node=node.node_id.hex()[:8],
+                    start=time.perf_counter(),
+                    duration=0.0,
+                    status=TaskStatus.CANCELLED.value,
+                    kind="actor_method",
+                ),
+            ),
+            batched=runtime.config.gcs_batched_writes,
+        )
+        runtime.gcs.update_actor(state.actor_id, methods_executed=executed)
 
     def _save_checkpoint(self, state: ActorState, instance: Any, counter: int) -> None:
         if hasattr(instance, "save_checkpoint"):
@@ -444,6 +527,27 @@ class ActorManager:
         self.runtime.gcs.update_actor(state.actor_id, checkpoint_index=counter)
         with self._lock:
             self.checkpoints_taken += 1
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    def get_by_name(self, name: str) -> Optional[ActorState]:
+        """Resolve a user-visible name to its live actor (or None)."""
+        actor_id = self.runtime.gcs.lookup_actor_name(name)
+        if actor_id is None:
+            return None
+        with self._lock:
+            state = self.actors.get(actor_id)
+        if state is None or state.dead_forever:
+            return None
+        return state
+
+    def _release_name(self, state: ActorState) -> None:
+        """Free the actor's name on permanent death (idempotent)."""
+        name, state.name = state.name, None
+        if name is not None:
+            self.runtime.gcs.release_actor_name(name, state.actor_id)
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -479,6 +583,7 @@ class ActorManager:
                 state.cond.notify_all()
         if state.dead_forever:
             self._fail_pending_methods(state)
+            self._release_name(state)
             self.runtime.gcs.update_actor(state.actor_id, alive=False)
             return
         self.runtime.gcs.update_actor(state.actor_id, alive=False)
@@ -499,6 +604,7 @@ class ActorManager:
                 state.interrupt.set()
                 state.cond.notify_all()
             self._fail_pending_methods(state)
+            self._release_name(state)
             self.runtime.gcs.update_actor(state.actor_id, alive=False)
 
     def _kill_forever(self, state: ActorState, cause: TaskExecutionError) -> None:
@@ -509,6 +615,7 @@ class ActorManager:
         self.runtime.gcs.update_task_status(
             state.creation_spec.task_id, TaskStatus.FAILED
         )
+        self._release_name(state)
         self.runtime.gcs.update_actor(state.actor_id, alive=False)
         self._fail_pending_methods(state, cause)
 

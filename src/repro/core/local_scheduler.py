@@ -23,6 +23,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.common.events import BACKSTOP_INTERVAL, WaitStats
+from repro.common.faults import NULL_FAULTS
 from repro.common.ids import ObjectID, TaskID
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.task_spec import TaskSpec
@@ -46,6 +47,7 @@ class LocalScheduler:
         wait_stats: Optional[WaitStats] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[Callable[..., None]] = None,
+        faults: Optional[object] = None,
     ):
         self.node = node
         self.gcs = gcs
@@ -55,6 +57,7 @@ class LocalScheduler:
         self.spillback_threshold = spillback_threshold
         self._wait_stats = wait_stats
         self._trace = trace
+        self._faults = faults if faults is not None else NULL_FAULTS
 
         self._cond = threading.Condition()
         self._ready: deque = deque()
@@ -118,6 +121,11 @@ class LocalScheduler:
 
     def place(self, spec: TaskSpec) -> None:
         """This node has been chosen to run ``spec``."""
+        if self._faults.enabled:
+            # An ``at_placement`` fault fires *here*, before the alive
+            # check, so a kill injected mid-placement is discovered by the
+            # very placement that triggered it and spills back to global.
+            self._faults.on_place(self.node.node_id)
         if not self.node.alive:
             # Placed on a node that died in the meantime: bounce to global.
             self._forward_to_global(spec)
@@ -137,8 +145,19 @@ class LocalScheduler:
             self._enqueue_ready(spec)
             return
         with self._cond:
-            self._waiting[spec.task_id] = set(missing)
-            self._waiting_specs[spec.task_id] = spec
+            if self._stopped:
+                # The node died between the alive check above and here: a
+                # spec registered now would be invisible to the kill path's
+                # drain (it already ran) and lost forever.  stop()/drain()
+                # hold this condition, so the check is authoritative.
+                bounced = True
+            else:
+                bounced = False
+                self._waiting[spec.task_id] = set(missing)
+                self._waiting_specs[spec.task_id] = spec
+        if bounced:
+            self._forward_to_global(spec)
+            return
         # Register every readiness callback first (fires immediately for
         # anything already arrived), then fan the fetches out to the
         # prefetch pool so the missing inputs replicate in parallel.
@@ -176,9 +195,15 @@ class LocalScheduler:
 
     def _enqueue_ready(self, spec: TaskSpec) -> None:
         with self._cond:
-            self._ready.append(spec)
-            self._ready_since[spec.task_id] = time.monotonic()
-            self._cond.notify_all()
+            if not self._stopped:
+                self._ready.append(spec)
+                self._ready_since[spec.task_id] = time.monotonic()
+                self._cond.notify_all()
+                return
+        # Stopped under us (the window between _input_ready popping the
+        # spec from _waiting and this append is invisible to drain()):
+        # hand the task back for placement on a live node.
+        self._forward_to_global(spec)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -204,9 +229,20 @@ class LocalScheduler:
                         # A task was dispatchable but no notification
                         # arrived: the backstop caught a missed wakeup.
                         self._wait_stats.record_backstop(recovered=True)
-                if self._stopped:
-                    return
-                self._running.add(spec.task_id)
+                stopped = self._stopped
+                if not stopped:
+                    self._running.add(spec.task_id)
+            if stopped:
+                # A spec picked in the same round the node stopped was
+                # already out of _ready (invisible to drain), with its
+                # resources held: release and reroute it rather than drop
+                # it.  Forwarding happens outside _cond — it takes another
+                # node's condition, and nesting the two would invert lock
+                # order against that node's own dispatcher.
+                if spec is not None:
+                    self.node.resources.release(spec.resources)
+                    self._forward_to_global(spec)
+                return
             worker = threading.Thread(
                 target=self._run_task,
                 args=(spec,),
@@ -234,6 +270,31 @@ class LocalScheduler:
             with self._cond:
                 self._running.discard(spec.task_id)
                 self._cond.notify_all()
+
+    # -- cancellation ---------------------------------------------------------
+
+    def cancel(self, task_id: TaskID) -> Optional[TaskSpec]:
+        """Dequeue ``task_id`` if it has not started running.
+
+        Returns the removed spec (the caller stores cancelled outputs for
+        it), or ``None`` if the task is already running here, finished, or
+        unknown — in those cases cancellation is cooperative only.
+        """
+        with self._cond:
+            for index, spec in enumerate(self._ready):
+                if spec.task_id == task_id:
+                    del self._ready[index]
+                    self._ready_since.pop(task_id, None)
+                    return spec
+            if task_id in self._waiting:
+                del self._waiting[task_id]
+                return self._waiting_specs.pop(task_id)
+            return None
+
+    def running_tasks(self) -> List[TaskID]:
+        """IDs of tasks currently executing on this node's workers."""
+        with self._cond:
+            return list(self._running)
 
     # -- load info (heartbeats to the global scheduler) --------------------------
 

@@ -23,11 +23,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import (
     GetTimeoutError,
+    NodeDiedError,
     ObjectLostError,
     RuntimeNotInitializedError,
+    TaskCancelledError,
     TaskExecutionError,
 )
 from repro.common.events import BACKSTOP_INTERVAL, Completion, WaitStats, wait_any
+from repro.common.faults import NULL_FAULTS
 from repro.common.metrics import MetricsRegistry
 from repro.common.ids import (
     ActorID,
@@ -94,6 +97,14 @@ class RuntimeConfig:
     value_cache_capacity_bytes: Optional[int] = 256 * 1024 * 1024
     prefetch_parallelism: int = 8
     gcs_batched_writes: bool = True
+    # Deterministic fault injection: a FaultSchedule whose planned faults
+    # (node kills/restarts, chain-member kills, chunk drops/delays) fire at
+    # task-count or placement triggers.  None (the default) installs the
+    # null injector — every hook is a single attribute check.
+    fault_schedule: Optional[Any] = None
+    # First app-level retry waits this long; each further attempt doubles
+    # it (capped).  Only used when a task sets max_retries > 0.
+    retry_backoff_base: float = 0.02
 
 
 class Node:
@@ -134,6 +145,7 @@ class Node:
             wait_stats=runtime.wait_stats,
             metrics=runtime.metrics,
             trace=runtime.trace_event,
+            faults=runtime.faults,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -164,12 +176,24 @@ class Runtime:
             )
         )
 
+        # Fault injection precedes every other subsystem: the GCS chains,
+        # the transfer service, and each node's local scheduler take the
+        # injector at construction (null-object when no schedule is set).
+        self.faults = (
+            config.fault_schedule
+            if config.fault_schedule is not None
+            else NULL_FAULTS
+        )
+
         self.gcs = GlobalControlStore(
             num_shards=config.gcs_shards,
             num_replicas=config.gcs_replicas,
             metrics=self.metrics,
+            faults=self.faults,
         )
-        self.transfer = TransferService(self.gcs, metrics=self.metrics)
+        self.transfer = TransferService(
+            self.gcs, metrics=self.metrics, faults=self.faults
+        )
         self.fetcher = ObjectFetcher(
             self.gcs,
             self.transfer,
@@ -194,6 +218,12 @@ class Runtime:
         self._m_methods_submitted = self.metrics.counter(
             "actor_methods_submitted_total", "Actor method submissions"
         )
+        self._m_retries = self.metrics.counter(
+            "task_retries_total", "In-place app-level task retry attempts"
+        )
+        self._m_cancelled = self.metrics.counter(
+            "tasks_cancelled_total", "Tasks cancelled via cancel()"
+        )
         # itertools.count() is C-implemented, so next() is atomic: safe for
         # concurrent submitters without a lock.
         self._scheduler_rr = itertools.count()
@@ -210,6 +240,18 @@ class Runtime:
         self.actors = ActorManager(self)
         self.reconstruction = ReconstructionManager(self)
         self.fetcher.reconstruct = self.reconstruction.maybe_reconstruct
+
+        # Cancellation registry: task_id -> forced?  A task stays marked
+        # after cancellation (the stored error is the durable record); the
+        # per-task wake events are dropped once the task finishes.
+        self._cancel_lock = threading.Lock()
+        self._cancelled: Dict[TaskID, bool] = {}
+        self._cancel_events: Dict[TaskID, Completion] = {}
+
+        # Bind the fault schedule last: triggers may kill/restart nodes and
+        # chain members, so the full cluster must exist first.
+        if self.faults.enabled:
+            self.faults.bind(self)
 
         self.flusher = None
         if config.gcs_flush_path:
@@ -250,6 +292,10 @@ class Runtime:
     def node(self, node_id: NodeID) -> Node:
         return self._nodes[node_id]
 
+    def node_by_index(self, index: int) -> Node:
+        """Node at a stable position in creation order (fault targeting)."""
+        return self._nodes[self._node_order[index % len(self._node_order)]]
+
     def add_node(
         self,
         resources: Optional[Dict[str, float]] = None,
@@ -270,18 +316,78 @@ class Runtime:
         node = self._nodes[node_id]
         if not node.alive:
             return
+        # Snapshot running tasks on BOTH sides of the stop.  A task that
+        # finishes unstored in the alive=False window may leave _running
+        # before the late snapshot (its outputs lost with no retraction
+        # event); a task dispatched in the same window appears only in the
+        # late one.  The union covers both.
+        running = set(node.local_scheduler.running_tasks())
         node.alive = False
         node.local_scheduler.stop()
         drained = node.local_scheduler.drain()
+        running.update(node.local_scheduler.running_tasks())
         lost = node.store.drop_all()
         for object_id in lost:
             self.gcs.remove_object_location(object_id, node_id)
+        # In-flight fetch markers bound to this node will never be cleared
+        # by its (dropped) store; purge them so the reused NodeID starts
+        # clean if the node is restarted.
+        self.fetcher.forget_node(node_id)
         self.gcs.record_event("node_death", node=node_id.hex()[:8], lost=len(lost))
         for spec in drained:
             if spec.actor_id is None:
                 self.gcs.update_task_status(spec.task_id, TaskStatus.PENDING)
                 self.route_and_place(spec)
+        # Tasks RUNNING on the dead node are lost with it: their worker
+        # threads are stranded (they exit quietly via NodeDiedError) and
+        # their outputs will never materialize, so resubmit each one now.
+        # Waiting for a consumer to notice would deadlock — the output's
+        # object-table entry was never created, so reconstruction has
+        # nothing to replay.  Actor methods are replayed separately by the
+        # actor-restart path (on_node_death), which preserves the
+        # stateful-edge order.
+        for task_id in running:
+            entry = self.lookup_task(task_id)
+            if entry is None or entry.spec.actor_id is not None:
+                continue
+            if entry.status in (TaskStatus.FINISHED, TaskStatus.FAILED,
+                                TaskStatus.CANCELLED):
+                # Finished inside the kill window: alive flipped before its
+                # store_outputs ran, so the outputs were either never stored
+                # (no location was ever published — no retraction event will
+                # ever announce the loss) or dropped above.  Replay lineage
+                # for any output with no live copy.
+                for object_id in entry.spec.return_ids:
+                    if not self.transfer.live_locations(object_id):
+                        self.reconstruction.maybe_reconstruct(object_id)
+                continue
+            self.gcs.update_task_status(task_id, TaskStatus.PENDING)
+            self.route_and_place(entry.spec)
         self.actors.on_node_death(node_id)
+
+    def restart_node(self, node_id: NodeID) -> Node:
+        """Rejoin a previously killed node under the same NodeID.
+
+        The replacement gets a fresh (empty) store and scheduler but keeps
+        the dead node's identity, resources, and position in creation
+        order, modelling the same machine coming back after a reboot.
+        Reusing the NodeID is safe throughout: the metrics registry is
+        get-or-create, and stale GCS locations for this node were already
+        retracted by ``kill_node``.
+        """
+        old = self._nodes[node_id]
+        if old.alive:
+            return old
+        node = Node(
+            node_id,
+            dict(old.resources.total),
+            self,
+            old.store.capacity_bytes,
+        )
+        self._nodes[node_id] = node
+        self.transfer.register_node(node)
+        self.gcs.record_event("node_restart", node=node_id.hex()[:8])
+        return node
 
     # ------------------------------------------------------------------
     # Scheduling entry points
@@ -302,6 +408,10 @@ class Runtime:
         node.local_scheduler.place(spec)
 
     def report_task_duration(self, seconds: float) -> None:
+        if self.faults.enabled:
+            # Every task / actor-method finish advances the injector's task
+            # counter — the deterministic trigger clock for planned faults.
+            self.faults.on_task_finished()
         for scheduler in self.global_schedulers:
             scheduler.report_task_duration(seconds)
         if self.flusher is not None:
@@ -328,6 +438,137 @@ class Runtime:
         self.gcs.add_task(task_id, restored.spec)
         self.gcs.update_task_status(task_id, restored.status)
         return self.gcs.get_task(task_id)
+
+    def record_task_retry(
+        self, spec: TaskSpec, exc: BaseException, attempt: int
+    ) -> None:
+        """Bookkeeping for one in-place retry attempt (counter + trace)."""
+        self._m_retries.inc()
+        self.trace_event(
+            "task_retry",
+            task=spec.task_id.hex()[:8],
+            name=spec.function_name,
+            attempt=attempt + 1,
+            error=type(exc).__name__,
+        )
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+
+    def is_cancelled(self, task_id: TaskID) -> bool:
+        with self._cancel_lock:
+            return task_id in self._cancelled
+
+    def cancel_forced(self, task_id: TaskID) -> bool:
+        with self._cancel_lock:
+            return self._cancelled.get(task_id, False)
+
+    def cancellation_event(self, task_id: TaskID) -> Completion:
+        """Per-task completion set when the task is cancelled; created on
+        demand so blocked gets inside the task wake immediately."""
+        with self._cancel_lock:
+            event = self._cancel_events.get(task_id)
+            if event is None:
+                event = Completion(stats=self.wait_stats)
+                self._cancel_events[task_id] = event
+            if task_id in self._cancelled:
+                event.set()
+            return event
+
+    def discard_cancellation_event(self, task_id: TaskID) -> None:
+        """Drop the wake event once the task has finished (the cancelled
+        *flag* stays: the stored error is the durable record)."""
+        with self._cancel_lock:
+            self._cancel_events.pop(task_id, None)
+
+    def cancel(self, object_id: ObjectID, force: bool = False) -> bool:
+        """Cancel the task that produces ``object_id``.
+
+        Semantics by task state:
+
+        * **not yet dispatched** — dequeued from its local scheduler and
+          never runs; ``TaskCancelledError`` is stored as its outputs.
+        * **running, blocked in ``get``** — the blocked get raises
+          ``TaskCancelledError`` inside the task (cooperative stop).
+        * **running, pure compute** — with ``force=False`` the attempt runs
+          to completion and its result stands; with ``force=True`` the
+          outputs are replaced by ``TaskCancelledError`` at the finish
+          boundary, so every ``get`` of them raises.
+        * **already finished** — no-op; returns False.
+
+        Actor methods are flagged, never dequeued: the mailbox must stay
+        counter-contiguous, so a cancelled not-yet-run method is skipped by
+        the actor loop at its turn.  Returns True if a cancellation was
+        recorded.
+        """
+        task_id = self.graph.producer_of(object_id)
+        if task_id is None:
+            raise ValueError(
+                f"object {object_id!r} was not produced by a task "
+                "(put objects cannot be cancelled)"
+            )
+        entry = self.gcs.get_task(task_id)
+        if entry is not None and entry.status in (
+            TaskStatus.FINISHED,
+            TaskStatus.FAILED,
+            TaskStatus.CANCELLED,
+        ):
+            return False
+        spec = self.graph.task(task_id)
+        with self._cancel_lock:
+            already = task_id in self._cancelled
+            self._cancelled[task_id] = self._cancelled.get(task_id, False) or force
+            event = self._cancel_events.get(task_id)
+        if event is not None:
+            event.set()
+        if already:
+            return True
+        self._m_cancelled.inc()
+        self.trace_event(
+            "task_cancelled",
+            task=task_id.hex()[:8],
+            name=spec.function_name if spec is not None else "?",
+            force=force,
+        )
+        if spec is not None and spec.actor_id is None:
+            # Try to dequeue before it ever runs; racing with dispatch is
+            # fine — the worker's entry check catches the loser.
+            for node in self.nodes():
+                removed = node.local_scheduler.cancel(task_id)
+                if removed is not None:
+                    self._finish_cancelled(removed)
+                    break
+        return True
+
+    def _finish_cancelled(self, spec: TaskSpec) -> None:
+        """Store cancelled outputs for a task that was dequeued unrun."""
+        from repro.core.worker import store_outputs
+
+        error = TaskCancelledError(spec.task_id)
+        node = self.driver_node
+        entries = store_outputs(
+            self, node, spec, [error] * spec.num_returns, publish=False
+        )
+        self.gcs.finish_task(
+            spec.task_id,
+            TaskStatus.CANCELLED,
+            None,
+            entries,
+            event=(
+                "task_finished",
+                dict(
+                    task=spec.task_id.hex()[:8],
+                    name=spec.function_name,
+                    node="-",
+                    start=time.perf_counter(),
+                    duration=0.0,
+                    status=TaskStatus.CANCELLED.value,
+                    kind="task",
+                ),
+            ),
+            batched=self.config.gcs_batched_writes,
+        )
 
     # ------------------------------------------------------------------
     # Submission
@@ -358,6 +599,8 @@ class Runtime:
         kwargs: Tuple[Tuple[str, Any], ...],
         num_returns: int = 1,
         resources: Optional[Dict[str, float]] = None,
+        max_retries: int = 0,
+        retry_exceptions: Optional[Tuple[type, ...]] = None,
     ) -> Tuple[ObjectID, ...]:
         """Create and route a task; returns its future object IDs.
 
@@ -374,6 +617,8 @@ class Runtime:
             num_returns=num_returns,
             resources=resources or normalize_resources(),
             parent_task_id=parent,
+            max_retries=max_retries,
+            retry_exceptions=retry_exceptions,
         )
         existing = self.gcs.get_task(task_id)
         if existing is not None:
@@ -416,6 +661,7 @@ class Runtime:
         resources: Optional[Dict[str, float]] = None,
         checkpoint_interval: Optional[int] = None,
         max_restarts: int = 4,
+        name: Optional[str] = None,
     ) -> ActorID:
         parent, index, _node = self._submission_context()
         task_id = deterministic_task_id(parent, index, salt="actor")
@@ -434,6 +680,10 @@ class Runtime:
             actor_id=actor_id,
             is_actor_creation=True,
         )
+        if name is not None:
+            # Claim the name before any durable side effect: a duplicate
+            # raises ValueError here and no actor or task row is created.
+            self.gcs.register_actor_name(name, actor_id)
         self.gcs.add_task(task_id, spec)
         self.graph.add_task(spec)
         self.actors.create_actor(
@@ -441,6 +691,7 @@ class Runtime:
             spec,
             checkpoint_interval=checkpoint_interval,
             max_restarts=max_restarts,
+            name=name,
         )
         return actor_id
 
@@ -451,6 +702,8 @@ class Runtime:
         args: Tuple[Any, ...],
         kwargs: Tuple[Tuple[str, Any], ...],
         num_returns: int = 1,
+        max_retries: Optional[int] = None,
+        retry_exceptions: Optional[Tuple[type, ...]] = None,
     ) -> Tuple[ObjectID, ...]:
         parent, index, _node = self._submission_context()
         state = self.actors.get_state(actor_id)
@@ -460,9 +713,13 @@ class Runtime:
             state.cls.__module__, state.cls.__qualname__
         )
 
-        read_only = bool(
-            getattr(getattr(state.cls, method_name, None), "__repro_read_only__", False)
-        )
+        method = getattr(state.cls, method_name, None)
+        read_only = bool(getattr(method, "__repro_read_only__", False))
+        # Per-call overrides win over the @repro.method declaration.
+        if max_retries is None:
+            max_retries = int(getattr(method, "__repro_max_retries__", 0))
+        if retry_exceptions is None:
+            retry_exceptions = getattr(method, "__repro_retry_exceptions__", None)
 
         def build(counter: int) -> TaskSpec:
             task_id = deterministic_task_id(parent, index, salt=f"m{counter}")
@@ -479,6 +736,8 @@ class Runtime:
                 actor_method=method_name,
                 actor_counter=counter,
                 is_read_only=read_only,
+                max_retries=max_retries,
+                retry_exceptions=retry_exceptions,
             )
 
         # submit_method registers the task row itself, before the spec can
@@ -581,6 +840,12 @@ class Runtime:
                     return False
                 if lost.is_set():
                     raise ObjectLostError(object_id)
+                if not node.alive:
+                    # The node this fetch was bound to died mid-wait: its
+                    # store will never receive the object (transfers skip
+                    # dead targets).  Stranded worker threads catch this
+                    # and exit; their tasks were resubmitted by kill_node.
+                    raise NodeDiedError(node.node_id)
                 if deadline is not None and time.monotonic() >= deadline:
                     raise GetTimeoutError(
                         f"object {object_id!r} not available within timeout"
@@ -594,11 +859,26 @@ class Runtime:
             unsubscribe()
 
     def get(self, object_ids, timeout: Optional[float] = None):
-        """Blocking retrieval of one object or a list of objects."""
+        """Blocking retrieval of one object or a list of objects.
+
+        Raises the stored error (``TaskExecutionError`` or
+        ``TaskCancelledError``) if the producing task failed or was
+        cancelled.  A get issued *inside* a task that is itself cancelled
+        raises ``TaskCancelledError`` from the blocking wait — the
+        cooperative cancellation point for long dependency chains.
+        """
         single = not isinstance(object_ids, (list, tuple))
         id_list = [object_ids] if single else list(object_ids)
         node = context.current_node() or self.driver_node
         deadline = None if timeout is None else time.monotonic() + timeout
+        current = context.current_task_id()
+        cancelled = None
+        interrupt = None
+        if current is not None:
+            # Register the wake event before blocking so a concurrent
+            # cancel() of *this* task interrupts the wait immediately.
+            interrupt = self.cancellation_event(current)
+            cancelled = lambda: self.is_cancelled(current)  # noqa: E731
         values: List[Any] = []
         with context.blocked():
             if len(id_list) > 1:
@@ -611,13 +891,20 @@ class Runtime:
                     remaining = (
                         None if deadline is None else max(0.0, deadline - time.monotonic())
                     )
-                    self.fetch_to_node(object_id, node, timeout=remaining)
+                    if not self.fetch_to_node(
+                        object_id,
+                        node,
+                        timeout=remaining,
+                        cancelled=cancelled,
+                        interrupt=interrupt,
+                    ):
+                        raise TaskCancelledError(current)
                     # Reads go through the node's deserialized-value cache.
                     value, found = node.store.load_value(object_id)
                     if found:
                         break
                     # Evicted between availability and read: retry the fetch.
-                if isinstance(value, TaskExecutionError):
+                if isinstance(value, (TaskExecutionError, TaskCancelledError)):
                     raise value
                 values.append(value)
         return values[0] if single else values
@@ -631,9 +918,14 @@ class Runtime:
         object_ids: Sequence[ObjectID],
         num_returns: int = 1,
         timeout: Optional[float] = None,
+        fetch_local: bool = False,
     ) -> Tuple[List[ObjectID], List[ObjectID]]:
         """Paper ``ray.wait``: block until ``num_returns`` objects are ready
-        or the timeout expires; returns (ready, not_ready)."""
+        or the timeout expires; returns (ready, not_ready).
+
+        With ``fetch_local=True`` the ready objects are additionally
+        replicated to the caller's node before returning, so a subsequent
+        ``get`` of them is a local read."""
         id_list = list(object_ids)
         if num_returns > len(id_list):
             raise ValueError("num_returns exceeds number of futures")
@@ -684,11 +976,35 @@ class Runtime:
         finally:
             for unsubscribe in unsubscribes:
                 unsubscribe()
+        if fetch_local and ready:
+            node = context.current_node() or self.driver_node
+            self.fetcher.prefetch(ready, node)
+            with context.blocked():
+                for object_id in ready:
+                    self.fetch_to_node(object_id, node)
         return ready, pending
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def nodes_info(self) -> List[Dict[str, Any]]:
+        """Cluster membership snapshot (like ``ray.nodes()``): one dict per
+        node, including dead ones, in creation order."""
+        out: List[Dict[str, Any]] = []
+        for node_id in self._node_order:
+            node = self._nodes[node_id]
+            out.append(
+                {
+                    "node_id": node_id.hex(),
+                    "alive": node.alive,
+                    "resources": dict(node.resources.total),
+                    "available_resources": dict(node.resources.available()),
+                    "store_bytes": node.store.used_bytes,
+                    "num_objects": node.store.num_objects(),
+                }
+            )
+        return out
 
     def cluster_resources(self) -> Dict[str, float]:
         """Total resources across live nodes (like ``ray.cluster_resources``)."""

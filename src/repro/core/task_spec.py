@@ -48,12 +48,21 @@ class TaskSpec:
     # Read-only methods do not mutate actor state, so reconstruction can
     # skip replaying them (the paper's Section 5.1 future-work item).
     is_read_only: bool = False
+    # App-level retry policy: on an application exception the task is
+    # re-attempted in place (exponential backoff) up to ``max_retries``
+    # times.  ``retry_exceptions`` limits which exception types qualify
+    # (None = any Exception).  Distinct from lineage reconstruction, which
+    # recovers *lost objects* by replaying already-successful tasks.
+    max_retries: int = 0
+    retry_exceptions: Optional[Tuple[type, ...]] = None
 
     def __post_init__(self):
         if self.num_returns < 0:
             raise ValueError("num_returns must be >= 0")
         if self.actor_method is not None and self.actor_id is None:
             raise ValueError("actor method spec requires an actor_id")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
 
     @property
     def is_actor_method(self) -> bool:

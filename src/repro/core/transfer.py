@@ -32,6 +32,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.common.faults import NULL_FAULTS
 from repro.common.ids import NodeID, ObjectID
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.common.serialization import SerializedObject
@@ -41,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.gcs.client import GlobalControlStore
 
 DEFAULT_CHUNK_BYTES = 1 << 20  # 1 MiB stripes
+DEFAULT_CHUNK_DELAY_SECONDS = 0.002  # injected per-stripe stall
 DEFAULT_PREFETCH_PARALLELISM = 8
 MAX_STRIPE_SOURCES = 4
 
@@ -50,6 +52,15 @@ def _byte_view(buf) -> memoryview:
     if view.format != "B":
         view = view.cast("B")
     return view
+
+
+class ChunkDropped(Exception):
+    """A fault-injected stripe loss: the in-progress copy is abandoned and
+    restarted, like a lost-and-retransmitted network segment."""
+
+    def __init__(self, chunk_index: int):
+        self.chunk_index = chunk_index
+        super().__init__(f"injected drop of chunk {chunk_index}")
 
 
 def striped_copy(
@@ -66,7 +77,10 @@ def striped_copy(
 
 
 def striped_copy_multi(
-    sources: Sequence[SerializedObject], chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    sources: Sequence[SerializedObject],
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    chunk_hook: Optional[Callable[[int], Optional[str]]] = None,
+    chunk_delay_seconds: float = DEFAULT_CHUNK_DELAY_SECONDS,
 ) -> SerializedObject:
     """Stripe-copy an object, reading alternating chunks from ``sources``.
 
@@ -75,18 +89,29 @@ def striped_copy_multi(
     Each destination buffer is one preallocated ``bytearray`` written in
     place — a single copy with no intermediate chunk list, at half the
     peak memory of the old join-of-chunks implementation.
+
+    ``chunk_hook`` is the fault-injection probe: called once per stripe
+    with the global stripe index, it may return ``"delay"`` (stall this
+    stripe) or ``"drop"`` (raise :class:`ChunkDropped`; the caller
+    retransmits by restarting the copy).
     """
     if chunk_bytes <= 0:
         raise ValueError("chunk_bytes must be positive")
     primary = sources[0]
     copied: List[memoryview] = []
+    stripe = 0
     for index, buf in enumerate(primary.buffers):
         views = [_byte_view(src.buffers[index]) for src in sources]
         nbytes = views[0].nbytes
         out = bytearray(nbytes)
         out_view = memoryview(out)
-        stripe = 0
         for offset in range(0, nbytes, chunk_bytes):
+            if chunk_hook is not None:
+                action = chunk_hook(stripe)
+                if action == "drop":
+                    raise ChunkDropped(stripe)
+                if action == "delay":
+                    time.sleep(chunk_delay_seconds)
             src = views[stripe % len(views)]
             out_view[offset : offset + chunk_bytes] = src[
                 offset : offset + chunk_bytes
@@ -106,10 +131,12 @@ class TransferService:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         metrics: Optional[MetricsRegistry] = None,
         max_stripe_sources: int = MAX_STRIPE_SOURCES,
+        faults: Optional[object] = None,
     ):
         self.gcs = gcs
         self.chunk_bytes = chunk_bytes
         self.max_stripe_sources = max(1, max_stripe_sources)
+        self.faults = faults if faults is not None else NULL_FAULTS
         self._nodes: Dict[NodeID, "Node"] = {}
         # register_node races live_locations/node from scheduler, fetcher,
         # and worker threads; all _nodes access goes through this lock.
@@ -191,7 +218,27 @@ class TransferService:
         )
         if largest <= self.chunk_bytes:
             sources = sources[:1]  # single stripe: nothing to parallelize
-        copy = striped_copy_multi(sources, self.chunk_bytes)
+        if self.faults.enabled:
+            # Each (object, chunk) drops at most once, so the retransmit
+            # loop terminates; a drop restarts the whole striped copy, as
+            # a lost segment would force at the transport layer.
+            hook = lambda ci: self.faults.chunk_fault(object_id, ci)  # noqa: E731
+            delay = getattr(
+                self.faults, "chunk_delay_seconds", DEFAULT_CHUNK_DELAY_SECONDS
+            )
+            while True:
+                try:
+                    copy = striped_copy_multi(
+                        sources,
+                        self.chunk_bytes,
+                        chunk_hook=hook,
+                        chunk_delay_seconds=delay,
+                    )
+                    break
+                except ChunkDropped:
+                    continue
+        else:
+            copy = striped_copy_multi(sources, self.chunk_bytes)
         stored = dst.store.put(object_id, copy)
         if stored:
             with self._lock:
@@ -294,11 +341,24 @@ class ObjectFetcher:
 
     # -- the Figure 7 fetch path --------------------------------------------
 
+    def forget_node(self, node_id: NodeID) -> None:
+        """Drop in-flight fetch markers bound to a dead node.
+
+        The marker is normally cleared by the destination store's
+        availability callback — which will never fire once the store is
+        dropped.  Because a restarted node reuses its NodeID, a stale
+        marker would permanently swallow every later fetch of the same
+        object to the reborn node.
+        """
+        with self._inflight_lock:
+            for key in [k for k in self._inflight if k[0] == node_id]:
+                del self._inflight[key]
+
     def ensure_local(self, object_id: ObjectID, node: "Node") -> None:
         """Arrange for ``object_id`` to (eventually) appear in ``node``'s
         store.  Non-blocking: callers observe arrival through
         ``node.store.on_available`` / ``availability_event``."""
-        if node.store.contains(object_id):
+        if not node.alive or node.store.contains(object_id):
             return
         key = (node.node_id, object_id)
         with self._inflight_lock:
@@ -323,20 +383,38 @@ class ObjectFetcher:
 
         def try_transfer() -> bool:
             if not node.alive:
-                return True  # stop trying; the node is gone
+                # Stop trying; the node is gone.  Release the in-flight
+                # marker ourselves — no arrival will ever clear it, and the
+                # NodeID may be reborn via restart_node.
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                return True
             if node.store.contains(object_id):
                 return True
             return self.transfer.transfer(object_id, node)
 
         def on_location_update(op: str, _node_id: NodeID) -> None:
-            if op != "add":
+            if op == "add":
+                with lock:
+                    if state["done"]:
+                        return
+                    if try_transfer():
+                        state["done"] = True
+                        unsubscribe()
                 return
+            # A retraction (node death / eviction) may have removed the
+            # last live copy *after* our initial reconstruct check ran —
+            # e.g. the producer finished on a node that then died before
+            # the copy landed here.  Without this, every waiter is
+            # subscribed only to future "add" events that will never come.
             with lock:
                 if state["done"]:
                     return
-                if try_transfer():
-                    state["done"] = True
-                    unsubscribe()
+            if (
+                not self.transfer.live_locations(object_id)
+                and self.reconstruct is not None
+            ):
+                self.reconstruct(object_id)
 
         unsubscribe = self.gcs.subscribe_object_locations(
             object_id, on_location_update

@@ -16,7 +16,11 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from repro.common.errors import TaskExecutionError
+from repro.common.errors import (
+    NodeDiedError,
+    TaskCancelledError,
+    TaskExecutionError,
+)
 from repro.common.serialization import serialize
 from repro.core import context
 from repro.core.task_spec import ArgRef, TaskSpec
@@ -25,10 +29,37 @@ from repro.gcs.tables import TaskStatus
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import Node, Runtime
 
+RETRY_BACKOFF_CAP = 1.0  # upper bound on one exponential-backoff sleep
+
+
+def should_retry(spec: TaskSpec, exc: BaseException, attempt: int) -> bool:
+    """Whether a failed execution attempt should be retried in place.
+
+    App-level retries (``max_retries=``) re-run the same task on the same
+    node after an application exception — distinct from lineage
+    reconstruction, which replays tasks whose *outputs* were lost to node
+    failure.  Cancellation is never retried, and ``retry_exceptions=None``
+    means any ``Exception`` qualifies (``BaseException``s like
+    ``KeyboardInterrupt`` never do).
+    """
+    if attempt >= spec.max_retries:
+        return False
+    if isinstance(exc, TaskCancelledError):
+        return False
+    if spec.retry_exceptions is None:
+        return isinstance(exc, Exception)
+    return isinstance(exc, tuple(spec.retry_exceptions))
+
+
+def retry_delay(runtime: "Runtime", attempt: int) -> float:
+    """Exponential backoff before retry ``attempt`` (0-based), capped."""
+    base = getattr(runtime.config, "retry_backoff_base", 0.02)
+    return min(base * (2 ** attempt), RETRY_BACKOFF_CAP)
+
 
 def resolve_args(
     node: "Node", spec: TaskSpec
-) -> Tuple[List[Any], Dict[str, Any], Optional[TaskExecutionError]]:
+) -> Tuple[List[Any], Dict[str, Any], Optional[Exception]]:
     """Deserialize the task's arguments from the local store.
 
     Reads go through the node's deserialized-value cache, and a per-spec
@@ -57,15 +88,16 @@ def resolve_args(
 
     args: List[Any] = []
     kwargs: Dict[str, Any] = {}
-    input_error: Optional[TaskExecutionError] = None
+    input_error: Optional[Exception] = None
+    propagated = (TaskExecutionError, TaskCancelledError)
     for value in spec.args:
         resolved = resolve(value)
-        if isinstance(resolved, TaskExecutionError) and input_error is None:
+        if isinstance(resolved, propagated) and input_error is None:
             input_error = resolved
         args.append(resolved)
     for name, value in spec.kwargs:
         resolved = resolve(value)
-        if isinstance(resolved, TaskExecutionError) and input_error is None:
+        if isinstance(resolved, propagated) and input_error is None:
             input_error = resolved
         kwargs[name] = resolved
     return args, kwargs, input_error
@@ -152,49 +184,94 @@ def execute_task(
     gcs = runtime.gcs
     gcs.update_task_status(spec.task_id, TaskStatus.RUNNING, node_id=node.node_id)
     deps = spec.dependencies()
-    pin_inputs(runtime, node, deps)
     started = time.perf_counter()
     status = TaskStatus.FINISHED
     entries: list = []
+    node_died = False
     try:
-        args, kwargs, input_error = resolve_args(node, spec)
-        if input_error is not None:
-            values = [input_error] * spec.num_returns
+        pin_inputs(runtime, node, deps)
+        if runtime.is_cancelled(spec.task_id):
+            # Cancelled after dispatch but before user code started.
+            status = TaskStatus.CANCELLED
+            cancel_error = TaskCancelledError(spec.task_id)
+            values = [cancel_error] * spec.num_returns
         else:
-            function = gcs.get_function(spec.function_id)
-            try:
-                with context.execution_scope(
-                    runtime, node, spec.task_id, held_resources
+            args, kwargs, input_error = resolve_args(node, spec)
+            if input_error is not None:
+                values = [input_error] * spec.num_returns
+                if isinstance(input_error, TaskCancelledError):
+                    status = TaskStatus.CANCELLED
+            else:
+                function = gcs.get_function(spec.function_id)
+                attempt = 0
+                while True:
+                    try:
+                        with context.execution_scope(
+                            runtime, node, spec.task_id, held_resources
+                        ):
+                            output = function(*args, **kwargs)
+                        values = normalize_returns(spec, output)
+                        break
+                    except TaskCancelledError as exc:
+                        # Cooperative stop from inside the task body.
+                        status = TaskStatus.CANCELLED
+                        values = [exc] * spec.num_returns
+                        break
+                    except NodeDiedError:
+                        # A blocking get inside the task noticed this
+                        # node's death: never retried here — bubble to the
+                        # quiet-exit path below.
+                        raise
+                    except BaseException as exc:  # noqa: BLE001 - error channel
+                        if should_retry(spec, exc, attempt) and not (
+                            runtime.is_cancelled(spec.task_id)
+                        ):
+                            runtime.record_task_retry(spec, exc, attempt)
+                            time.sleep(retry_delay(runtime, attempt))
+                            attempt += 1
+                            continue
+                        status = TaskStatus.FAILED
+                        error = TaskExecutionError(spec.task_id, exc)
+                        values = [error] * spec.num_returns
+                        break
+                if status is TaskStatus.FINISHED and runtime.cancel_forced(
+                    spec.task_id
                 ):
-                    output = function(*args, **kwargs)
-                values = normalize_returns(spec, output)
-            except BaseException as exc:  # noqa: BLE001 - error channel
-                status = TaskStatus.FAILED
-                error = TaskExecutionError(spec.task_id, exc)
-                values = [error] * spec.num_returns
+                    # force-cancelled while running: the work happened, but
+                    # the contract is that every get() raises.
+                    status = TaskStatus.CANCELLED
+                    values = [TaskCancelledError(spec.task_id)] * spec.num_returns
         entries = store_outputs(runtime, node, spec, values, publish=False)
+    except NodeDiedError:
+        # The node died under this worker: kill_node has already
+        # resubmitted the task, so the replacement execution owns the
+        # outputs and the finish-state write.  Exit without recording
+        # anything for this stranded attempt.
+        node_died = True
     finally:
         for dep in deps:
             node.store.unpin(dep)
-        duration = time.perf_counter() - started
-        gcs.finish_task(
-            spec.task_id,
-            status,
-            node.node_id,
-            entries,
-            event=(
-                "task_finished",
-                dict(
-                    task=spec.task_id.hex()[:8],
-                    name=spec.function_name,
-                    node=node.node_id.hex()[:8],
-                    start=started,
-                    duration=duration,
-                    status=status.value,
-                    kind="task",
+        if not node_died:
+            duration = time.perf_counter() - started
+            gcs.finish_task(
+                spec.task_id,
+                status,
+                node.node_id,
+                entries,
+                event=(
+                    "task_finished",
+                    dict(
+                        task=spec.task_id.hex()[:8],
+                        name=spec.function_name,
+                        node=node.node_id.hex()[:8],
+                        start=started,
+                        duration=duration,
+                        status=status.value,
+                        kind="task",
+                    ),
                 ),
-            ),
-            batched=runtime.config.gcs_batched_writes,
-        )
-        runtime.report_task_duration(duration)
-        runtime.reconstruction.task_finished(spec.task_id)
+                batched=runtime.config.gcs_batched_writes,
+            )
+            runtime.report_task_duration(duration)
+            runtime.reconstruction.task_finished(spec.task_id)
+            runtime.discard_cancellation_event(spec.task_id)

@@ -24,6 +24,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.errors import ChainUnavailableError
+from repro.common.faults import NULL_FAULTS
 from repro.gcs.kv import KVStore
 
 
@@ -84,6 +85,8 @@ class ReplicatedChain:
         hop_delay: float = 0.0,
         transfer_delay_per_entry: float = 0.0,
         failure_detection_delay: float = 0.0,
+        faults: Any = None,
+        shard_index: int = 0,
     ):
         if num_replicas < 1:
             raise ValueError("chain needs at least one replica")
@@ -95,6 +98,11 @@ class ReplicatedChain:
         self.hop_delay = hop_delay
         self.transfer_delay_per_entry = transfer_delay_per_entry
         self.failure_detection_delay = failure_detection_delay
+        # Fault-injection hook (null-object when disabled): consulted at
+        # write entry, so an injected member kill is discovered by the very
+        # write that triggered it, exercising the Figure 10a reconfiguration.
+        self.faults = faults if faults is not None else NULL_FAULTS
+        self.shard_index = shard_index
         self.reconfigurations = 0
         self.failed_writes = 0
 
@@ -160,6 +168,8 @@ class ReplicatedChain:
         whole batch against the reconfigured chain)."""
         if not ops:
             return
+        if self.faults.enabled:
+            self.faults.on_chain_write(self.shard_index, self)
         for _ in range(max_retries + 1):
             with self._lock:
                 members = list(self._members)
@@ -184,6 +194,8 @@ class ReplicatedChain:
         raise ChainUnavailableError("batched write failed after retries")
 
     def _write(self, key: Any, value: Any, op: str, max_retries: int) -> None:
+        if self.faults.enabled:
+            self.faults.on_chain_write(self.shard_index, self)
         for _ in range(max_retries + 1):
             with self._lock:
                 members = list(self._members)

@@ -27,6 +27,7 @@ _OBJ_LOC = "object_loc"  # per-object location log
 _TASK = "task"  # task table (lineage)
 _FUNC = "function"  # function table
 _ACTOR = "actor"  # actor table
+_ACTOR_NAME = "actor_name"  # user-visible name -> actor id
 _EVENT = "event"  # event log
 
 
@@ -39,12 +40,14 @@ class GlobalControlStore:
         num_replicas: int = 2,
         hop_delay: float = 0.0,
         metrics: Any = None,
+        faults: Any = None,
     ):
         self.kv = ShardedKV(
             num_shards=num_shards,
             num_replicas=num_replicas,
             hop_delay=hop_delay,
             metrics=metrics,
+            faults=faults,
         )
         self._lock = threading.RLock()
 
@@ -271,6 +274,36 @@ class GlobalControlStore:
 
     def get_actor(self, actor_id: ActorID) -> Optional[ActorTableEntry]:
         return self.kv.get((_ACTOR, actor_id))
+
+    # ------------------------------------------------------------------
+    # Actor names (the ``.options(name=...)`` / ``get_actor`` registry)
+    # ------------------------------------------------------------------
+
+    def register_actor_name(self, name: str, actor_id: ActorID) -> None:
+        """Claim ``name`` for ``actor_id``; duplicate names are rejected.
+
+        Check-then-put under the client lock: all name claims in this
+        process serialize here, so two concurrent registrations of the
+        same name cannot both win.
+        """
+        with self._lock:
+            existing = self.kv.get((_ACTOR_NAME, name))
+            if existing is not None:
+                raise ValueError(f"actor name {name!r} is already taken")
+            self.kv.put((_ACTOR_NAME, name), actor_id)
+
+    def lookup_actor_name(self, name: str) -> Optional[ActorID]:
+        return self.kv.get((_ACTOR_NAME, name))
+
+    def release_actor_name(self, name: str, actor_id: Optional[ActorID] = None) -> None:
+        """Free ``name`` (idempotent).  With ``actor_id`` given, only the
+        current owner's registration is released."""
+        with self._lock:
+            if actor_id is not None:
+                owner = self.kv.get((_ACTOR_NAME, name))
+                if owner is not None and owner != actor_id:
+                    return
+            self.kv.delete((_ACTOR_NAME, name))
 
     # ------------------------------------------------------------------
     # Event log

@@ -35,6 +35,7 @@ class ShardedKV:
         hop_delay: float = 0.0,
         transfer_delay_per_entry: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Any = None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -43,8 +44,10 @@ class ShardedKV:
                 num_replicas=num_replicas,
                 hop_delay=hop_delay,
                 transfer_delay_per_entry=transfer_delay_per_entry,
+                faults=faults,
+                shard_index=index,
             )
-            for _ in range(num_shards)
+            for index in range(num_shards)
         ]
         metrics = metrics or NULL_REGISTRY
         # Pre-built per-shard counter rows: the hot path does one dict

@@ -25,6 +25,7 @@ class TaskStatus(enum.Enum):
     FINISHED = "finished"
     FAILED = "failed"  # application exception
     LOST = "lost"  # node died while running; eligible for replay
+    CANCELLED = "cancelled"  # dequeued or cooperatively stopped via cancel()
 
 
 @dataclass(frozen=True)

@@ -15,8 +15,12 @@ inspect — they simply read the GCS.  These are those tools:
 * :class:`~repro.tools.critical_path.CriticalPath` — walks task-graph
   lineage to report the chain of task executions that bounded the job's
   wall clock, attributed to scheduling / transfer / execution phases.
+* :class:`~repro.tools.chaos.ChaosRunner` — drives workloads under a
+  seeded deterministic fault schedule and verifies same-seed replays
+  inject the identical fault sequence.
 """
 
+from repro.tools.chaos import ChaosReport, ChaosRunner, standard_workload
 from repro.tools.critical_path import CriticalPath, CriticalPathReport
 from repro.tools.inspect import ClusterInspector, ClusterSnapshot
 from repro.tools.profiler import FunctionProfile, Profiler
@@ -24,6 +28,9 @@ from repro.tools.timeline import TaskLifecycle, Timeline, TimelineSpan
 from repro.tools.http_dashboard import DashboardServer
 
 __all__ = [
+    "ChaosReport",
+    "ChaosRunner",
+    "standard_workload",
     "ClusterInspector",
     "ClusterSnapshot",
     "CriticalPath",

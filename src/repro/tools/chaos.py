@@ -1,0 +1,200 @@
+"""Chaos harness: run workloads under a deterministic fault schedule.
+
+The fault-injection subsystem (:mod:`repro.common.faults`) supplies the
+*mechanism*; this module supplies the *operator loop*: build a cluster with
+a seeded :class:`~repro.common.faults.FaultSchedule`, drive a workload
+through it, collect the canonical injected-fault log, and — the property
+the whole subsystem exists for — **replay** the run with a fresh schedule
+built from the same seed and verify the identical fault sequence fired.
+
+    from repro.tools.chaos import ChaosRunner
+
+    runner = ChaosRunner(seed=7, num_nodes=4, kills=2)
+    report = runner.run()                 # one chaotic run
+    assert runner.verify_determinism()    # two more runs, logs must match
+
+The standard workload is a wave-structured map (tiny tasks in dependent
+waves): enough sustained task flow for count triggers to land mid-run, and
+every wave's results are checked so a lost object that failed to
+reconstruct is caught as a wrong answer, not a hang.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.faults import FaultSchedule
+
+__all__ = ["ChaosReport", "ChaosRunner", "standard_workload"]
+
+
+def standard_workload(repro_module: Any, waves: int = 8, width: int = 25) -> int:
+    """Dependent waves of tiny tasks; returns the number of tasks run.
+
+    Wave ``i+1``'s tasks each consume one output of wave ``i``, so node
+    deaths between waves force transfers and reconstructions, and a wrong
+    or missing value surfaces as an assertion instead of silence.
+    """
+    repro = repro_module
+
+    @repro.remote
+    def bump(x):
+        return x + 1
+
+    refs = [bump.remote(i) for i in range(width)]
+    for _wave in range(1, waves):
+        refs = [bump.remote(r) for r in refs]
+    values = repro.get(refs, timeout=120)
+    assert values == [i + waves for i in range(width)], "workload corrupted"
+    return waves * width
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    seed: int
+    tasks_run: int
+    duration_seconds: float
+    event_log: Tuple[Tuple[Any, ...], ...]
+    signature: str
+    pending_faults: int
+    applied: int = field(init=False)
+    skipped: int = field(init=False)
+
+    def __post_init__(self):
+        outcomes = [e[-1] for e in self.event_log if e and e[0] == "planned"]
+        self.applied = sum(1 for o in outcomes if o == "applied")
+        self.skipped = sum(1 for o in outcomes if o == "skipped")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "tasks_run": self.tasks_run,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "event_log": [list(e) for e in self.event_log],
+            "signature": self.signature,
+            "pending_faults": self.pending_faults,
+            "applied": self.applied,
+            "skipped": self.skipped,
+        }
+
+
+class ChaosRunner:
+    """Builds same-seed clusters and drives a workload through faults.
+
+    Every ``run()`` constructs a *fresh* :class:`FaultSchedule` from the
+    stored seed and schedule arguments (schedules are single-use), so runs
+    are independent and comparable.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_nodes: int = 4,
+        kills: int = 1,
+        restart: bool = True,
+        chain_kills: int = 0,
+        first_kill_after: int = 40,
+        workload: Optional[Callable[[Any], int]] = None,
+        schedule_kwargs: Optional[Dict[str, Any]] = None,
+        runtime_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        self.seed = seed
+        self.num_nodes = num_nodes
+        self.kills = kills
+        self.restart = restart
+        self.chain_kills = chain_kills
+        self.first_kill_after = first_kill_after
+        self.workload = workload
+        self.schedule_kwargs = dict(schedule_kwargs or {})
+        self.runtime_kwargs = dict(runtime_kwargs or {})
+
+    def build_schedule(self) -> FaultSchedule:
+        return FaultSchedule.random(
+            self.seed,
+            num_nodes=self.num_nodes,
+            kills=self.kills,
+            restart=self.restart,
+            chain_kills=self.chain_kills,
+            first_kill_after=self.first_kill_after,
+            num_shards=self.runtime_kwargs.get("gcs_shards", 4),
+            **self.schedule_kwargs,
+        )
+
+    def run(self) -> ChaosReport:
+        """One chaotic run on a fresh cluster; returns its report."""
+        import repro
+
+        schedule = self.build_schedule()
+        kwargs = dict(self.runtime_kwargs)
+        kwargs.setdefault("num_nodes", self.num_nodes)
+        # Chain kills need a reconfigurable chain (length > 1) to apply.
+        if self.chain_kills:
+            kwargs.setdefault("gcs_replicas", 2)
+        runtime = repro.init(fault_schedule=schedule, **kwargs)
+        started = time.monotonic()
+        try:
+            workload = self.workload or standard_workload
+            tasks_run = workload(repro)
+        finally:
+            repro.shutdown()
+        duration = time.monotonic() - started
+        del runtime
+        return ChaosReport(
+            seed=self.seed,
+            tasks_run=tasks_run,
+            duration_seconds=duration,
+            event_log=schedule.event_log(),
+            signature=schedule.signature(),
+            pending_faults=schedule.pending_count(),
+        )
+
+    def verify_determinism(self, runs: int = 2) -> bool:
+        """Run ``runs`` same-seed executions; True iff every canonical
+        fault log is identical (the subsystem's replay guarantee)."""
+        logs = [self.run().event_log for _ in range(max(2, runs))]
+        return all(log == logs[0] for log in logs[1:])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a workload under deterministic fault injection"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--kills", type=int, default=1)
+    parser.add_argument("--chain-kills", type=int, default=0)
+    parser.add_argument("--no-restart", action="store_true")
+    parser.add_argument(
+        "--verify", action="store_true", help="replay and compare fault logs"
+    )
+    parser.add_argument("-o", "--output", default=None, help="write report JSON here")
+    args = parser.parse_args(argv)
+
+    runner = ChaosRunner(
+        seed=args.seed,
+        num_nodes=args.nodes,
+        kills=args.kills,
+        restart=not args.no_restart,
+        chain_kills=args.chain_kills,
+    )
+    report = runner.run()
+    payload = report.as_dict()
+    if args.verify:
+        payload["deterministic"] = runner.verify_determinism()
+    print(json.dumps(payload, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.verify and not payload["deterministic"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

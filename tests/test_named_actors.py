@@ -1,0 +1,88 @@
+"""Named actors: options(name=...), get_actor, duplicate rejection, reuse.
+
+The name registry lives in the GCS actor-name table: a name is claimed
+atomically at creation (before any durable side effect), resolved by
+``repro.get_actor``, and released only when the actor is permanently dead
+(``repro.kill`` / unreconstructable failure) — a restartable failure keeps
+the name bound.
+"""
+
+import pytest
+
+import repro
+from repro.common.errors import TaskExecutionError
+
+
+@repro.remote
+class Registry:
+    def __init__(self, tag="r"):
+        self.tag = tag
+        self.items = []
+
+    def add(self, item):
+        self.items.append(item)
+        return len(self.items)
+
+    def peek(self):
+        return list(self.items)
+
+
+def test_create_and_lookup_by_name(runtime):
+    Registry.options(name="alpha").remote()
+    handle = repro.get_actor("alpha")
+    assert repro.get(handle.add.remote("x"), timeout=10) == 1
+    # A second lookup resolves to the same actor (same state).
+    again = repro.get_actor("alpha")
+    assert repro.get(again.add.remote("y"), timeout=10) == 2
+    assert repro.get(handle.peek.remote(), timeout=10) == ["x", "y"]
+
+
+def test_duplicate_name_rejected(runtime):
+    Registry.options(name="taken").remote()
+    with pytest.raises(ValueError, match="already taken"):
+        Registry.options(name="taken").remote()
+    # The survivor still works and the duplicate left no debris.
+    handle = repro.get_actor("taken")
+    assert repro.get(handle.add.remote(1), timeout=10) == 1
+
+
+def test_unknown_name_raises(runtime):
+    with pytest.raises(ValueError, match="no live actor"):
+        repro.get_actor("never-created")
+
+
+def test_kill_releases_name_for_reuse(runtime):
+    first = Registry.options(name="cycled").remote()
+    assert repro.get(first.add.remote("a"), timeout=10) == 1
+    repro.kill(first)
+    with pytest.raises(ValueError, match="no live actor"):
+        repro.get_actor("cycled")
+    # The name is free again; the replacement starts fresh.
+    Registry.options(name="cycled").remote()
+    fresh = repro.get_actor("cycled")
+    assert repro.get(fresh.peek.remote(), timeout=10) == []
+
+
+def test_killed_named_actor_methods_raise(runtime):
+    handle = Registry.options(name="doomed").remote()
+    repro.get(handle.add.remote(1), timeout=10)
+    repro.kill(handle)
+    with pytest.raises(TaskExecutionError, match="died permanently"):
+        repro.get(handle.add.remote(2), timeout=10)
+
+
+def test_name_survives_node_failure(runtime):
+    handle = Registry.options(name="survivor").remote()
+    assert repro.get(handle.add.remote("pre"), timeout=10) == 1
+    state = runtime.actors.get_state(handle.actor_id)
+    runtime.kill_node(state.node.node_id)
+    # Restartable failure: the name stays bound to the rebuilt actor.
+    again = repro.get_actor("survivor")
+    assert repro.get(again.add.remote("post"), timeout=30) == 2
+
+
+def test_unnamed_actors_unaffected(runtime):
+    a = Registry.remote()
+    b = Registry.options(name="named").remote()
+    assert repro.get(a.add.remote(1), timeout=10) == 1
+    assert repro.get(b.add.remote(1), timeout=10) == 1

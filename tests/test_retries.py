@@ -1,0 +1,137 @@
+"""App-level task retries: max_retries / retry_exceptions on tasks and
+actor methods.
+
+In-place retries re-run the same attempt on the same node after an
+application exception — distinct from lineage reconstruction (which replays
+tasks whose *outputs* were lost to node failure).  ``retry_exceptions``
+narrows which exception types qualify; cancellation never retries.
+"""
+
+import threading
+
+import pytest
+
+import repro
+from repro.common.errors import TaskExecutionError
+
+
+class FlakeCounter:
+    """Cross-thread attempt counter shared with remote functions."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.counts = {}
+
+    def bump(self, key):
+        with self.lock:
+            self.counts[key] = self.counts.get(key, 0) + 1
+            return self.counts[key]
+
+
+FLAKES = FlakeCounter()
+
+
+@repro.remote(max_retries=3)
+def flaky(key, fail_until):
+    attempt = FLAKES.bump(key)
+    if attempt <= fail_until:
+        raise RuntimeError(f"attempt {attempt} fails")
+    return attempt
+
+
+@repro.remote(max_retries=2, retry_exceptions=[KeyError])
+def picky(key, exc_name):
+    FLAKES.bump(key)
+    raise {"KeyError": KeyError, "ValueError": ValueError}[exc_name](key)
+
+
+def test_retry_until_success(runtime):
+    assert repro.get(flaky.remote("ok-3", 2), timeout=30) == 3
+
+
+def test_retries_exhausted_raises_original(runtime):
+    with pytest.raises(TaskExecutionError) as info:
+        repro.get(flaky.remote("always", 99), timeout=30)
+    assert "attempt 4 fails" in str(info.value)  # 1 try + 3 retries
+    assert FLAKES.counts["always"] == 4
+
+
+def test_retry_exceptions_filters_types(runtime):
+    # KeyError is retryable: 1 try + 2 retries.
+    with pytest.raises(TaskExecutionError):
+        repro.get(picky.remote("keyed", "KeyError"), timeout=30)
+    assert FLAKES.counts["keyed"] == 3
+    # ValueError is not in the allow-list: exactly one attempt.
+    with pytest.raises(TaskExecutionError):
+        repro.get(picky.remote("valued", "ValueError"), timeout=30)
+    assert FLAKES.counts["valued"] == 1
+
+
+def test_options_override_max_retries(runtime):
+    with pytest.raises(TaskExecutionError):
+        repro.get(
+            flaky.options(max_retries=1).remote("opted", 99), timeout=30
+        )
+    assert FLAKES.counts["opted"] == 2  # 1 try + 1 retry
+
+
+def test_zero_retries_is_default(runtime):
+    @repro.remote
+    def boom(key):
+        FLAKES.bump(key)
+        raise RuntimeError("no retries")
+
+    with pytest.raises(TaskExecutionError):
+        repro.get(boom.remote("zero"), timeout=30)
+    assert FLAKES.counts["zero"] == 1
+
+
+def test_retry_counter_metric(runtime):
+    repro.get(flaky.remote("metric", 2), timeout=30)
+    for family in runtime.metrics.families():
+        if family.name == "task_retries_total":
+            total = sum(m.value for m in family.series.values())
+            assert total >= 2
+            break
+    else:
+        pytest.fail("task_retries_total counter not registered")
+
+
+def test_actor_method_retries(runtime):
+    @repro.remote
+    class Flaky:
+        def __init__(self):
+            self.calls = 0
+
+        @repro.method(max_retries=3)
+        def unstable(self, fail_until):
+            self.calls += 1
+            if self.calls <= fail_until:
+                raise RuntimeError(f"call {self.calls}")
+            return self.calls
+
+        def call_count(self):
+            return self.calls
+
+    actor = Flaky.remote()
+    # Retries are invisible to the method counter: one logical method,
+    # several attempts mutating instance state each time.
+    assert repro.get(actor.unstable.remote(2), timeout=30) == 3
+    assert repro.get(actor.call_count.remote(), timeout=10) == 3
+
+
+def test_actor_method_options_retries(runtime):
+    @repro.remote
+    class Sometimes:
+        def __init__(self):
+            self.calls = 0
+
+        def shaky(self, fail_until):
+            self.calls += 1
+            if self.calls <= fail_until:
+                raise KeyError(self.calls)
+            return self.calls
+
+    actor = Sometimes.remote()
+    method = actor.shaky.options(max_retries=2, retry_exceptions=[KeyError])
+    assert repro.get(method.remote(1), timeout=30) == 2
