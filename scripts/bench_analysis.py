@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Analyzer performance gate: a full strict scan must stay under 5 seconds.
+
+The concurrency lint engine runs on every CI push (``analyze --strict``),
+so its cost has to stay in lint territory, not test-suite territory.  This
+benchmark times repeated full scans of ``src/repro`` (parse + all six
+rules + baseline matching) and writes ``BENCH_analysis.json``:
+
+* ``scan_seconds`` — best-of-N wall-clock for one full scan
+* ``files_scanned`` / ``findings_total`` — scope of the measured scan
+* ``per_file_ms`` — best scan divided by file count
+* ``budget_seconds`` / ``within_budget`` — the 5 s gate
+
+Exit status is non-zero when the scan blows the budget, so CI fails if a
+rule regresses into accidentally-quadratic behaviour.
+
+Run as:  PYTHONPATH=src python scripts/bench_analysis.py [--smoke] [-o PATH]
+``--smoke`` runs a single iteration (CI); the default is best-of-3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.tools.analysis import Baseline, analyze
+from repro.tools.analyze import default_baseline_path, default_scan_paths
+
+BUDGET_SECONDS = 5.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="one iteration")
+    parser.add_argument(
+        "-o", "--output", default="BENCH_analysis.json", help="result path"
+    )
+    args = parser.parse_args()
+
+    baseline = Baseline.load(default_baseline_path())
+    paths = default_scan_paths()
+    iterations = 1 if args.smoke else 3
+
+    best = None
+    report = None
+    for _ in range(iterations):
+        start = time.perf_counter()
+        report = analyze(paths, baseline=baseline)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+
+    result = {
+        "benchmark": "analysis",
+        "scan_seconds": round(best, 4),
+        "files_scanned": report.files_scanned,
+        "findings_total": len(report.findings),
+        "new_findings": len(report.new),
+        "per_file_ms": round(1000.0 * best / max(1, report.files_scanned), 3),
+        "iterations": iterations,
+        "budget_seconds": BUDGET_SECONDS,
+        "within_budget": best < BUDGET_SECONDS,
+    }
+    with open(args.output, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+
+    if not result["within_budget"]:
+        print(
+            f"FAIL: full scan took {best:.2f}s (budget {BUDGET_SECONDS}s)",
+            file=sys.stderr,
+        )
+        return 1
+    if result["new_findings"]:
+        print("FAIL: scan found unbaselined findings", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ import hashlib
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.common.lockwatch import make_lock
 from repro.common.errors import RuntimeNotInitializedError
 from repro.common.ids import ActorID, FunctionID, ObjectID
 from repro.core import context
@@ -42,7 +43,7 @@ from repro.core.resources import normalize_resources
 from repro.core.runtime import Runtime, RuntimeConfig
 from repro.core.task_spec import ArgRef
 
-_runtime_lock = threading.Lock()
+_runtime_lock = make_lock("api._runtime_lock")
 _global_runtime: Optional[Runtime] = None
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
+from repro.common.lockwatch import make_condition, make_lock
 
 # Guarded missed-wakeup backstop.  Notification paths must deliver every
 # wakeup; this bound only exists so a bug degrades to one-second latency
@@ -57,7 +58,7 @@ class WaitStats:
     )
 
     def __init__(self, wait_histogram=None):
-        self._lock = threading.Lock()
+        self._lock = make_lock("WaitStats._lock")
         self.wait_histogram = wait_histogram
         self.notifications = 0  # Completion.set() calls that flipped the flag
         self.callbacks_fired = 0  # listener callbacks invoked by set()
@@ -114,7 +115,7 @@ class Completion:
     __slots__ = ("_cond", "_flag", "_callbacks", "_stats")
 
     def __init__(self, stats: Optional[WaitStats] = None):
-        self._cond = threading.Condition()
+        self._cond = make_condition("Completion._cond")
         self._flag = False
         self._callbacks: List[Callable[["Completion"], None]] = []
         self._stats = stats
@@ -195,7 +196,7 @@ def wait_any(
     if len(ready) >= count or not completions:
         return ready
 
-    gate = threading.Condition()
+    gate = make_condition("wait_any.gate")
 
     def poke(_completion: Completion) -> None:
         with gate:

@@ -42,6 +42,7 @@ import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Set, Tuple
+from repro.common.lockwatch import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import Runtime
@@ -174,7 +175,7 @@ class FaultSchedule(NullFaultInjector):
         self.chunk_delay_seconds = chunk_delay_seconds
         self.max_chunk_faults = max_chunk_faults
 
-        self._lock = threading.Lock()
+        self._lock = make_lock("FaultSchedule._lock")
         self._pending: List[Tuple[int, PlannedFault]] = list(enumerate(faults))
         self._log: List[Tuple[Any, ...]] = []
         self._tasks = 0

@@ -17,10 +17,11 @@ import hashlib
 import os
 import threading
 from typing import Optional
+from repro.common.lockwatch import make_lock
 
 ID_LENGTH = 20
 
-_counter_lock = threading.Lock()
+_counter_lock = make_lock("ids._counter_lock")
 _counter = 0
 
 

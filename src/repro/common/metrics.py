@@ -16,6 +16,10 @@ Design constraints:
 * **Thread safety** — every metric carries its own lock; gauges may
   instead be *callback gauges* that read a live value at scrape time
   (e.g. a scheduler's queue depth) and take no update locks at all.
+  These locks are deliberately raw ``threading`` primitives, never
+  ``lockwatch`` factories: the lock witness reports hold times *into*
+  this registry (``lock_hold_seconds``), so watching a metric's own lock
+  would recurse (release → observe → acquire → release → …).
 * **Fixed log-spaced histogram buckets** — quantiles are estimated from
   bucket counts with the same nearest-rank rule the simulator's
   :class:`repro.sim.metrics.LatencyStats` uses on raw samples

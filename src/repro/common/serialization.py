@@ -29,6 +29,7 @@ import io
 import pickle
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+from repro.common.lockwatch import make_lock
 
 _PROTOCOL = 5
 
@@ -38,7 +39,7 @@ BufferLike = Union[bytes, bytearray, memoryview]
 # Custom serializer registry (Ray's register_serializer): lets
 # applications store types that pickle cannot handle (simulator handles,
 # objects holding locks/sockets) by providing their own encode/decode.
-_custom_lock = threading.Lock()
+_custom_lock = make_lock("serialization._custom_lock")
 _custom_serializers: Dict[Type, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {}
 
 

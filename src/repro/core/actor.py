@@ -20,6 +20,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+from repro.common.lockwatch import make_condition, make_lock
 from repro.common.errors import (
     ActorDiedError,
     NodeDiedError,
@@ -70,7 +71,7 @@ class ActorState:
         self.max_restarts = max_restarts
         self.name = name  # user-visible name (``get_actor`` registry)
 
-        self.cond = threading.Condition()
+        self.cond = make_condition("ActorState.cond")
         self.node: Optional["Node"] = None
         self.instance: Any = None
         self.mailbox: Dict[int, TaskSpec] = {}
@@ -93,7 +94,7 @@ class ActorManager:
 
     def __init__(self, runtime: "Runtime"):
         self.runtime = runtime
-        self._lock = threading.Lock()
+        self._lock = make_lock("ActorManager._lock")
         self.actors: Dict[ActorID, ActorState] = {}
         self.replayed_methods = 0
         self.checkpoints_taken = 0
@@ -235,12 +236,17 @@ class ActorManager:
             if instance is None:
                 return
             restored_counter = self._restore_checkpoint(state, instance)
+            # Read the durable method log *before* taking state.cond: a
+            # chain-replicated kv.log is a blocking RPC, and anything
+            # submitted after this read reaches the mailbox via
+            # submit_method's live delivery (setdefault dedupes).
+            method_log = self.runtime.gcs.kv.log((_ACTOR_LOG, state.actor_id))
             with state.cond:
                 previously_executed = state.next_counter
                 state.instance = instance
                 state.next_counter = restored_counter
                 state.replay_boundary = max(previously_executed, restored_counter)
-                self._rebuild_mailbox(state, restored_counter)
+                self._rebuild_mailbox(state, restored_counter, method_log)
             gcs.update_actor(
                 state.actor_id,
                 node_id=node.node_id,
@@ -336,15 +342,16 @@ class ActorManager:
             instance.__dict__.update(payload)
         return counter
 
-    def _rebuild_mailbox(self, state: ActorState, from_counter: int) -> None:
+    def _rebuild_mailbox(self, state: ActorState, from_counter: int, log) -> None:
         """Refill the mailbox from the durable method log (lock held).
 
+        ``log`` is the method log, read by the caller *before* taking the
+        condition — fetching it here would issue a GCS RPC under the lock.
         ``from_counter`` is the checkpoint we restored to.  Methods with
         counters in [from_counter, replay_boundary) are replays; whether
         each is actually re-executed (vs skipped as read-only) is decided
         at execution time.
         """
-        log = self.runtime.gcs.kv.log((_ACTOR_LOG, state.actor_id))
         for spec in log:
             if spec.actor_counter >= from_counter:
                 state.mailbox.setdefault(spec.actor_counter, spec)

@@ -24,6 +24,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.common.lockwatch import make_lock
 from repro.common.errors import ResourceRequestError
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.task_spec import TaskSpec
@@ -38,7 +39,7 @@ class ExponentialAverage:
     def __init__(self, initial: float, alpha: float = 0.2):
         self.value = initial
         self.alpha = alpha
-        self._lock = threading.Lock()
+        self._lock = make_lock("ExponentialAverage._lock")
 
     def update(self, sample: float) -> None:
         with self._lock:
@@ -71,7 +72,7 @@ class GlobalScheduler:
         self.decision_delay = decision_delay
         self.decisions = 0
         self._tie_breaker = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("GlobalScheduler._lock")
         metrics = metrics or NULL_REGISTRY
         self._m_decisions = metrics.counter(
             "global_scheduler_decisions_total",

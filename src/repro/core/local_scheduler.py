@@ -22,6 +22,7 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
+from repro.common.lockwatch import make_condition
 from repro.common.events import BACKSTOP_INTERVAL, WaitStats
 from repro.common.faults import NULL_FAULTS
 from repro.common.ids import ObjectID, TaskID
@@ -59,7 +60,7 @@ class LocalScheduler:
         self._trace = trace
         self._faults = faults if faults is not None else NULL_FAULTS
 
-        self._cond = threading.Condition()
+        self._cond = make_condition("LocalScheduler._cond")
         self._ready: deque = deque()
         self._waiting: Dict[TaskID, Set[ObjectID]] = {}
         self._waiting_specs: Dict[TaskID, TaskSpec] = {}

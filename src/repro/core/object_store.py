@@ -36,6 +36,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.common.lockwatch import make_lock, make_rlock
 from repro.common.errors import ObjectStoreFullError
 from repro.common.events import Completion, WaitStats
 from repro.common.ids import NodeID, ObjectID
@@ -61,7 +62,7 @@ class DeserializedValueCache:
         node: str = "",
     ):
         self.capacity_bytes = capacity_bytes
-        self._lock = threading.Lock()
+        self._lock = make_lock("DeserializedValueCache._lock")
         self._values: "OrderedDict[ObjectID, Tuple[Any, int]]" = OrderedDict()
         self._bytes = 0
         metrics = metrics or NULL_REGISTRY
@@ -165,7 +166,7 @@ class LocalObjectStore:
         self.node_id = node_id
         self.capacity_bytes = capacity_bytes
         self._on_evict = on_evict
-        self._lock = threading.RLock()
+        self._lock = make_rlock("LocalObjectStore._lock")
         self._objects: "OrderedDict[ObjectID, SerializedObject]" = OrderedDict()
         self._pins: Dict[ObjectID, int] = {}
         self._used_bytes = 0

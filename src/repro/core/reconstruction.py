@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Set
 
+from repro.common.lockwatch import make_lock
 from repro.common.ids import ObjectID, TaskID
 from repro.gcs.tables import TaskStatus
 
@@ -28,7 +29,7 @@ class ReconstructionManager:
 
     def __init__(self, runtime: "Runtime"):
         self.runtime = runtime
-        self._lock = threading.Lock()
+        self._lock = make_lock("ReconstructionManager._lock")
         self._inflight: Set[TaskID] = set()
         self.reconstructed_tasks = 0
         self.reconstructed_objects = 0

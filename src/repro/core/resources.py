@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 from typing import Dict, Optional
+from repro.common.lockwatch import make_condition
 
 ResourceDict = Dict[str, float]
 
@@ -52,7 +53,7 @@ class ResourcePool:
                 raise ValueError(f"negative capacity for {name!r}")
         self._total: ResourceDict = dict(total)
         self._available: ResourceDict = dict(total)
-        self._cond = threading.Condition()
+        self._cond = make_condition("ResourcePool._cond")
         self._release_listeners = []
 
     def add_release_listener(self, callback) -> None:

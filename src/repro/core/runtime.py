@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common import lockwatch
+from repro.common.lockwatch import make_lock
 from repro.common.errors import (
     GetTimeoutError,
     NodeDiedError,
@@ -165,6 +167,11 @@ class Runtime:
         # The cluster-wide metrics registry: every hot layer registers its
         # series here at construction time; the dashboard exports them.
         self.metrics = MetricsRegistry(enabled=config.metrics_enabled)
+        # When a lock witness is installed (REPRO_LOCKWATCH or the chaos
+        # harness), export its hold/contention series through this registry.
+        _watch = lockwatch.active()
+        if _watch is not None:
+            _watch.bind_metrics(self.metrics)
         self._trace_enabled = config.trace_events_enabled
         # One cluster-wide counter block for the notification layer; every
         # store, scheduler, and blocking wait reports into it.  The wait-
@@ -228,6 +235,10 @@ class Runtime:
         # concurrent submitters without a lock.
         self._scheduler_rr = itertools.count()
 
+        # Node-table guard: add_node/kill_node/restart_node mutate these
+        # from driver and chaos-injection threads while schedulers iterate
+        # them (the same shape as the PR 3 TransferService._nodes race).
+        self._nodes_lock = make_lock("Runtime._nodes_lock")
         self._nodes: Dict[NodeID, Node] = {}
         self._node_order: List[NodeID] = []
         node_resources = {"CPU": float(config.num_cpus_per_node)}
@@ -244,7 +255,7 @@ class Runtime:
         # Cancellation registry: task_id -> forced?  A task stays marked
         # after cancellation (the stored error is the durable record); the
         # per-task wake events are dropped once the task finishes.
-        self._cancel_lock = threading.Lock()
+        self._cancel_lock = make_lock("Runtime._cancel_lock")
         self._cancelled: Dict[TaskID, bool] = {}
         self._cancel_events: Dict[TaskID, Completion] = {}
 
@@ -265,10 +276,10 @@ class Runtime:
 
         # Driver submission context (the driver is task "root").
         self.driver_task_id = TaskID.from_random()
-        self._driver_lock = threading.Lock()
+        self._driver_lock = make_lock("Runtime._driver_lock")
         self._driver_submission_index = 0
         self._driver_put_index = 0
-        self._flush_lock = threading.Lock()
+        self._flush_lock = make_lock("Runtime._flush_lock")
         self._completions_since_flush_check = 0
 
     # ------------------------------------------------------------------
@@ -277,24 +288,28 @@ class Runtime:
 
     @property
     def driver_node(self) -> Node:
-        for node_id in self._node_order:
-            node = self._nodes[node_id]
-            if node.alive:
-                return node
+        with self._nodes_lock:
+            for node_id in self._node_order:
+                node = self._nodes[node_id]
+                if node.alive:
+                    return node
         raise RuntimeNotInitializedError("no live nodes in the cluster")
 
     def nodes(self) -> List[Node]:
-        return [self._nodes[nid] for nid in self._node_order]
+        with self._nodes_lock:
+            return [self._nodes[nid] for nid in self._node_order]
 
     def live_nodes(self) -> List[Node]:
         return [n for n in self.nodes() if n.alive]
 
     def node(self, node_id: NodeID) -> Node:
-        return self._nodes[node_id]
+        with self._nodes_lock:
+            return self._nodes[node_id]
 
     def node_by_index(self, index: int) -> Node:
         """Node at a stable position in creation order (fault targeting)."""
-        return self._nodes[self._node_order[index % len(self._node_order)]]
+        with self._nodes_lock:
+            return self._nodes[self._node_order[index % len(self._node_order)]]
 
     def add_node(
         self,
@@ -306,14 +321,15 @@ class Runtime:
             if self.config.num_gpus_per_node:
                 resources["GPU"] = float(self.config.num_gpus_per_node)
         node = Node(NodeID.from_random(), resources, self, capacity_bytes)
-        self._nodes[node.node_id] = node
-        self._node_order.append(node.node_id)
+        with self._nodes_lock:
+            self._nodes[node.node_id] = node
+            self._node_order.append(node.node_id)
         self.transfer.register_node(node)
         return node
 
     def kill_node(self, node_id: NodeID) -> None:
         """Fail a node: drop its store, reroute its queue, restart actors."""
-        node = self._nodes[node_id]
+        node = self.node(node_id)
         if not node.alive:
             return
         # Snapshot running tasks on BOTH sides of the stop.  A task that
@@ -375,7 +391,7 @@ class Runtime:
         get-or-create, and stale GCS locations for this node were already
         retracted by ``kill_node``.
         """
-        old = self._nodes[node_id]
+        old = self.node(node_id)
         if old.alive:
             return old
         node = Node(
@@ -384,7 +400,8 @@ class Runtime:
             self,
             old.store.capacity_bytes,
         )
-        self._nodes[node_id] = node
+        with self._nodes_lock:
+            self._nodes[node_id] = node
         self.transfer.register_node(node)
         self.gcs.record_event("node_restart", node=node_id.hex()[:8])
         return node
@@ -992,8 +1009,11 @@ class Runtime:
         """Cluster membership snapshot (like ``ray.nodes()``): one dict per
         node, including dead ones, in creation order."""
         out: List[Dict[str, Any]] = []
-        for node_id in self._node_order:
-            node = self._nodes[node_id]
+        with self._nodes_lock:
+            snapshot = [
+                (nid, self._nodes[nid]) for nid in self._node_order
+            ]
+        for node_id, node in snapshot:
             out.append(
                 {
                     "node_id": node_id.hex(),

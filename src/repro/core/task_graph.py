@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.common.lockwatch import make_lock
 from repro.common.ids import ActorID, ObjectID, TaskID
 from repro.core.task_spec import TaskSpec
 
@@ -42,7 +43,7 @@ class TaskGraph:
     """An append-only computation graph with typed edges."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("TaskGraph._lock")
         self._tasks: Dict[TaskID, TaskSpec] = {}
         self._edges: List[Edge] = []
         self._out: Dict[object, List[Edge]] = {}

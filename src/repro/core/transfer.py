@@ -32,6 +32,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.common.lockwatch import make_lock, make_rlock
 from repro.common.faults import NULL_FAULTS
 from repro.common.ids import NodeID, ObjectID
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
@@ -140,10 +141,10 @@ class TransferService:
         self._nodes: Dict[NodeID, "Node"] = {}
         # register_node races live_locations/node from scheduler, fetcher,
         # and worker threads; all _nodes access goes through this lock.
-        self._nodes_lock = threading.Lock()
+        self._nodes_lock = make_lock("TransferService._nodes_lock")
         self.transfer_count = 0
         self.bytes_transferred = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("TransferService._lock")
         metrics = metrics or NULL_REGISTRY
         self._m_transfers = metrics.counter(
             "transfer_objects_total", "Inter-node object replications"
@@ -271,9 +272,9 @@ class ObjectFetcher:
         # reconstruction manager exists (breaks a construction cycle).
         self.reconstruct: Optional[Callable[[ObjectID], None]] = None
         self._inflight: Dict[Tuple[NodeID, ObjectID], float] = {}
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = make_lock("ObjectFetcher._inflight_lock")
         self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_lock = threading.Lock()
+        self._pool_lock = make_lock("ObjectFetcher._pool_lock")
         metrics = metrics or NULL_REGISTRY
         self._m_fetch_seconds = metrics.histogram(
             "fetch_seconds",
@@ -379,7 +380,7 @@ class ObjectFetcher:
         # RLock: performing the transfer publishes the *new* location, which
         # re-enters our own subscription callback on this thread.
         state = {"done": False}
-        lock = threading.RLock()
+        lock = make_rlock("ObjectFetcher.ensure_local.lock")
 
         def try_transfer() -> bool:
             if not node.alive:

@@ -23,6 +23,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.common.lockwatch import make_rlock
 from repro.common.errors import ChainUnavailableError
 from repro.common.faults import NULL_FAULTS
 from repro.gcs.kv import KVStore
@@ -90,7 +91,7 @@ class ReplicatedChain:
     ):
         if num_replicas < 1:
             raise ValueError("chain needs at least one replica")
-        self._lock = threading.RLock()
+        self._lock = make_rlock("ReplicatedChain._lock")
         self._members: List[ChainReplica] = [
             ChainReplica() for _ in range(num_replicas)
         ]
@@ -144,6 +145,9 @@ class ReplicatedChain:
                 data, logs = self._members[-1].store.snapshot()
                 entries = len(data) + sum(len(v) for v in logs.values())
                 if self.transfer_delay_per_entry:
+                    # Baselined RT-BLOCKING-UNDER-LOCK: the modeled transfer
+                    # time must elapse under _lock or writes accepted
+                    # mid-transfer would desync the snapshot.
                     time.sleep(self.transfer_delay_per_entry * entries)
                 new.store.load_snapshot(data, logs)
             self._members.append(new)

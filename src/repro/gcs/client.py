@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.common.lockwatch import make_rlock
 from repro.common.ids import ActorID, FunctionID, NodeID, ObjectID, TaskID
 from repro.gcs.shard import ShardedKV
 from repro.gcs.tables import (
@@ -49,7 +50,7 @@ class GlobalControlStore:
             metrics=metrics,
             faults=faults,
         )
-        self._lock = threading.RLock()
+        self._lock = make_rlock("GlobalControlStore._lock")
 
     # ------------------------------------------------------------------
     # Function table
@@ -284,7 +285,8 @@ class GlobalControlStore:
 
         Check-then-put under the client lock: all name claims in this
         process serialize here, so two concurrent registrations of the
-        same name cannot both win.
+        same name cannot both win.  (Baselined RT-BLOCKING-UNDER-LOCK:
+        the lock exists to make these two RPCs atomic.)
         """
         with self._lock:
             existing = self.kv.get((_ACTOR_NAME, name))
@@ -297,7 +299,9 @@ class GlobalControlStore:
 
     def release_actor_name(self, name: str, actor_id: Optional[ActorID] = None) -> None:
         """Free ``name`` (idempotent).  With ``actor_id`` given, only the
-        current owner's registration is released."""
+        current owner's registration is released.  (Baselined
+        RT-BLOCKING-UNDER-LOCK: get+delete must be atomic against
+        concurrent claims.)"""
         with self._lock:
             if actor_id is not None:
                 owner = self.kv.get((_ACTOR_NAME, name))

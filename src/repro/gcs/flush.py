@@ -19,6 +19,7 @@ import pickle
 import threading
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.common.lockwatch import make_lock
 from repro.gcs.client import _EVENT, _OBJ, _OBJ_LOC, _TASK, GlobalControlStore
 from repro.gcs.tables import TaskStatus, TaskTableEntry
 
@@ -37,7 +38,8 @@ class GcsFlusher:
         self.max_entries_in_memory = max_entries_in_memory
         self.flushed_entries = 0
         self._closed = False
-        self._lock = threading.Lock()
+        self._flushing = False
+        self._lock = make_lock("GcsFlusher._lock")
         # Truncate any previous flush file.
         with open(self.path, "wb"):
             pass
@@ -60,9 +62,22 @@ class GcsFlusher:
 
     def flush(self) -> int:
         """Move all finished/failed task records (and their object metadata
-        and event logs) to disk.  Returns the number of entries flushed."""
+        and event logs) to disk.  Returns the number of entries flushed.
+
+        One flush runs at a time, enforced by a non-blocking in-progress
+        flag rather than by holding ``_lock`` across the scan: a flush
+        issues one GCS RPC per key (seconds on a replicated chain with hop
+        delays), and blocking every concurrent ``maybe_flush`` caller —
+        the runtime's task-finish path — for that long would stall the
+        data plane.  A caller that loses the race returns 0; the winner is
+        already doing the work.
+        """
         with self._lock:
-            flushed = 0
+            if self._closed or self._flushing:
+                return 0
+            self._flushing = True
+        flushed = 0
+        try:
             records: List[Tuple[str, Any, Any]] = []
             for key in self.gcs.kv.keys():
                 if not isinstance(key, tuple):
@@ -87,8 +102,11 @@ class GcsFlusher:
                 with open(self.path, "ab") as f:
                     for record in records:
                         pickle.dump(record, f)
-            self.flushed_entries += flushed
-            return flushed
+        finally:
+            with self._lock:
+                self._flushing = False
+                self.flushed_entries += flushed
+        return flushed
 
     def iter_flushed(self) -> Iterator[Tuple[str, Any, Any]]:
         """Iterate over all records previously flushed to disk."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
+from repro.common.lockwatch import make_rlock
 
 Callback = Callable[[Any, Any], None]
 
@@ -21,7 +22,7 @@ class KVStore:
     """Thread-safe in-memory KV store with per-key append logs and pub-sub."""
 
     def __init__(self):
-        self._lock = threading.RLock()
+        self._lock = make_rlock("KVStore._lock")
         self._data: Dict[Any, Any] = {}
         self._logs: Dict[Any, List[Any]] = {}
         self._subscribers: Dict[Any, List[Callback]] = {}

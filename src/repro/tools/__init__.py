@@ -18,8 +18,49 @@ inspect — they simply read the GCS.  These are those tools:
 * :class:`~repro.tools.chaos.ChaosRunner` — drives workloads under a
   seeded deterministic fault schedule and verifies same-seed replays
   inject the identical fault sequence.
+* :mod:`repro.tools.analysis` — the repo-aware concurrency lint engine
+  (``python -m repro.tools.analyze``).
+
+Every tool CLI builds its parser with :func:`build_cli_parser` and prints /
+persists its result through :func:`emit_report`, so output conventions
+(``-o/--output`` JSON files, ``--json`` stdout mode) stay identical across
+``repro.tools.chaos`` and ``repro.tools.analyze``.
 """
 
+import argparse
+import json as _json
+
+
+def build_cli_parser(description: str) -> argparse.ArgumentParser:
+    """Shared tool-CLI skeleton: every tool gets ``-o`` and ``--json``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "-o", "--output", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON report to stdout instead of the text view",
+    )
+    return parser
+
+
+def emit_report(payload, output=None, text=None, as_json=False) -> None:
+    """Print a report (text view unless ``as_json``/no text) and optionally
+    write the JSON payload to ``output``."""
+    if text is not None and not as_json:
+        print(text)
+    else:
+        print(_json.dumps(payload, indent=2))
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+
+# The helpers above are defined before the submodule imports below on
+# purpose: submodules (chaos, analyze) import them from the partially
+# initialized package during their own import.
 from repro.tools.chaos import ChaosReport, ChaosRunner, standard_workload
 from repro.tools.critical_path import CriticalPath, CriticalPathReport
 from repro.tools.inspect import ClusterInspector, ClusterSnapshot
@@ -28,6 +69,8 @@ from repro.tools.timeline import TaskLifecycle, Timeline, TimelineSpan
 from repro.tools.http_dashboard import DashboardServer
 
 __all__ = [
+    "build_cli_parser",
+    "emit_report",
     "ChaosReport",
     "ChaosRunner",
     "standard_workload",

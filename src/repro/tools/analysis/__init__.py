@@ -1,0 +1,39 @@
+"""Repo-aware concurrency lint engine (stdlib-only, AST based).
+
+Run it as ``python -m repro.tools.analyze``.  See docs/STATIC_ANALYSIS.md
+for the rule catalog, and :mod:`repro.common.lockwatch` for the dynamic
+lock-order witness that confirms or refutes static RT-LOCK-ORDER findings.
+"""
+
+from repro.tools.analysis.baseline import Baseline
+from repro.tools.analysis.engine import (
+    Project,
+    Report,
+    analyze,
+    render_text,
+    report_payload,
+    run_rules,
+    scan_paths,
+)
+from repro.tools.analysis.findings import ERROR, WARNING, Finding
+from repro.tools.analysis.registry import RULES, all_rules
+
+# Importing the rule modules registers them.
+from repro.tools.analysis import rules_flow  # noqa: F401
+from repro.tools.analysis import rules_locks  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "ERROR",
+    "Finding",
+    "Project",
+    "Report",
+    "RULES",
+    "WARNING",
+    "all_rules",
+    "analyze",
+    "render_text",
+    "report_payload",
+    "run_rules",
+    "scan_paths",
+]

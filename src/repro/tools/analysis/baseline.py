@@ -1,0 +1,82 @@
+"""Grandfathered-finding baseline.
+
+The checked-in ``analysis_baseline.json`` lists findings that are known and
+*justified* — each entry carries a human-written ``justification`` string.
+``--strict`` fails only on findings absent from the baseline, so the gate
+ratchets: existing debt is visible but frozen, new debt fails CI.
+
+Entries are keyed by the finding fingerprint (rule, path, symbol, message),
+never by line number, so unrelated edits don't churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.tools.analysis.findings import Finding
+
+VERSION = 1
+
+
+class Baseline:
+    def __init__(self, entries: Optional[List[dict]] = None):
+        self.entries: List[dict] = entries or []
+        self._index = {}
+        for entry in self.entries:
+            self._index[self._key(entry)] = entry
+
+    @staticmethod
+    def _key(entry: dict):
+        return (entry["rule"], entry["path"], entry["symbol"], entry["message"])
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(entries=list(data.get("entries", [])))
+
+    def match(self, finding: Finding) -> Optional[dict]:
+        return self._index.get(finding.fingerprint())
+
+    @staticmethod
+    def save(
+        path: Union[str, Path],
+        findings: Iterable[Finding],
+        justification: str = "TODO: justify this suppression",
+        previous: Optional["Baseline"] = None,
+    ) -> int:
+        """Write a baseline covering ``findings``.
+
+        Justifications from ``previous`` are preserved for entries that
+        still fire, so regenerating never loses the written rationale.
+        """
+        entries = []
+        seen = set()
+        for finding in findings:
+            key = finding.fingerprint()
+            if key in seen:
+                continue
+            seen.add(key)
+            entry = {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+                "justification": justification,
+            }
+            if previous is not None:
+                old = previous.match(finding)
+                if old is not None and old.get("justification"):
+                    entry["justification"] = old["justification"]
+            entries.append(entry)
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["symbol"]))
+        payload = {"version": VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return len(entries)

@@ -1,0 +1,251 @@
+"""Analysis engine: scan -> parse -> run rules -> apply noqa + baseline.
+
+Self-contained (stdlib ``ast`` only).  Entry points:
+
+* :func:`scan_paths` — collect ``*.py`` files under the given roots into a
+  :class:`Project` (one shared parse per module).
+* :func:`analyze` — run rules over a project and split findings into
+  new / baselined / inline-suppressed.
+* :func:`render_text` / :func:`report_payload` — human and JSON views.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.tools.analysis import astutil
+from repro.tools.analysis.baseline import Baseline
+from repro.tools.analysis.findings import ERROR, Finding
+from repro.tools.analysis.registry import all_rules, select_rules
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\-\s]+))?", re.IGNORECASE)
+
+_SKIP_DIRS = {"__pycache__", ".git"}
+
+
+@dataclass
+class ModuleInfo:
+    path: Path
+    relpath: str
+    source: str
+    tree: Optional[ast.Module]
+    error: Optional[str] = None
+    _noqa: Optional[Dict[int, Optional[Set[str]]]] = None
+    _classes: Optional[List[astutil.ClassInfo]] = None
+    _symbols: Optional[Dict[ast.AST, str]] = None
+
+    def noqa_rules(self, line: int) -> Optional[Set[str]]:
+        """Rule ids suppressed on ``line`` (None entry => suppress all)."""
+        if self._noqa is None:
+            table: Dict[int, Optional[Set[str]]] = {}
+            for lineno, text in enumerate(self.source.splitlines(), start=1):
+                match = _NOQA_RE.search(text)
+                if not match:
+                    continue
+                codes = match.group("codes")
+                if codes:
+                    table[lineno] = {
+                        c.strip().upper() for c in codes.split(",") if c.strip()
+                    }
+                else:
+                    table[lineno] = None  # bare noqa: everything
+            self._noqa = table
+        return self._noqa.get(line, set())
+
+    def suppressed(self, finding: Finding) -> bool:
+        rules = self.noqa_rules(finding.line)
+        if rules is None:
+            return True
+        return finding.rule_id in rules
+
+    @property
+    def classes(self) -> List[astutil.ClassInfo]:
+        if self._classes is None:
+            self._classes = []
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    if isinstance(node, ast.ClassDef):
+                        self._classes.append(astutil.build_class_info(node))
+        return self._classes
+
+    @property
+    def symbols(self) -> Dict[ast.AST, str]:
+        if self._symbols is None:
+            self._symbols = (
+                astutil.symbol_map(self.tree) if self.tree is not None else {}
+            )
+        return self._symbols
+
+    def symbol_of(self, node: ast.AST) -> str:
+        return self.symbols.get(node, "<module>")
+
+
+class Project:
+    def __init__(self, modules: List[ModuleInfo]):
+        self.modules = modules
+        self._by_relpath = {m.relpath: m for m in modules}
+
+    def module(self, relpath: str) -> Optional[ModuleInfo]:
+        return self._by_relpath.get(relpath)
+
+    def lock_owners(self) -> Dict[str, Set[str]]:
+        """attr name -> class names that create a lock under that attr."""
+        owners: Dict[str, Set[str]] = {}
+        for module in self.modules:
+            for cls in module.classes:
+                for attr in cls.lock_attrs:
+                    owners.setdefault(attr, set()).add(cls.name)
+        return owners
+
+
+def _collect_files(path: Path) -> List[Path]:
+    if path.is_file():
+        return [path]
+    files = []
+    for candidate in sorted(path.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in candidate.parts):
+            files.append(candidate)
+    return files
+
+
+def scan_paths(paths: Sequence[Union[str, Path]]) -> Project:
+    modules: List[ModuleInfo] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw).resolve()
+        for file in _collect_files(root):
+            if file in seen:
+                continue
+            seen.add(file)
+            relpath = (
+                file.name
+                if file == root
+                else file.relative_to(root).as_posix()
+            )
+            source = file.read_text(encoding="utf-8")
+            tree, error = None, None
+            try:
+                tree = ast.parse(source, filename=str(file))
+            except SyntaxError as exc:  # pragma: no cover - repo always parses
+                error = f"{exc.msg} (line {exc.lineno})"
+            modules.append(
+                ModuleInfo(
+                    path=file,
+                    relpath=relpath,
+                    source=source,
+                    tree=tree,
+                    error=error,
+                )
+            )
+    return Project(modules)
+
+
+@dataclass
+class Report:
+    findings: List[Finding] = field(default_factory=list)
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_inline: int = 0
+    stale_baseline: List[dict] = field(default_factory=list)
+    files_scanned: int = 0
+    duration_seconds: float = 0.0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def run_rules(project: Project, rule_ids: Optional[Iterable[str]] = None):
+    rules = select_rules(rule_ids) if rule_ids else all_rules()
+    findings: List[Finding] = []
+    for module in project.modules:
+        if module.error is not None:
+            findings.append(
+                Finding(
+                    rule_id="RT-PARSE",
+                    severity=ERROR,
+                    path=module.relpath,
+                    line=1,
+                    symbol="<module>",
+                    message=f"file does not parse: {module.error}",
+                )
+            )
+    for rule in rules:
+        findings.extend(rule.check(project))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def analyze(
+    paths: Sequence[Union[str, Path]],
+    baseline: Optional[Baseline] = None,
+    rule_ids: Optional[Iterable[str]] = None,
+) -> Report:
+    start = time.perf_counter()
+    project = scan_paths(paths)
+    raw = run_rules(project, rule_ids)
+    report = Report(files_scanned=len(project.modules))
+    baseline = baseline or Baseline()
+    matched = set()
+    for finding in raw:
+        module = project.module(finding.path)
+        if module is not None and module.suppressed(finding):
+            report.suppressed_inline += 1
+            continue
+        report.findings.append(finding)
+        entry = baseline.match(finding)
+        if entry is not None:
+            matched.add(id(entry))
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+    report.stale_baseline = [
+        entry for entry in baseline.entries if id(entry) not in matched
+    ]
+    report.duration_seconds = time.perf_counter() - start
+    return report
+
+
+def render_text(report: Report, verbose_baselined: bool = False) -> str:
+    lines = []
+    for finding in report.new:
+        lines.append(finding.format())
+    if verbose_baselined:
+        for finding in report.baselined:
+            lines.append(f"{finding.format()} (baselined)")
+    for entry in report.stale_baseline:
+        lines.append(
+            "stale baseline entry (no longer fires): "
+            f"{entry['rule']} {entry['path']} [{entry['symbol']}]"
+        )
+    lines.append(
+        f"{len(report.findings)} finding(s): {len(report.new)} new, "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed_inline} inline-suppressed; "
+        f"{report.files_scanned} files in {report.duration_seconds:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def report_payload(report: Report) -> dict:
+    baselined = {f.fingerprint() for f in report.baselined}
+    return {
+        "findings": [
+            dict(f.as_dict(), baselined=f.fingerprint() in baselined)
+            for f in report.findings
+        ],
+        "stale_baseline": list(report.stale_baseline),
+        "summary": {
+            "total": len(report.findings),
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "inline_suppressed": report.suppressed_inline,
+            "files_scanned": report.files_scanned,
+            "duration_seconds": round(report.duration_seconds, 4),
+            "exit_code": report.exit_code,
+        },
+    }

@@ -1,0 +1,54 @@
+"""Finding records produced by analysis rules.
+
+A finding is stable across unrelated edits: its baseline fingerprint is
+``(rule_id, path, symbol, message)`` — deliberately *without* the line
+number, so adding a line above a grandfathered finding does not resurrect
+it in ``--strict`` CI runs.  Messages therefore never embed line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule_id: str
+    severity: str
+    path: str  # repo-relative, posix separators
+    line: int
+    symbol: str  # enclosing scope, e.g. "LocalObjectStore.put" or "<module>"
+    message: str
+
+    def fingerprint(self) -> Tuple[str, str, str, str]:
+        return (self.rule_id, self.path, self.symbol, self.message)
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.severity} {self.rule_id} "
+            f"[{self.symbol}] {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def sort_key(self):
+        return (
+            self.path,
+            self.line,
+            _SEVERITY_RANK.get(self.severity, 9),
+            self.rule_id,
+        )

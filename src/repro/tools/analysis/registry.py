@@ -1,0 +1,46 @@
+"""Rule registry.
+
+A rule is a function ``check(project) -> Iterable[Finding]`` registered under
+a stable ``RT-*`` identifier.  Rules receive the whole :class:`Project` so
+cross-module rules (RT-LOCK-ORDER) and per-class rules share one parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    summary: str
+    check: Callable
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str):
+    """Decorator registering an analysis rule under ``rule_id``."""
+
+    def register(fn):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id=rule_id, summary=summary, check=fn)
+        return fn
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def select_rules(rule_ids) -> List[Rule]:
+    selected = []
+    for rule_id in rule_ids:
+        if rule_id not in RULES:
+            raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(RULES)}")
+        selected.append(RULES[rule_id])
+    return selected

@@ -1,0 +1,436 @@
+"""Lock-discipline rules: RT-LOCK-GUARD, RT-BLOCKING-UNDER-LOCK, RT-LOCK-ORDER."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.tools.analysis import astutil
+from repro.tools.analysis.findings import ERROR, WARNING, Finding
+from repro.tools.analysis.registry import rule
+
+# -- RT-LOCK-GUARD -----------------------------------------------------------
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _target_writes(target: ast.AST):
+    """(attr, node, is_in_place) for self-attributes an assignment target
+    writes.  ``self.x = v`` is a whole-reference rebind (False);
+    ``self.x[k] = v`` mutates the referenced object in place (True)."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_writes(element)
+        return
+    if isinstance(target, ast.Starred):
+        yield from _target_writes(target.value)
+        return
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr, target, False
+        return
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            yield attr, target.value, True
+
+
+_CONTAINER_CTORS = {
+    "dict",
+    "list",
+    "set",
+    "deque",
+    "OrderedDict",
+    "defaultdict",
+    "Counter",
+    "bytearray",
+}
+
+_CONTAINER_LITERALS = (
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _container_attrs(cls: astutil.ClassInfo) -> Set[str]:
+    """Attrs assigned a builtin container somewhere in the class.
+
+    Mutator calls (``self.x.clear()``) only count as guarded writes for
+    these: a custom object (e.g. a cache with its own lock) is responsible
+    for its own thread safety, and calling its methods is not a write to
+    the *attribute*.
+    """
+    attrs: Set[str] = set()
+    for fn in cls.methods.values():
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_container = isinstance(value, _CONTAINER_LITERALS) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _CONTAINER_CTORS
+            )
+            if not is_container:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    attrs.add(attr)
+    return attrs
+
+
+def _class_accesses(cls: astutil.ClassInfo):
+    """Yield (attr, kind, mutation, line, method, held_lock_attrs).
+
+    ``mutation`` marks in-place writes (aug-assign, subscript store,
+    container-mutator call) as opposed to whole-reference rebinds.
+    """
+    skip = set(cls.lock_attrs) | set(cls.methods)
+    containers = _container_attrs(cls)
+    is_lock = cls.is_lock()
+    for method_name, fn in cls.methods.items():
+        consumed: Set[int] = set()
+        for node, held in astutil.iter_function_regions(
+            fn, cls.entry_tokens(method_name), is_lock
+        ):
+            held_attrs = frozenset(
+                token[5:]
+                for token in held
+                if token.startswith("self.") and token[5:] in cls.lock_attrs
+            )
+            # (attr, node marking the write, is in-place mutation)
+            writes: List[Tuple[str, ast.AST, bool]] = []
+            if isinstance(node, (ast.Assign, ast.Delete)):
+                for target in node.targets:
+                    writes.extend(_target_writes(target))
+            elif isinstance(node, ast.AnnAssign):
+                writes.extend(_target_writes(node.target))
+            elif isinstance(node, ast.AugAssign):
+                for attr, attr_node, _mut in _target_writes(node.target):
+                    writes.append((attr, attr_node, True))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in astutil.MUTATORS
+                ):
+                    attr = _self_attr(func.value)
+                    if attr is not None and attr in containers:
+                        writes.append((attr, func.value, True))
+            for attr, attr_node, mutation in writes:
+                consumed.add(id(attr_node))
+                if attr not in skip:
+                    yield attr, "write", mutation, node.lineno, method_name, held_attrs
+            if (
+                isinstance(node, ast.Attribute)
+                and id(node) not in consumed
+                and isinstance(node.ctx, ast.Load)
+            ):
+                attr = _self_attr(node)
+                if attr is not None and attr not in skip:
+                    yield attr, "read", False, node.lineno, method_name, held_attrs
+
+
+@rule(
+    "RT-LOCK-GUARD",
+    "class attribute written under a lock in one method but accessed "
+    "without it elsewhere",
+)
+def check_lock_guard(project):
+    for module in project.modules:
+        for cls in module.classes:
+            if not cls.lock_attrs:
+                continue
+            accesses = list(_class_accesses(cls))
+            # Infer each attribute's guard: the lock(s) held at *every*
+            # locked write outside __init__.  No locked writes, or writes
+            # under disjoint locks => no inferable discipline, stay silent.
+            locked_writes: Dict[str, List[FrozenSet[str]]] = {}
+            mutated: Set[str] = set()
+            for attr, kind, mutation, _line, method, held in accesses:
+                if kind != "write" or method == "__init__":
+                    continue
+                if held:
+                    locked_writes.setdefault(attr, []).append(held)
+                if mutation:
+                    mutated.add(attr)
+            for attr, held_sets in locked_writes.items():
+                guard_set = frozenset.intersection(*held_sets)
+                if not guard_set:
+                    continue
+                guard = sorted(guard_set)[0]
+                for acc_attr, kind, _mutation, line, method, held in accesses:
+                    if acc_attr != attr or method == "__init__":
+                        continue
+                    if guard_set & held:
+                        continue
+                    if kind == "read" and attr not in mutated:
+                        # Rebind-only attribute: an unguarded read is a
+                        # benign stale-reference snapshot (reference loads
+                        # are atomic); only in-place-mutated objects can be
+                        # observed mid-update.
+                        continue
+                    verb = "written" if kind == "write" else "read"
+                    yield Finding(
+                        rule_id="RT-LOCK-GUARD",
+                        severity=ERROR if kind == "write" else WARNING,
+                        path=module.relpath,
+                        line=line,
+                        symbol=f"{cls.name}.{method}",
+                        message=(
+                            f"attribute '{attr}' is written under "
+                            f"'self.{guard}' elsewhere but {verb} here "
+                            f"without holding it"
+                        ),
+                    )
+
+
+# -- RT-BLOCKING-UNDER-LOCK --------------------------------------------------
+
+_THREADISH_RE = re.compile(
+    r"thread|worker|proc|dispatch|flusher|server|runner", re.IGNORECASE
+)
+_GCS_SEGMENT_RE = re.compile(r"^_*(gcs|kv)$", re.IGNORECASE)
+
+
+def _call_parts(call: ast.Call) -> Tuple[Optional[str], Optional[str], Optional[ast.AST]]:
+    """(last_segment, receiver_token, receiver_node) of a call target."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id, None, None
+    if isinstance(func, ast.Attribute):
+        return func.attr, astutil.dotted_name(func.value), func.value
+    return None, None, None
+
+
+def _blocking_reason(call: ast.Call, held: FrozenSet[str]) -> Optional[str]:
+    last, receiver, receiver_node = _call_parts(call)
+    if last is None:
+        return None
+    dotted = astutil.dotted_name(call.func) or last
+    if last == "sleep":
+        return f"'{dotted}' sleeps while holding a lock"
+    if last == "wait_any":
+        return f"'{dotted}' blocks on completions while holding a lock"
+    if last in ("wait", "wait_for"):
+        # Waiting on the *held* condition is the correct event-layer idiom
+        # (the wait releases that lock); waiting on anything else blocks
+        # with the lock held.
+        if receiver is not None and receiver in held:
+            return None
+        return f"'{dotted}' waits on an object other than the held lock"
+    if last == "acquire":
+        if receiver is not None and receiver in held:
+            return None
+        return f"'{dotted}' may block acquiring another resource"
+    if last == "join":
+        if receiver is None or not _THREADISH_RE.search(receiver):
+            return None  # str.join / os.path.join and friends
+        return f"'{dotted}' joins a thread while holding a lock"
+    if last in ("fetch", "fetch_to_node", "ensure_local"):
+        return f"'{dotted}' performs an object transfer while holding a lock"
+    if receiver is not None and any(
+        _GCS_SEGMENT_RE.match(segment) for segment in receiver.split(".")
+    ):
+        return f"GCS RPC '{dotted}' issued while holding a lock"
+    return None
+
+
+def _iter_scopes(module):
+    """Yield (symbol, fn, entry_held, is_lock) for every function to walk."""
+    if module.tree is None:
+        return
+    class_funcs = set()
+    for cls in module.classes:
+        is_lock = cls.is_lock()
+        for method_name, fn in cls.methods.items():
+            class_funcs.add(id(fn))
+            yield (
+                f"{cls.name}.{method_name}",
+                fn,
+                cls.entry_tokens(method_name),
+                is_lock,
+            )
+    plain_is_lock = astutil.make_is_lock(set())
+    for node in module.tree.body:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and id(node) not in class_funcs
+        ):
+            yield node.name, node, frozenset(), plain_is_lock
+
+
+@rule(
+    "RT-BLOCKING-UNDER-LOCK",
+    "blocking call (sleep / wait / transfer / GCS RPC) inside a with-lock body",
+)
+def check_blocking_under_lock(project):
+    for module in project.modules:
+        for symbol, fn, entry, is_lock in _iter_scopes(module):
+            for node, held in astutil.iter_function_regions(fn, entry, is_lock):
+                if not held or not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_reason(node, held)
+                if reason is None:
+                    continue
+                yield Finding(
+                    rule_id="RT-BLOCKING-UNDER-LOCK",
+                    severity=ERROR,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=symbol,
+                    message=f"{reason} (holding {', '.join(sorted(held))})",
+                )
+
+
+# -- RT-LOCK-ORDER -----------------------------------------------------------
+
+
+def _canonical(token, cls, module, symbol, owners):
+    if token.startswith("self.") and cls is not None:
+        attr = token[len("self."):]
+        if attr in cls.lock_attrs:
+            return f"{cls.name}.{attr}"
+    last = token.rsplit(".", 1)[-1]
+    owning = owners.get(last, set())
+    if len(owning) == 1:
+        return f"{next(iter(owning))}.{last}"
+    # Ambiguous or function-local: scope the node to this function so
+    # unrelated ``_lock``s across the project never merge into one node.
+    return f"{module.relpath}:{symbol}:{token}"
+
+
+@rule(
+    "RT-LOCK-ORDER",
+    "cycle in the static lock-acquisition-order graph (nested with "
+    "statements across modules)",
+)
+def check_lock_order(project):
+    owners = project.lock_owners()
+    edges: Dict[str, Set[str]] = {}
+    witness: Dict[Tuple[str, str], Tuple[str, str, int]] = {}
+
+    def add_edge(src, dst, module, symbol, line):
+        if src == dst:
+            return  # same canonical lock: reentrancy, not an order edge
+        edges.setdefault(src, set())
+        edges.setdefault(dst, set())
+        if dst not in edges[src]:
+            edges[src].add(dst)
+            witness[(src, dst)] = (module.relpath, symbol, line)
+
+    for module in project.modules:
+        cls_by_fn = {}
+        for cls in module.classes:
+            for fn in cls.methods.values():
+                cls_by_fn[id(fn)] = cls
+        for symbol, fn, entry, is_lock in _iter_scopes(module):
+            cls = cls_by_fn.get(id(fn))
+            for node, held in astutil.iter_function_regions(fn, entry, is_lock):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                acquired = [
+                    token
+                    for token in (
+                        astutil.lock_token(item.context_expr)
+                        for item in node.items
+                    )
+                    if token is not None and is_lock(token)
+                ]
+                current = [
+                    _canonical(t, cls, module, symbol, owners) for t in held
+                ]
+                for token in acquired:
+                    canon = _canonical(token, cls, module, symbol, owners)
+                    for holder in current:
+                        add_edge(holder, canon, module, symbol, node.lineno)
+                    current.append(canon)
+
+    for cycle in _find_cycles(edges):
+        members = set(cycle)
+        pair = next(
+            (
+                (a, b)
+                for (a, b) in sorted(witness)
+                if a in members and b in members
+            ),
+            None,
+        )
+        path, symbol, line = (
+            witness[pair] if pair is not None else ("?", "<module>", 1)
+        )
+        chain = " -> ".join(cycle + [cycle[0]])
+        yield Finding(
+            rule_id="RT-LOCK-ORDER",
+            severity=ERROR,
+            path=path,
+            line=line,
+            symbol=symbol,
+            message=f"lock-order cycle: {chain}",
+        )
+
+
+def _find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components of size >= 2, as ordered cycles."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+
+    def strongconnect(root):
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) >= 2:
+                    sccs.append(sorted(component))
+
+    for node in sorted(edges):
+        if node not in index:
+            strongconnect(node)
+    return sccs

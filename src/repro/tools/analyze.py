@@ -1,0 +1,120 @@
+"""CLI for the concurrency lint engine: ``python -m repro.tools.analyze``.
+
+Exit codes: 0 clean (or findings all baselined / not ``--strict``), 1 new
+findings under ``--strict``, 2 usage errors.  CI runs::
+
+    PYTHONPATH=src python -m repro.tools.analyze --strict
+
+which scans ``src/repro`` against the checked-in ``analysis_baseline.json``
+at the repo root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.tools import build_cli_parser, emit_report
+from repro.tools.analysis import (
+    Baseline,
+    all_rules,
+    analyze,
+    render_text,
+    report_payload,
+)
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
+_REPO_ROOT = _PACKAGE_ROOT.parents[1]  # the checkout root
+
+
+def default_scan_paths() -> List[Path]:
+    return [_PACKAGE_ROOT]
+
+
+def default_baseline_path() -> Path:
+    return _REPO_ROOT / "analysis_baseline.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_cli_parser(
+        "Repo-aware concurrency lint: lock discipline, blocking-under-lock, "
+        "lock-order cycles, poll loops, swallowed exceptions, thread leaks"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any finding is not covered by the baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: analysis_baseline.json at the "
+        "repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding counts as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="include baselined findings in the text view",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.summary}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    paths = [Path(p) for p in args.paths] or default_scan_paths()
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+
+    try:
+        report = analyze(paths, baseline=baseline, rule_ids=rule_ids)
+    except KeyError as exc:
+        parser.error(str(exc))
+
+    if args.write_baseline:
+        count = Baseline.save(baseline_path, report.findings, previous=baseline)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {baseline_path}")
+        return 0
+
+    emit_report(
+        report_payload(report),
+        output=args.output,
+        text=render_text(report, verbose_baselined=args.show_baselined),
+        as_json=args.json,
+    )
+    return report.exit_code if args.strict else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -21,12 +21,11 @@ reconstruct is caught as a wrong answer, not a hang.
 
 from __future__ import annotations
 
-import argparse
-import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.common import lockwatch
 from repro.common.faults import FaultSchedule
 
 __all__ = ["ChaosReport", "ChaosRunner", "standard_workload"]
@@ -63,6 +62,7 @@ class ChaosReport:
     event_log: Tuple[Tuple[Any, ...], ...]
     signature: str
     pending_faults: int
+    lockwatch: Optional[Dict[str, Any]] = None
     applied: int = field(init=False)
     skipped: int = field(init=False)
 
@@ -72,7 +72,7 @@ class ChaosReport:
         self.skipped = sum(1 for o in outcomes if o == "skipped")
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "seed": self.seed,
             "tasks_run": self.tasks_run,
             "duration_seconds": round(self.duration_seconds, 3),
@@ -82,6 +82,9 @@ class ChaosReport:
             "applied": self.applied,
             "skipped": self.skipped,
         }
+        if self.lockwatch is not None:
+            payload["lockwatch"] = self.lockwatch
+        return payload
 
 
 class ChaosRunner:
@@ -103,6 +106,7 @@ class ChaosRunner:
         workload: Optional[Callable[[Any], int]] = None,
         schedule_kwargs: Optional[Dict[str, Any]] = None,
         runtime_kwargs: Optional[Dict[str, Any]] = None,
+        watch_locks: bool = False,
     ):
         self.seed = seed
         self.num_nodes = num_nodes
@@ -113,6 +117,7 @@ class ChaosRunner:
         self.workload = workload
         self.schedule_kwargs = dict(schedule_kwargs or {})
         self.runtime_kwargs = dict(runtime_kwargs or {})
+        self.watch_locks = watch_locks
 
     def build_schedule(self) -> FaultSchedule:
         return FaultSchedule.random(
@@ -136,6 +141,14 @@ class ChaosRunner:
         # Chain kills need a reconfigurable chain (length > 1) to apply.
         if self.chain_kills:
             kwargs.setdefault("gcs_replicas", 2)
+        # The witness must be in place before init(): locks are created at
+        # cluster construction.  A watch installed via REPRO_LOCKWATCH (or
+        # by the caller) is reused rather than replaced.
+        watch = lockwatch.active()
+        installed_here = False
+        if self.watch_locks and watch is None:
+            watch = lockwatch.install(lockwatch.LockWatch())
+            installed_here = True
         runtime = repro.init(fault_schedule=schedule, **kwargs)
         started = time.monotonic()
         try:
@@ -143,6 +156,8 @@ class ChaosRunner:
             tasks_run = workload(repro)
         finally:
             repro.shutdown()
+            if installed_here:
+                lockwatch.uninstall()
         duration = time.monotonic() - started
         del runtime
         return ChaosReport(
@@ -152,6 +167,7 @@ class ChaosRunner:
             event_log=schedule.event_log(),
             signature=schedule.signature(),
             pending_faults=schedule.pending_count(),
+            lockwatch=watch.report() if watch is not None else None,
         )
 
     def verify_determinism(self, runs: int = 2) -> bool:
@@ -162,8 +178,10 @@ class ChaosRunner:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Run a workload under deterministic fault injection"
+    from repro.tools import build_cli_parser, emit_report
+
+    parser = build_cli_parser(
+        "Run a workload under deterministic fault injection"
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--nodes", type=int, default=4)
@@ -173,7 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--verify", action="store_true", help="replay and compare fault logs"
     )
-    parser.add_argument("-o", "--output", default=None, help="write report JSON here")
+    parser.add_argument(
+        "--lockwatch",
+        action="store_true",
+        help="run under the lock-order witness and include its report",
+    )
     args = parser.parse_args(argv)
 
     runner = ChaosRunner(
@@ -182,16 +204,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         kills=args.kills,
         restart=not args.no_restart,
         chain_kills=args.chain_kills,
+        watch_locks=args.lockwatch,
     )
     report = runner.run()
     payload = report.as_dict()
     if args.verify:
         payload["deterministic"] = runner.verify_determinism()
-    print(json.dumps(payload, indent=2))
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
+    emit_report(payload, output=args.output)
     if args.verify and not payload["deterministic"]:
+        return 1
+    if args.lockwatch and payload.get("lockwatch", {}).get("inversions"):
         return 1
     return 0
 

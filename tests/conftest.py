@@ -43,3 +43,20 @@ def _ensure_shutdown():
     yield
     if repro.is_initialized():
         repro.shutdown()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """When the suite runs under ``REPRO_LOCKWATCH=1``, a lock-order
+    inversion observed anywhere in the run fails the whole session — the
+    dynamic complement to the static RT-LOCK-ORDER rule."""
+    from repro.common import lockwatch
+
+    watch = lockwatch.active()
+    if watch is None:
+        return
+    inversions = watch.inversions()
+    if inversions:
+        print("\nlockwatch: lock-order inversions observed during the run:")
+        for record in inversions:
+            print(f"  cycle: {' -> '.join(record['cycle'])}")
+        session.exitstatus = 3
