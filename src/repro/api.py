@@ -57,7 +57,10 @@ def init(config: Optional[RuntimeConfig] = None, **overrides: Any) -> Runtime:
 
     Accepts either a :class:`RuntimeConfig` or its fields as keyword
     arguments (``num_nodes``, ``num_cpus_per_node``, ``num_gpus_per_node``,
-    ``object_store_capacity_bytes``, ``gcs_shards``, ``locality_aware``, …).
+    ``object_store_capacity_bytes``, ``gcs_shards``, ``locality_aware``,
+    ``scheduler_policy``, ``spillback_policy``, …).  Scheduler policies
+    resolve by registry name, class, or instance — see
+    ``docs/SCHEDULING.md``.
     """
     global _global_runtime
     with _runtime_lock:

@@ -8,8 +8,14 @@ Tasks created on a node are submitted to the node's local scheduler first
   overloaded), or
 * the node can never satisfy the task's resource request (e.g. no GPU).
 
-In either case the task is forwarded to a global scheduler, which picks a
-node by lowest estimated waiting time.  Once a task is *placed* on a node,
+The "overloaded" decision sits behind a pluggable
+:class:`~repro.core.scheduling.SpillbackPolicy` (the classic backlog
+threshold by default); dead-node and never-satisfiable requests are hard
+constraints checked before the policy and always forward.
+
+A forwarded task goes to a global scheduler, which places it via its own
+:class:`~repro.core.scheduling.SchedulerPolicy`.  Once a task is *placed*
+on a node,
 the local scheduler pulls any missing inputs via the object fetcher and
 dispatches the task to a worker when all inputs are local and its resources
 are available.
@@ -27,6 +33,7 @@ from repro.common.events import BACKSTOP_INTERVAL, WaitStats
 from repro.common.faults import NULL_FAULTS
 from repro.common.ids import ObjectID, TaskID
 from repro.common.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.core.scheduling import RuntimeNodeView, TaskView, make_spillback
 from repro.core.task_spec import TaskSpec
 from repro.gcs.tables import TaskStatus
 
@@ -45,6 +52,7 @@ class LocalScheduler:
         forward_to_global: Callable[[TaskSpec], None],
         execute: Callable[["Node", TaskSpec, Dict[str, float]], None],
         spillback_threshold: int = 16,
+        spillback: Optional[object] = None,
         wait_stats: Optional[WaitStats] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[Callable[..., None]] = None,
@@ -56,6 +64,8 @@ class LocalScheduler:
         self._forward_to_global = forward_to_global
         self._execute = execute
         self.spillback_threshold = spillback_threshold
+        self._spillback = make_spillback(spillback, threshold=spillback_threshold)
+        self._node_view = RuntimeNodeView(node, 0)
         self._wait_stats = wait_stats
         self._trace = trace
         self._faults = faults if faults is not None else NULL_FAULTS
@@ -109,7 +119,15 @@ class LocalScheduler:
         if (
             not self.node.alive
             or not self.node.resources.can_ever_satisfy(spec.resources)
-            or self.backlog() >= self.spillback_threshold
+            or self._spillback.should_forward(
+                TaskView(
+                    key=spec.task_id,
+                    name=spec.function_name,
+                    resources=spec.resources,
+                    deps_fn=spec.dependencies,
+                ),
+                self._node_view,
+            )
         ):
             self.forwarded += 1
             self._m_spillbacks.inc()

@@ -49,6 +49,7 @@ from repro.core.global_scheduler import GlobalScheduler
 from repro.core.local_scheduler import LocalScheduler
 from repro.core.object_store import LocalObjectStore
 from repro.core.reconstruction import ReconstructionManager
+from repro.core import scheduling
 from repro.core.resources import ResourcePool, normalize_resources
 from repro.core.task_graph import TaskGraph
 from repro.core.task_spec import TaskSpec
@@ -76,6 +77,19 @@ class RuntimeConfig:
     locality_aware: bool = True
     spillback_threshold: int = 16
     scheduler_delay: float = 0.0  # Fig 12b-style latency injection
+    # Pluggable scheduling (repro.core.scheduling): the placement policy
+    # driven by every global scheduler replica, as a registry name
+    # ("lowest_wait", "locality", "power_of_two", "round_robin",
+    # "central_queue"), a SchedulerPolicy subclass, or an instance.  None
+    # selects the paper's lowest-estimated-waiting-time default, honoring
+    # ``locality_aware``.  Names/classes get a fresh instance per replica;
+    # an instance is shared by all replicas.
+    scheduler_policy: Optional[Any] = None
+    # The local schedulers' forward-to-global decision: a registry name
+    # ("threshold", "always", "never"), a SpillbackPolicy subclass, or an
+    # instance.  None selects the classic backlog threshold
+    # (``spillback_threshold``).
+    spillback_policy: Optional[Any] = None
     # GCS flushing (Fig 10b): when set, finished-task lineage is moved to
     # this file whenever in-memory entries exceed the threshold.  Flushed
     # lineage remains usable: reconstruction falls back to the disk
@@ -144,6 +158,7 @@ class Node:
             forward_to_global=runtime.route_and_place,
             execute=lambda node, spec, held: execute_task(runtime, node, spec, held),
             spillback_threshold=runtime.config.spillback_threshold,
+            spillback=runtime.make_spillback_policy(),
             wait_stats=runtime.wait_stats,
             metrics=runtime.metrics,
             trace=runtime.trace_event,
@@ -212,6 +227,7 @@ class Runtime:
             GlobalScheduler(
                 self.gcs,
                 get_nodes=self.live_nodes,
+                policy=self.make_scheduler_policy(),
                 locality_aware=config.locality_aware,
                 decision_delay=config.scheduler_delay,
                 metrics=self.metrics,
@@ -409,6 +425,25 @@ class Runtime:
     # ------------------------------------------------------------------
     # Scheduling entry points
     # ------------------------------------------------------------------
+
+    def make_scheduler_policy(self):
+        """Resolve ``config.scheduler_policy`` for one scheduler replica.
+
+        ``None`` means "let the GlobalScheduler build its default"
+        (lowest_wait honoring ``locality_aware``); a name or class yields
+        a fresh instance per replica so tie-break counters and sampling
+        RNGs are never shared; an instance is used as-is.
+        """
+        if self.config.scheduler_policy is None:
+            return None
+        return scheduling.make_policy(self.config.scheduler_policy)
+
+    def make_spillback_policy(self):
+        """Resolve ``config.spillback_policy`` for one local scheduler."""
+        return scheduling.make_spillback(
+            self.config.spillback_policy,
+            threshold=self.config.spillback_threshold,
+        )
 
     def global_scheduler_for(self, spec: TaskSpec) -> GlobalScheduler:
         index = next(self._scheduler_rr) % len(self.global_schedulers)

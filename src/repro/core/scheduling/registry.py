@@ -1,0 +1,104 @@
+"""Name → factory registries for scheduler and spillback policies.
+
+``repro.init(scheduler_policy="locality")``, ``SimConfig``, and the league
+benchmark all resolve policies here; registering a class makes it
+available to every layer at once:
+
+    from repro.core.scheduling import SchedulerPolicy, register_policy
+
+    @register_policy("my_policy")
+    class MyPolicy(SchedulerPolicy):
+        name = "my_policy"
+        def place(self, task, view):
+            ...
+
+String lookups construct a **fresh instance per call** so per-scheduler
+state (tie-break counters, sampling RNGs) is never shared between
+scheduler replicas; passing an instance uses that exact object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+_POLICIES: Dict[str, Callable[..., Any]] = {}
+_SPILLBACKS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_policy(name: str, factory: Callable[..., Any] = None):
+    """Register a scheduler policy factory (usable as a class decorator)."""
+
+    def _register(target):
+        if name in _POLICIES:
+            raise ValueError(f"scheduler policy {name!r} already registered")
+        _POLICIES[name] = target
+        return target
+
+    return _register(factory) if factory is not None else _register
+
+
+def register_spillback(name: str, factory: Callable[..., Any] = None):
+    """Register a spillback policy factory (usable as a class decorator)."""
+
+    def _register(target):
+        if name in _SPILLBACKS:
+            raise ValueError(f"spillback policy {name!r} already registered")
+        _SPILLBACKS[name] = target
+        return target
+
+    return _register(factory) if factory is not None else _register
+
+
+def available_policies() -> List[str]:
+    """Registered scheduler policy names, sorted."""
+    return sorted(_POLICIES)
+
+
+def available_spillbacks() -> List[str]:
+    return sorted(_SPILLBACKS)
+
+
+def make_policy(spec: Any = None, **kwargs: Any):
+    """Resolve ``spec`` (name | class | instance | None) to a policy object.
+
+    ``None`` resolves to the default ``lowest_wait`` policy.  Keyword
+    arguments are forwarded to the factory (ignored for instances).
+    """
+    if spec is None:
+        spec = "lowest_wait"
+    if isinstance(spec, str):
+        factory = _POLICIES.get(spec)
+        if factory is None:
+            raise ValueError(
+                f"unknown scheduler policy {spec!r}; "
+                f"registered: {', '.join(available_policies())}"
+            )
+        return factory(**kwargs)
+    if isinstance(spec, type):
+        return spec(**kwargs)
+    return spec
+
+
+def make_spillback(spec: Any = None, threshold: int = 16):
+    """Resolve ``spec`` (name | class | instance | None) to a spillback
+    policy.  ``None`` resolves to the classic backlog threshold;
+    ``threshold`` parameterizes it (and any named factory accepting it)."""
+    if spec is None:
+        spec = "threshold"
+    if isinstance(spec, str):
+        factory = _SPILLBACKS.get(spec)
+        if factory is None:
+            raise ValueError(
+                f"unknown spillback policy {spec!r}; "
+                f"registered: {', '.join(available_spillbacks())}"
+            )
+        try:
+            return factory(threshold=threshold)
+        except TypeError:
+            return factory()
+    if isinstance(spec, type):
+        try:
+            return spec(threshold=threshold)
+        except TypeError:
+            return spec()
+    return spec

@@ -6,10 +6,13 @@ a discrete-event clock:
 * tasks are submitted to the *origin node's* local scheduler (a single-
   threaded event loop with a fixed per-task service time, as in the paper's
   implementation) and spill to the global scheduler when the node is
-  overloaded or infeasible;
-* the global scheduler places by lowest estimated waiting time — backlog ×
-  EWMA(task duration) plus, when ``locality_aware``, remote input bytes ÷
-  bandwidth;
+  overloaded (a pluggable ``SpillbackPolicy``) or infeasible;
+* the global scheduler places via the *same*
+  :class:`~repro.core.scheduling.SchedulerPolicy` objects the live runtime
+  loads — the default ``lowest_wait`` scores backlog × EWMA(task duration)
+  plus, when ``locality_aware``, remote input bytes ÷ bandwidth;
+  ``SimConfig(scheduler_policy=...)`` swaps in any registered policy (see
+  ``scripts/bench_scheduling.py`` for the league table);
 * task inputs are replicated to the executing node's store before the task
   runs; objects lost to node failures are reconstructed by re-executing
   their producing task from lineage, recursively.
@@ -22,9 +25,19 @@ NIC; ~1 ms global scheduling round trip).
 from __future__ import annotations
 
 import itertools
+import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.scheduling import (
+    ClusterView,
+    DepInfo,
+    LowestEstimatedWaitPolicy,
+    SimNodeView,
+    TaskView,
+    make_policy,
+    make_spillback,
+)
 from repro.sim.engine import Engine, SimEvent, SimResource
 from repro.sim.metrics import LatencyStats, ThroughputTimeline
 from repro.sim.network import Network, NetworkConfig
@@ -68,6 +81,13 @@ class SimConfig:
     gcs_op_service: float = 20e-6  # per single-key chain write
     spillback_threshold: int = 16
     locality_aware: bool = True
+    # Pluggable scheduling: the same registry names / SchedulerPolicy and
+    # SpillbackPolicy objects the live runtime accepts
+    # (repro.core.scheduling).  None selects the paper defaults —
+    # lowest_wait (honoring ``locality_aware``) over a backlog-threshold
+    # spillback.
+    scheduler_policy: Any = None
+    spillback_policy: Any = None
     # Data plane.
     network: NetworkConfig = field(default_factory=NetworkConfig)
     transfer_streams: int = 8
@@ -129,6 +149,23 @@ class SimCluster:
         self._avg_duration = 0.001
         self._task_seq = itertools.count()
 
+        # The placement policy and spillback rule — the very classes the
+        # live runtime loads via repro.init(scheduler_policy=...).
+        if self.config.scheduler_policy is None:
+            self.policy = LowestEstimatedWaitPolicy(
+                locality_aware=self.config.locality_aware
+            )
+        else:
+            self.policy = make_policy(self.config.scheduler_policy)
+        self.spillback = make_spillback(
+            self.config.spillback_policy,
+            threshold=self.config.spillback_threshold,
+        )
+        # Placement-decision cost in *wall* time (the simulated clock never
+        # advances during a decision): the league table's µs-per-decision.
+        self.placement_decisions = 0
+        self.placement_wall_seconds = 0.0
+
     # ------------------------------------------------------------------
     # Data placement
     # ------------------------------------------------------------------
@@ -173,7 +210,9 @@ class SimCluster:
         schedule_locally = (
             node.alive
             and node.feasible(task)
-            and node.backlog < self.config.spillback_threshold
+            and not self.spillback.should_forward(
+                self._task_view(task), SimNodeView(node, 0)
+            )
         )
         if schedule_locally:
             self.tasks_local += 1
@@ -187,24 +226,44 @@ class SimCluster:
         yield from self._execute_on(task, target, category)
         done.succeed(self.engine.now - started)
 
+    @staticmethod
+    def _task_view(task: SimTask) -> TaskView:
+        resources = {"CPU": float(task.num_cpus)}
+        if task.num_gpus:
+            resources["GPU"] = float(task.num_gpus)
+        return TaskView(
+            key=task.name, name=task.name, resources=resources, deps=task.deps
+        )
+
+    def _cluster_view(self, task: SimTask, candidates: List[SimNode]) -> ClusterView:
+        """Same decision inputs the runtime's view carries: backlogs and
+        free resources per node, dependency sizes + locations (one lookup
+        per dependency), EWMA duration, and effective NIC bandwidth."""
+        deps: Dict[str, DepInfo] = {}
+        for dep in task.deps:
+            if dep in deps or dep not in self.object_size:
+                continue
+            deps[dep] = DepInfo(
+                self.object_size[dep],
+                frozenset(self.object_locations.get(dep, ())),
+            )
+        return ClusterView(
+            nodes=[SimNodeView(node, i) for i, node in enumerate(candidates)],
+            deps=deps,
+            avg_task_duration=self._avg_duration,
+            bandwidth=self.network.effective_bandwidth(self.config.transfer_streams),
+        )
+
     def _pick_global(self, task: SimTask) -> SimNode:
         candidates = [n for n in self.nodes if n.alive and n.feasible(task)]
         if not candidates:
             raise SimulationError(f"no feasible node for task {task.name}")
-        streams_bw = self.network.effective_bandwidth(self.config.transfer_streams)
-
-        def estimated_wait(node: SimNode) -> float:
-            wait = node.backlog * self._avg_duration
-            if self.config.locality_aware:
-                remote_bytes = sum(
-                    self.object_size.get(dep, 0)
-                    for dep in task.deps
-                    if dep not in node.store
-                )
-                wait += remote_bytes / streams_bw
-            return wait
-
-        return min(candidates, key=lambda n: (estimated_wait(n), n.index))
+        view = self._cluster_view(task, candidates)
+        start = _time.perf_counter()
+        placement = self.policy.place(self._task_view(task), view)
+        self.placement_wall_seconds += _time.perf_counter() - start
+        self.placement_decisions += 1
+        return placement.node.node
 
     # ------------------------------------------------------------------
     # Execution
@@ -220,18 +279,16 @@ class SimCluster:
                     self.engine.process(self._fetch(dep, node)) for dep in missing
                 ]
                 yield self.engine.all_of(fetches)
-            # Acquire resources.
-            for _ in range(task.num_cpus):
-                yield node.cores.acquire()
+            # Acquire resources atomically: a wide task holds nothing while
+            # it waits, so concurrent multi-core tasks cannot deadlock each
+            # other with partial allocations.
+            yield node.cores.acquire_many(task.num_cpus)
             if task.num_gpus:
-                for _ in range(task.num_gpus):
-                    yield node.gpus.acquire()
+                yield node.gpus.acquire_many(task.num_gpus)
             yield self.engine.timeout(task.duration)
-            for _ in range(task.num_cpus):
-                node.cores.release()
+            node.cores.release_many(task.num_cpus)
             if task.num_gpus:
-                for _ in range(task.num_gpus):
-                    node.gpus.release()
+                node.gpus.release_many(task.num_gpus)
         finally:
             node.backlog -= 1
         if not node.alive:

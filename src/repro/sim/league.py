@@ -1,0 +1,140 @@
+"""The scheduler policy league: race every registered policy in the sim.
+
+One :func:`race` call runs each (policy, workload) pair on a fresh
+simulated cluster and returns league-table rows — tasks/sec, p50/p99 task
+latency, and the *wall-clock* microseconds each placement decision cost
+(simulated time never advances during a decision, so the two clocks
+measure different things: the first three columns are workload outcomes,
+the last is the policy's own compute price).
+
+Everything except ``placement_us`` is a pure function of
+``(policy, workload, tasks, num_nodes, seed)``: the simulator is
+deterministic, workload generators are seeded, and policies carry their
+own seeded RNGs — so same-seed league tables are byte-identical
+(``tests/test_scheduler_policies.py`` pins this).
+
+The policy objects raced here are the *same classes* the live runtime
+loads via ``repro.init(scheduler_policy=...)`` — there is no simulator
+reimplementation of placement to drift out of sync.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.scheduling import available_policies, make_policy
+from repro.sim.cluster import SimCluster, SimConfig
+from repro.sim.workloads import empty_tasks, fanin_tasks, skewed_actor_tasks
+
+#: The three league workload shapes (ISSUE: embarrassingly parallel
+#: no-ops, locality-heavy wide fan-in, skewed actor-heavy).
+WORKLOADS = ("ep_noop", "locality_fanin", "skewed_actors")
+
+#: Placement policies that only make sense with a specific spillback rule:
+#: the Dask-style central queue routes *every* task through the central
+#: decision point.
+POLICY_SPILLBACK: Dict[str, str] = {"central_queue": "always"}
+
+
+def build_workload(
+    name: str, cluster: SimCluster, count: int, seed: int
+) -> tuple:
+    """(tasks, origins) for one league workload on ``cluster``."""
+    import random
+
+    rng = random.Random(seed ^ 0xA5A5)
+    live = cluster.live_node_indices()
+    if name == "ep_noop":
+        # Driver-submits pattern: all tasks enter on node 0 and fan out
+        # purely through scheduling.  A small nonzero duration lets backlog
+        # build so spillback (and hence placement) actually engages.
+        return empty_tasks(count, duration=1e-3), [live[0]] * count
+    if name == "locality_fanin":
+        tasks = fanin_tasks(cluster, count, seed=seed)
+        return tasks, [rng.choice(live) for _ in tasks]
+    if name == "skewed_actors":
+        tasks = skewed_actor_tasks(count, seed=seed)
+        # Hot-node skew: 70% of submissions originate on two nodes.
+        hot = live[: max(1, len(live) // 8)]
+        origins = [
+            rng.choice(hot) if rng.random() < 0.7 else rng.choice(live)
+            for _ in tasks
+        ]
+        return tasks, origins
+    raise ValueError(f"unknown league workload {name!r}; known: {WORKLOADS}")
+
+
+def race_one(
+    policy: Any,
+    workload: str,
+    tasks: int,
+    num_nodes: int = 32,
+    cpus_per_node: int = 16,
+    seed: int = 0,
+    spillback: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run one policy on one workload; returns a league-table row."""
+    policy_obj = make_policy(policy)
+    if spillback is None:
+        spillback = POLICY_SPILLBACK.get(policy_obj.name)
+    cluster = SimCluster(
+        SimConfig(
+            num_nodes=num_nodes,
+            cpus_per_node=cpus_per_node,
+            scheduler_policy=policy_obj,
+            spillback_policy=spillback,
+        )
+    )
+    task_list, origins = build_workload(workload, cluster, tasks, seed)
+    latencies = cluster.run_all(task_list, origins=origins)
+    makespan = cluster.engine.now
+    ordered = sorted(latencies)
+    n = len(ordered)
+    decisions = cluster.placement_decisions
+    return {
+        "policy": policy_obj.name,
+        "workload": workload,
+        "tasks": n,
+        "num_nodes": num_nodes,
+        "seed": seed,
+        "makespan_s": makespan,
+        "tasks_per_sec": (n / makespan) if makespan > 0 else float("inf"),
+        "p50_latency_ms": ordered[n // 2] * 1e3,
+        "p99_latency_ms": ordered[min(n - 1, (99 * n) // 100)] * 1e3,
+        "mean_latency_ms": sum(ordered) / n * 1e3,
+        "forwarded": cluster.tasks_forwarded,
+        "scheduled_locally": cluster.tasks_local,
+        "placement_decisions": decisions,
+        # Wall-clock cost of the policy itself; excluded from the
+        # determinism contract (everything above is seed-exact).
+        "placement_us": (
+            cluster.placement_wall_seconds / decisions * 1e6 if decisions else 0.0
+        ),
+    }
+
+
+def race(
+    policies: Optional[Sequence[Any]] = None,
+    workloads: Sequence[str] = WORKLOADS,
+    tasks: int = 100_000,
+    num_nodes: int = 32,
+    cpus_per_node: int = 16,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """Race ``policies`` (default: the whole registry) across ``workloads``."""
+    if policies is None:
+        policies = available_policies()
+    rows = []
+    for workload in workloads:
+        for policy in policies:
+            rows.append(
+                race_one(
+                    policy,
+                    workload,
+                    tasks,
+                    num_nodes=num_nodes,
+                    cpus_per_node=cpus_per_node,
+                    seed=seed,
+                )
+            )
+    return rows

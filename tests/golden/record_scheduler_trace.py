@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Record the golden placement trace for the default scheduler policy.
+
+Replays the deterministic scenario in ``scenario.py`` through
+``GlobalScheduler.schedule`` and writes every placement decision to
+``scheduler_trace.json``.  The checked-in trace was recorded **before** the
+policy-layer refactor (PR 6) against the hard-coded
+lowest-estimated-waiting-time body; the equivalence test in
+``tests/test_scheduler_policies.py`` replays the identical scenario through
+the extracted ``lowest_wait`` policy and asserts identical placements.
+
+Regenerate only if the *scenario* changes (never to paper over a policy
+behaviour change):
+
+    PYTHONPATH=src:tests/golden python tests/golden/record_scheduler_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.core.global_scheduler import GlobalScheduler
+
+from scenario import SCENARIO_SEED, run_trace
+
+
+def main() -> None:
+    placements = run_trace(
+        lambda gcs, get_nodes: GlobalScheduler(gcs, get_nodes=get_nodes)
+    )
+    out = os.path.join(os.path.dirname(__file__), "scheduler_trace.json")
+    with open(out, "w") as fh:
+        json.dump({"seed": SCENARIO_SEED, "placements": placements}, fh)
+    print(f"recorded {len(placements)} placements -> {out}")
+
+
+if __name__ == "__main__":
+    main()

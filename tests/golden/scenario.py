@@ -1,0 +1,158 @@
+"""Deterministic synthetic cluster scenario for the golden scheduler trace.
+
+The scenario drives a :class:`GlobalScheduler` (old hard-coded body or new
+policy-backed one — both duck-type the same surface) through 160 placement
+decisions over a 6-node cluster whose backlogs, available resources, and
+object locations evolve deterministically.  It exercises every branch of
+the lowest-estimated-waiting-time policy: idle ties (round-robin), queue
+pressure, the cannot-acquire-now penalty, locality pull from large remote
+inputs, GPU feasibility filtering, a node death mid-trace, and EWMA
+duration/bandwidth updates between decisions.
+
+``run_trace`` returns the sequence of chosen node indices; the recorder
+writes it to ``scheduler_trace.json`` and the equivalence test replays it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.common.ids import FunctionID, NodeID, ObjectID, TaskID
+from repro.core.task_spec import ArgRef, TaskSpec
+
+SCENARIO_SEED = 20260807
+NUM_NODES = 6
+NUM_DECISIONS = 160
+NUM_OBJECTS = 40
+
+
+class FakeResources:
+    """Duck-types the two ResourcePool queries the scheduler makes."""
+
+    def __init__(self, total: Dict[str, float]):
+        self.total = dict(total)
+        self.available_now = dict(total)
+
+    def can_ever_satisfy(self, request: Dict[str, float]) -> bool:
+        return all(self.total.get(k, 0.0) >= v for k, v in request.items())
+
+    def can_acquire_now(self, request: Dict[str, float]) -> bool:
+        return all(self.available_now.get(k, 0.0) >= v for k, v in request.items())
+
+
+class FakeLocalScheduler:
+    def __init__(self) -> None:
+        self.backlog_value = 0
+
+    def backlog(self) -> int:
+        return self.backlog_value
+
+
+class FakeNode:
+    def __init__(self, index: int, total: Dict[str, float]):
+        self.index = index
+        self.node_id = NodeID.from_seed(f"golden-node-{index}")
+        self.alive = True
+        self.resources = FakeResources(total)
+        self.local_scheduler = FakeLocalScheduler()
+
+
+class FakeEntry:
+    def __init__(self, size: int, locations):
+        self.size = size
+        self.locations = set(locations)
+        self.task_id = None
+
+
+class FakeGcs:
+    def __init__(self) -> None:
+        self.entries: Dict[ObjectID, FakeEntry] = {}
+
+    def get_object_entry(self, object_id: ObjectID):
+        return self.entries.get(object_id)
+
+
+def build_scenario(rng: random.Random):
+    """(nodes, gcs, steps): a fully precomputed decision scenario."""
+    nodes: List[FakeNode] = []
+    for i in range(NUM_NODES):
+        total = {"CPU": 4.0}
+        if i >= 4:  # two GPU nodes
+            total["GPU"] = 2.0
+        nodes.append(FakeNode(i, total))
+
+    gcs = FakeGcs()
+    object_ids: List[ObjectID] = []
+    for i in range(NUM_OBJECTS):
+        oid = ObjectID.from_seed(f"golden-obj-{i}")
+        object_ids.append(oid)
+        size = rng.choice([1_000, 100_000, 10_000_000, 500_000_000])
+        holders = rng.sample(range(NUM_NODES), k=rng.choice([1, 1, 2]))
+        gcs.entries[oid] = FakeEntry(
+            size, [nodes[h].node_id for h in holders]
+        )
+
+    steps = []
+    for i in range(NUM_DECISIONS):
+        step: Dict[str, object] = {}
+        # Evolving load: backlogs drift, resource availability flips.
+        step["backlogs"] = [
+            max(0, int(rng.gauss(8, 6))) if rng.random() < 0.7 else 0
+            for _ in range(NUM_NODES)
+        ]
+        step["available"] = []
+        for node in nodes:
+            if rng.random() < 0.25:  # saturated right now
+                step["available"].append({k: 0.0 for k in node.resources.total})
+            else:
+                step["available"].append(dict(node.resources.total))
+        step["duration_sample"] = (
+            rng.choice([0.0005, 0.002, 0.05, 0.4]) if rng.random() < 0.5 else None
+        )
+        step["transfer_sample"] = (
+            (rng.choice([10_000, 1_000_000, 50_000_000]), rng.uniform(0.001, 0.1))
+            if rng.random() < 0.3
+            else None
+        )
+        # Node 3 dies two thirds of the way through the trace.
+        step["kill_node"] = 3 if i == (2 * NUM_DECISIONS) // 3 else None
+
+        resources = rng.choice(
+            [{"CPU": 1.0}, {"CPU": 1.0}, {"CPU": 2.0}, {"GPU": 1.0}]
+        )
+        deps = tuple(
+            ArgRef(rng.choice(object_ids)) for _ in range(rng.choice([0, 0, 1, 1, 2, 3]))
+        )
+        step["spec"] = TaskSpec(
+            task_id=TaskID.from_seed(f"golden-task-{i}"),
+            function_id=FunctionID.from_seed("golden-fn"),
+            function_name=f"golden-{i}",
+            args=deps,
+            kwargs=(),
+            num_returns=1,
+            resources=resources,
+        )
+        steps.append(step)
+    return nodes, gcs, steps
+
+
+def run_trace(make_scheduler: Callable) -> List[int]:
+    """Replay the scenario through ``make_scheduler(gcs, get_nodes)``."""
+    rng = random.Random(SCENARIO_SEED)
+    nodes, gcs, steps = build_scenario(rng)
+    scheduler = make_scheduler(gcs, lambda: list(nodes))
+    placements: List[int] = []
+    for step in steps:
+        for node, backlog in zip(nodes, step["backlogs"]):
+            node.local_scheduler.backlog_value = backlog
+        for node, available in zip(nodes, step["available"]):
+            node.resources.available_now = available
+        if step["duration_sample"] is not None:
+            scheduler.report_task_duration(step["duration_sample"])
+        if step["transfer_sample"] is not None:
+            scheduler.report_transfer(*step["transfer_sample"])
+        if step["kill_node"] is not None:
+            nodes[step["kill_node"]].alive = False
+        placements.append(scheduler.schedule(step["spec"]).index)
+    return placements
