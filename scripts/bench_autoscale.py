@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Closed-loop autoscaler benchmark: a chaos-driven 10x load spike.
+
+Boots a small reporter-enabled cluster with the autoscaler attached and
+drives three load phases through it:
+
+* **baseline** — light steady load on the starting cluster; establishes
+  the reference p99 task latency.
+* **spike** — 10x the batch size, with a planned chaos fault (a node kill
+  via ``FaultSchedule``) landing at the spike's first batches, so the
+  autoscaler faces overload *and* a shrunk cluster at once.  The policy
+  loop must scale up (first restarting the killed node, then growing to
+  ``max_nodes``) and pull p99 back under the bound before the phase ends.
+* **recovery** — load returns to baseline; sustained idleness must scale
+  the cluster back down.
+
+Latency is measured closed-loop: every task receives its submission
+timestamp and returns ``monotonic() - submit_ts`` at execution start plus
+its service time, so the distribution captures queueing + scheduling +
+execution — exactly what the autoscaler bounds.
+
+The run's verdict is read back *through the dashboard*: the scale-up and
+scale-down decisions must appear as ordered entries in the ``/events``
+HTTP timeline, with the triggering metric values attached.  A final
+overhead guard mirrors PR 2's metrics bench: a fixed task batch with
+reporters enabled must cost < 2x the disabled-mode run.
+
+Writes ``BENCH_autoscale.json``.  Run as:
+
+    PYTHONPATH=src python scripts/bench_autoscale.py [--smoke] [-o PATH]
+
+``--smoke`` shrinks the phases for CI and asserts the decision sequence
+(scale-up then scale-down) rather than the latency bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+import repro
+from repro.common.faults import (
+    KILL_NODE,
+    FaultAction,
+    FaultSchedule,
+    FaultTrigger,
+    PlannedFault,
+)
+from repro.tools.autoscaler import Autoscaler, AutoscalerConfig
+from repro.tools.http_dashboard import DashboardServer
+
+
+@repro.remote
+def probe(submit_ts, service_seconds):
+    waited = time.monotonic() - submit_ts
+    time.sleep(service_seconds)
+    return waited + service_seconds
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_phase(batch_size, num_batches, service_seconds):
+    """Closed-loop load: submit a batch, wait for it, repeat."""
+    latencies = []
+    for _ in range(num_batches):
+        futures = [
+            probe.remote(time.monotonic(), service_seconds)
+            for _ in range(batch_size)
+        ]
+        latencies.extend(repro.get(futures))
+    return latencies
+
+
+def summarize(name, latencies, live_nodes):
+    return {
+        "phase": name,
+        "tasks": len(latencies),
+        "p50_seconds": percentile(latencies, 0.50),
+        "p99_seconds": percentile(latencies, 0.99),
+        "mean_seconds": sum(latencies) / len(latencies) if latencies else 0.0,
+        "live_nodes_at_end": live_nodes,
+    }
+
+
+def fetch_events(address, since=0):
+    url = f"{address}/events?since={since}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_scenario(smoke):
+    batches = 6 if smoke else 12
+    baseline_batch, spike_batch = 4, 40  # the 10x spike
+    service = 0.02
+    # Chaos: kill the second node (never the driver's) once the spike's
+    # load starts flowing — task-count trigger just past the baseline.
+    baseline_tasks = baseline_batch * batches
+    schedule = FaultSchedule(
+        faults=[
+            PlannedFault(
+                trigger=FaultTrigger(after_tasks=baseline_tasks + spike_batch),
+                action=FaultAction(KILL_NODE, target=1),
+            )
+        ]
+    )
+    runtime = repro.init(
+        num_nodes=2,
+        num_cpus_per_node=2,
+        reporters_enabled=True,
+        reporter_interval_seconds=0.05,
+        fault_schedule=schedule,
+    )
+    server = runtime.register_ops(DashboardServer(runtime).start())
+    scaler_config = AutoscalerConfig(
+        high_watermark=3.0,
+        low_watermark=0.5,
+        hysteresis=2,
+        cooldown_seconds=0.3,
+        min_nodes=2,
+        max_nodes=6,
+        interval=0.05,
+    )
+    scaler = runtime.register_ops(Autoscaler(runtime, scaler_config))
+    scaler.start()
+    try:
+        baseline = run_phase(baseline_batch, batches, service)
+        spike = run_phase(spike_batch, batches, service)
+        # Late-spike window: the batches after the policy had time to act.
+        late_spike = spike[-(len(spike) // 4 or 1):]
+        spike_peak_nodes = len(runtime.live_nodes())
+        recovery = run_phase(baseline_batch, batches, service)
+        # Give sustained idleness a moment to finish draining back down.
+        deadline = time.monotonic() + (3.0 if smoke else 8.0)
+        while (
+            len(runtime.live_nodes()) > scaler_config.min_nodes
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+
+        timeline = fetch_events(server.address)
+        decisions = [
+            e for e in timeline["events"]
+            if e["category"] == "autoscaler_decision"
+        ]
+        faults = [
+            e for e in timeline["events"] if e["category"] == "fault_injected"
+        ]
+        result = {
+            "config": {
+                "baseline_batch": baseline_batch,
+                "spike_batch": spike_batch,
+                "batches_per_phase": batches,
+                "service_seconds": service,
+                "high_watermark": scaler_config.high_watermark,
+                "low_watermark": scaler_config.low_watermark,
+                "hysteresis": scaler_config.hysteresis,
+                "cooldown_seconds": scaler_config.cooldown_seconds,
+                "min_nodes": scaler_config.min_nodes,
+                "max_nodes": scaler_config.max_nodes,
+            },
+            "phases": [
+                summarize("baseline", baseline, 2),
+                summarize("spike", spike, spike_peak_nodes),
+                summarize("recovery", recovery, len(runtime.live_nodes())),
+            ],
+            "late_spike_p99_seconds": percentile(late_spike, 0.99),
+            "chaos_faults_injected": faults,
+            "decisions": decisions,
+            "nodes_at_peak": spike_peak_nodes,
+            "nodes_at_end": len(runtime.live_nodes()),
+        }
+    finally:
+        repro.shutdown()
+    return result
+
+
+def check(result, smoke):
+    """The acceptance gates; returns the list of verdict strings."""
+    verdicts = []
+    decisions = result["decisions"]
+    ups = [d["seq"] for d in decisions if d["action"] == "scale_up"]
+    downs = [d["seq"] for d in decisions if d["action"] == "scale_down"]
+    if not ups:
+        raise SystemExit("FAIL: autoscaler never scaled up during the spike")
+    if not downs:
+        raise SystemExit("FAIL: autoscaler never scaled down after recovery")
+    if min(ups) >= max(downs):
+        raise SystemExit(
+            f"FAIL: decisions out of order: first scale_up seq {min(ups)} "
+            f"not before last scale_down seq {max(downs)}"
+        )
+    verdicts.append(
+        f"decisions ordered: {len(ups)} scale_up then {len(downs)} scale_down"
+    )
+    if not result["chaos_faults_injected"]:
+        raise SystemExit("FAIL: the planned chaos fault never fired")
+    verdicts.append("chaos node kill visible in the /events timeline")
+    if result["nodes_at_peak"] <= 2:
+        raise SystemExit(
+            f"FAIL: cluster never grew past its start size "
+            f"(peak {result['nodes_at_peak']})"
+        )
+    verdicts.append(f"cluster grew to {result['nodes_at_peak']} nodes at peak")
+    baseline_p99 = result["phases"][0]["p99_seconds"]
+    late_p99 = result["late_spike_p99_seconds"]
+    recovery_p99 = result["phases"][2]["p99_seconds"]
+    bound = max(6.0 * baseline_p99, 0.5)
+    result["p99_bound_seconds"] = bound
+    if not smoke:
+        if late_p99 > bound:
+            raise SystemExit(
+                f"FAIL: late-spike p99 {late_p99:.3f}s above bound {bound:.3f}s"
+            )
+        if recovery_p99 > bound:
+            raise SystemExit(
+                f"FAIL: recovery p99 {recovery_p99:.3f}s above bound {bound:.3f}s"
+            )
+    verdicts.append(
+        f"p99 baseline {baseline_p99 * 1e3:.0f}ms, late-spike "
+        f"{late_p99 * 1e3:.0f}ms, recovery {recovery_p99 * 1e3:.0f}ms "
+        f"(bound {bound * 1e3:.0f}ms)"
+    )
+    return verdicts
+
+
+def measure_overhead(smoke):
+    """PR 2-style guard: the same batch with reporters on vs off."""
+    num_tasks = 100 if smoke else 300
+    timings = {}
+    for label, enabled in (("disabled", False), ("enabled", True)):
+        best = None
+        for _ in range(2 if smoke else 3):
+            repro.init(
+                num_nodes=2,
+                num_cpus_per_node=4,
+                reporters_enabled=enabled,
+                reporter_interval_seconds=0.05,
+            )
+            try:
+                started = time.perf_counter()
+                repro.get(
+                    [probe.remote(time.monotonic(), 0.0) for _ in range(num_tasks)]
+                )
+                elapsed = time.perf_counter() - started
+            finally:
+                repro.shutdown()
+            best = elapsed if best is None else min(best, elapsed)
+        timings[label] = best
+    ratio = timings["enabled"] / timings["disabled"]
+    if ratio >= 2.0:
+        raise SystemExit(
+            f"FAIL: reporters cost {ratio:.2f}x on a {num_tasks}-task batch"
+        )
+    return {
+        "tasks": num_tasks,
+        "disabled_seconds": timings["disabled"],
+        "enabled_seconds": timings["enabled"],
+        "ratio": ratio,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI run: phase ordering asserted, "
+                             "latency bound informational")
+    parser.add_argument("-o", "--output", default="BENCH_autoscale.json")
+    args = parser.parse_args()
+
+    result = run_scenario(args.smoke)
+    result["verdicts"] = check(result, args.smoke)
+    result["reporter_overhead"] = measure_overhead(args.smoke)
+    result["mode"] = "smoke" if args.smoke else "full"
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    for verdict in result["verdicts"]:
+        print("OK:", verdict)
+    print(
+        "OK: reporter overhead %.2fx on %d tasks"
+        % (result["reporter_overhead"]["ratio"],
+           result["reporter_overhead"]["tasks"])
+    )
+    print("wrote", args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

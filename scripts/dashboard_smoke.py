@@ -20,10 +20,14 @@ JSON_ENDPOINTS = (
     "/snapshot",
     "/profile",
     "/trace",
+    "/timeline_trace",
     "/tasks",
     "/waits",
     "/metrics.json",
     "/critical_path",
+    "/nodes",
+    "/cluster_load",
+    "/events",
 )
 
 REQUIRED_SERIES = (
@@ -92,8 +96,39 @@ def check_prometheus(body):
         raise SystemExit(f"FAIL: /metrics missing documented series: {missing}")
 
 
+def check_ops_plane(address):
+    """The PR 7 surface: reporter-backed /nodes and the /events cursor."""
+    nodes = strict_loads(fetch(address, "/nodes"))
+    if nodes["source"] != "reporters":
+        raise SystemExit(f"FAIL: /nodes not reporter-backed: {nodes['source']}")
+    if nodes["num_alive"] != 2:
+        raise SystemExit(f"FAIL: /nodes num_alive {nodes['num_alive']} != 2")
+    for node in nodes["nodes"]:
+        if "backlog" not in node.get("report", {}):
+            raise SystemExit(f"FAIL: /nodes row missing reporter fields: {node}")
+    detail = strict_loads(
+        fetch(address, "/nodes/" + nodes["nodes"][0]["node_id"][:8])
+    )
+    if detail["node_id"] != nodes["nodes"][0]["node_id"]:
+        raise SystemExit("FAIL: /nodes/<prefix> returned the wrong node")
+
+    full = strict_loads(fetch(address, "/events"))
+    seqs = [e["seq"] for e in full["events"]]
+    if not seqs or seqs != sorted(seqs):
+        raise SystemExit(f"FAIL: /events not a non-empty ordered stream: {seqs}")
+    cursor, paged = 0, []
+    while True:
+        page = strict_loads(fetch(address, f"/events?since={cursor}&limit=5"))
+        if not page["events"]:
+            break
+        paged.extend(e["seq"] for e in page["events"])
+        cursor = page["next_cursor"]
+    if paged != seqs:
+        raise SystemExit("FAIL: /events cursor pagination lost or re-sent events")
+
+
 def main():
-    repro.init(num_nodes=2, num_cpus_per_node=2)
+    repro.init(num_nodes=2, num_cpus_per_node=2, reporters_enabled=True)
     server = DashboardServer(repro.api._global_runtime).start()
     try:
         # Mixed workload: a dependency chain, parallel tasks, actor calls.
@@ -113,6 +148,7 @@ def main():
             strict_loads(fetch(server.address, path))
 
         check_prometheus(fetch(server.address, "/metrics"))
+        check_ops_plane(server.address)
 
         report = strict_loads(fetch(server.address, "/critical_path"))
         if len(report["steps"]) < 4:
@@ -124,7 +160,8 @@ def main():
 
         print(
             "dashboard smoke OK: / + %d JSON endpoints + /metrics "
-            "(%d documented series verified), critical path %d steps "
+            "(%d documented series verified) + ops plane "
+            "(/nodes reporter rows, /events cursor), critical path %d steps "
             "at %.1f%% coverage"
             % (
                 len(JSON_ENDPOINTS),

@@ -386,6 +386,27 @@ class FaultSchedule(NullFaultInjector):
         for index, fault in due:
             self._apply(index, fault, context_node_id, context_shard, context_chain)
 
+    @staticmethod
+    def _mirror_to_gcs(runtime: "Runtime", index: int, fault: PlannedFault,
+                       node: Any) -> None:
+        """Publish an applied node-level fault into the GCS event log.
+
+        This feeds the dashboard's merged ``/events`` timeline
+        (``fault_injected`` category).  The determinism contract is
+        untouched: ``--verify`` compares :meth:`event_log`, this schedule's
+        own wall-clock-free record.  Only node-level faults are mirrored —
+        chain-member kills fire from inside GCS chain write paths, where a
+        nested event append could recurse into the chain being mutated.
+        Runs outside the schedule's internal mutex.
+        """
+        runtime.gcs.record_event(
+            "fault_injected",
+            index=index,
+            kind=fault.action.kind,
+            trigger=fault.trigger.describe(),
+            node=node.node_id.hex()[:8],
+        )
+
     def _record(self, index: int, fault: PlannedFault, outcome: str) -> None:
         with self._lock:
             self._log.append(
@@ -424,6 +445,7 @@ class FaultSchedule(NullFaultInjector):
                     self._record(index, fault, "skipped")
                     return
                 self._record(index, fault, "applied")
+                self._mirror_to_gcs(runtime, index, fault, node)
                 runtime.kill_node(node.node_id)
             elif action.kind == RESTART_NODE:
                 node = self._resolve_node(runtime, action.target, context_node_id)
@@ -431,6 +453,7 @@ class FaultSchedule(NullFaultInjector):
                     self._record(index, fault, "skipped")
                     return
                 self._record(index, fault, "applied")
+                self._mirror_to_gcs(runtime, index, fault, node)
                 runtime.restart_node(node.node_id)
             else:  # KILL_CHAIN_MEMBER
                 chain = self._resolve_chain(runtime, action.target, context_chain)

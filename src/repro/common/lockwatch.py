@@ -54,6 +54,7 @@ __all__ = [
     "make_lock",
     "make_rlock",
     "make_condition",
+    "make_thread",
 ]
 
 
@@ -405,3 +406,16 @@ def make_condition(name: str):
     if watch is None:
         return threading.Condition()
     return watch.condition(name)
+
+
+def make_thread(target, name: str, daemon: bool = True) -> threading.Thread:
+    """The one audited thread-construction site for runtime components.
+
+    Every background thread the ops plane (reporters, autoscaler,
+    dashboard) spawns goes through here: the thread is always *named* (so
+    the witness's per-edge thread attribution and long-hold records point
+    at a real component, not ``Thread-7``) and the ``daemon`` decision is
+    explicit, which is exactly the contract the static RT-THREAD-LEAK rule
+    enforces at call sites.
+    """
+    return threading.Thread(target=target, name=name, daemon=daemon)

@@ -121,6 +121,12 @@ class RuntimeConfig:
     # First app-level retry waits this long; each further attempt doubles
     # it (capped).  Only used when a task sets max_retries > 0.
     retry_backoff_base: float = 0.02
+    # Ops plane: per-node reporters sampling scheduler/store/transfer
+    # pressure into the GCS node-report table (repro.tools.reporter).
+    # Default off; disabled mode is one attribute check on the node
+    # lifecycle paths (the NULL_FAULTS pattern).
+    reporters_enabled: bool = False
+    reporter_interval_seconds: float = 0.25
 
 
 class Node:
@@ -251,6 +257,16 @@ class Runtime:
         # concurrent submitters without a lock.
         self._scheduler_rr = itertools.count()
 
+        # Ops plane (PR 7).  _reporters_enabled is immutable after init —
+        # every node-lifecycle hook pays one attribute check when the
+        # plane is off.  _ops_components collects head-side components
+        # (dashboard server, autoscaler) whose threads shutdown() must
+        # stop.
+        self._reporters_enabled = config.reporters_enabled
+        self._ops_lock = make_lock("Runtime._ops_lock")
+        self._reporters: Dict[NodeID, Any] = {}
+        self._ops_components: List[Any] = []
+
         # Node-table guard: add_node/kill_node/restart_node mutate these
         # from driver and chaos-injection threads while schedulers iterate
         # them (the same shape as the PR 3 TransferService._nodes race).
@@ -341,6 +357,7 @@ class Runtime:
             self._nodes[node.node_id] = node
             self._node_order.append(node.node_id)
         self.transfer.register_node(node)
+        self._attach_reporter(node)
         return node
 
     def kill_node(self, node_id: NodeID) -> None:
@@ -365,6 +382,7 @@ class Runtime:
         # by its (dropped) store; purge them so the reused NodeID starts
         # clean if the node is restarted.
         self.fetcher.forget_node(node_id)
+        self._detach_reporter(node_id, tombstone=True)
         self.gcs.record_event("node_death", node=node_id.hex()[:8], lost=len(lost))
         for spec in drained:
             if spec.actor_id is None:
@@ -419,8 +437,52 @@ class Runtime:
         with self._nodes_lock:
             self._nodes[node_id] = node
         self.transfer.register_node(node)
+        self._attach_reporter(node)
         self.gcs.record_event("node_restart", node=node_id.hex()[:8])
         return node
+
+    # ------------------------------------------------------------------
+    # Ops plane: per-node reporters and head-side components
+    # ------------------------------------------------------------------
+
+    def _attach_reporter(self, node: Node) -> None:
+        """Start a reporter for ``node`` (no-op when reporters are off)."""
+        if not self._reporters_enabled:
+            return
+        from repro.tools.reporter import NodeReporter
+
+        reporter = NodeReporter(
+            self, node, interval=self.config.reporter_interval_seconds
+        )
+        with self._ops_lock:
+            self._reporters[node.node_id] = reporter
+        reporter.start()
+        # Publish the first row immediately so /nodes reflects a new node
+        # before the first interval elapses.
+        reporter.report_once()
+
+    def _detach_reporter(self, node_id: NodeID, tombstone: bool) -> None:
+        """Stop ``node_id``'s reporter, tombstoning its last-seen row on
+        the node-death path (no-op when reporters are off)."""
+        if not self._reporters_enabled:
+            return
+        with self._ops_lock:
+            reporter = self._reporters.pop(node_id, None)
+        if reporter is not None:
+            reporter.stop(tombstone=tombstone)
+
+    def node_reporter(self, node_id: NodeID):
+        """The live reporter for ``node_id``, or None."""
+        with self._ops_lock:
+            return self._reporters.get(node_id)
+
+    def register_ops(self, component: Any) -> Any:
+        """Track a head-side ops component (dashboard server, autoscaler)
+        so ``shutdown()`` stops its threads.  ``component.stop()`` must be
+        idempotent.  Returns the component for chaining."""
+        with self._ops_lock:
+            self._ops_components.append(component)
+        return component
 
     # ------------------------------------------------------------------
     # Scheduling entry points
@@ -1088,6 +1150,17 @@ class Runtime:
         if self.stopped:
             return
         self.stopped = True
+        # Ops plane first: the autoscaler must not resize a cluster that
+        # is quiescing, and reporters must not publish rows mid-teardown.
+        with self._ops_lock:
+            components = list(self._ops_components)
+            self._ops_components.clear()
+            reporters = list(self._reporters.values())
+            self._reporters.clear()
+        for component in components:
+            component.stop()
+        for reporter in reporters:
+            reporter.stop()
         self.actors.shutdown()
         for node in self.nodes():
             node.local_scheduler.stop()

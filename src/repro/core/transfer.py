@@ -355,6 +355,14 @@ class ObjectFetcher:
             for key in [k for k in self._inflight if k[0] == node_id]:
                 del self._inflight[key]
 
+    def inflight_count(self, node_id: NodeID) -> int:
+        """Number of fetches currently in flight *toward* ``node_id``.
+
+        Sampled by the per-node reporter as a transfer-pressure signal.
+        """
+        with self._inflight_lock:
+            return sum(1 for k in self._inflight if k[0] == node_id)
+
     def ensure_local(self, object_id: ObjectID, node: "Node") -> None:
         """Arrange for ``object_id`` to (eventually) appear in ``node``'s
         store.  Non-blocking: callers observe arrival through

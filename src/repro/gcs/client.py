@@ -9,7 +9,9 @@ chain-replicated KV store, mirroring the paper's Redis usage.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.lockwatch import make_rlock
@@ -30,6 +32,7 @@ _FUNC = "function"  # function table
 _ACTOR = "actor"  # actor table
 _ACTOR_NAME = "actor_name"  # user-visible name -> actor id
 _EVENT = "event"  # event log
+_NODE_REPORT = "node_report"  # per-node reporter snapshot rows
 
 
 class GlobalControlStore:
@@ -51,6 +54,10 @@ class GlobalControlStore:
             faults=faults,
         )
         self._lock = make_rlock("GlobalControlStore._lock")
+        # Cluster-wide event sequence: itertools.count() is C-implemented,
+        # so next() is atomic — every recorded event gets a unique,
+        # monotonically increasing timeline position without a lock.
+        self._event_seq = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Function table
@@ -162,7 +169,7 @@ class GlobalControlStore:
             ops.append((
                 "append",
                 (_EVENT, event[0]),
-                EventRecord.make(event[0], **event[1]),
+                self._stamped_event(event[0], event[1]),
             ))
         self.kv.batch(ops)
 
@@ -313,11 +320,88 @@ class GlobalControlStore:
     # Event log
     # ------------------------------------------------------------------
 
+    def _stamped_event(self, category: str, payload: Dict[str, Any]) -> EventRecord:
+        return EventRecord.make(category, **payload).stamp(
+            next(self._event_seq), time.time()
+        )
+
     def record_event(self, category: str, **payload: Any) -> None:
-        self.kv.append((_EVENT, category), EventRecord.make(category, **payload))
+        self.kv.append((_EVENT, category), self._stamped_event(category, payload))
 
     def events(self, category: str) -> List[EventRecord]:
         return self.kv.log((_EVENT, category))
+
+    def event_categories(self) -> List[str]:
+        """All event categories with at least one recorded entry."""
+        return sorted(
+            key[1]
+            for key in self.kv.keys()
+            if isinstance(key, tuple) and key[0] == _EVENT
+        )
+
+    def events_since(
+        self,
+        cursor: int = 0,
+        categories: Optional[List[str]] = None,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[EventRecord], int]:
+        """The merged cluster event timeline: every event with
+        ``seq > cursor``, across all (or the given) categories, in global
+        sequence order.
+
+        Returns ``(events, next_cursor)``; passing ``next_cursor`` back
+        yields only events recorded after this call — the dashboard's
+        since-cursor pagination.  ``limit`` caps the page size (the
+        remainder is picked up by the next page; ``next_cursor`` is the
+        last *returned* seq so nothing is skipped).  Unstamped legacy rows
+        (``seq == 0``) are only visible on a full read (``cursor=0``).
+        """
+        merged: List[EventRecord] = []
+        for category in categories or self.event_categories():
+            for record in self.kv.log((_EVENT, category)):
+                if record.seq > cursor or (cursor == 0 and record.seq == 0):
+                    merged.append(record)
+        merged.sort(key=lambda r: r.seq)
+        if limit is not None:
+            merged = merged[:limit]
+        next_cursor = merged[-1].seq if merged else cursor
+        return merged, next_cursor
+
+    # ------------------------------------------------------------------
+    # Node reporter table (the ops plane's per-node snapshot rows)
+    # ------------------------------------------------------------------
+
+    def publish_node_report(self, node_hex: str, row: Dict[str, Any]) -> None:
+        """Store the latest reporter snapshot for one node.
+
+        One row per node (put, not append): the row itself carries its
+        version (``seq``) and sample time (``ts``), so the head can detect
+        staleness without the GCS growing per sample.  Rows survive node
+        death as tombstones — ``tombstone_node_report`` rewrites the
+        last-seen row rather than deleting it.
+        """
+        self.kv.put((_NODE_REPORT, node_hex), dict(row))
+
+    def get_node_report(self, node_hex: str) -> Optional[Dict[str, Any]]:
+        return self.kv.get((_NODE_REPORT, node_hex))
+
+    def node_reports(self) -> Dict[str, Dict[str, Any]]:
+        """All reporter rows, keyed by node hex id (tombstones included)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in self.kv.keys():
+            if isinstance(key, tuple) and key[0] == _NODE_REPORT:
+                row = self.kv.get(key)
+                if row is not None:
+                    out[key[1]] = row
+        return out
+
+    def tombstone_node_report(self, node_hex: str) -> None:
+        """Mark a node's last-seen row dead, preserving its final sample."""
+        row = dict(self.kv.get((_NODE_REPORT, node_hex)) or {"node_id": node_hex})
+        row["alive"] = False
+        row["tombstone"] = True
+        row["tombstoned_at"] = time.time()
+        self.kv.put((_NODE_REPORT, node_hex), row)
 
     # ------------------------------------------------------------------
     # Introspection (debugging tools ride on the GCS — paper Section 7)

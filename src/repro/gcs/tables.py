@@ -72,17 +72,39 @@ class ActorTableEntry:
 
 @dataclass(frozen=True)
 class EventRecord:
-    """One entry of the GCS event log."""
+    """One entry of the GCS event log.
+
+    ``seq`` is a cluster-wide monotonically increasing sequence number
+    stamped by the GCS client at record time; it gives the merged event
+    *timeline* (dashboard ``/events``) a total order and a pagination
+    cursor across categories.  ``ts`` is the wall-clock record time.
+    Both default to zero so rows written by older code (or constructed
+    directly in tests) remain valid.
+    """
 
     category: str
     payload: Tuple[Tuple[str, Any], ...]
+    seq: int = 0
+    ts: float = 0.0
 
     @classmethod
     def make(cls, category: str, **payload: Any) -> "EventRecord":
         return cls(category=category, payload=tuple(sorted(payload.items())))
 
+    def stamp(self, seq: int, ts: float) -> "EventRecord":
+        """A copy of this record carrying a timeline sequence number."""
+        return EventRecord(
+            category=self.category, payload=self.payload, seq=seq, ts=ts
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         return dict(self.payload)
+
+    def as_timeline_dict(self) -> Dict[str, Any]:
+        """Payload plus the timeline envelope (seq, ts, category)."""
+        out: Dict[str, Any] = {"seq": self.seq, "ts": self.ts, "category": self.category}
+        out.update(self.payload)
+        return out
 
 
 @dataclass

@@ -61,16 +61,21 @@ def emit_report(payload, output=None, text=None, as_json=False) -> None:
 # The helpers above are defined before the submodule imports below on
 # purpose: submodules (chaos, analyze) import them from the partially
 # initialized package during their own import.
+from repro.tools.autoscaler import Autoscaler, AutoscalerConfig
 from repro.tools.chaos import ChaosReport, ChaosRunner, standard_workload
 from repro.tools.critical_path import CriticalPath, CriticalPathReport
+from repro.tools.dashboard_head import DashboardHead
 from repro.tools.inspect import ClusterInspector, ClusterSnapshot
 from repro.tools.profiler import FunctionProfile, Profiler
+from repro.tools.reporter import NodeReporter
 from repro.tools.timeline import TaskLifecycle, Timeline, TimelineSpan
 from repro.tools.http_dashboard import DashboardServer
 
 __all__ = [
     "build_cli_parser",
     "emit_report",
+    "Autoscaler",
+    "AutoscalerConfig",
     "ChaosReport",
     "ChaosRunner",
     "standard_workload",
@@ -78,6 +83,8 @@ __all__ = [
     "ClusterSnapshot",
     "CriticalPath",
     "CriticalPathReport",
+    "DashboardHead",
+    "NodeReporter",
     "Timeline",
     "TimelineSpan",
     "TaskLifecycle",

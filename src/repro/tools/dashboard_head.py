@@ -1,0 +1,225 @@
+"""The dashboard head: aggregation over per-node reporter streams.
+
+Sits between the GCS and the HTTP layer (:mod:`repro.tools.http_dashboard`)
+and is the ops plane's read side:
+
+* :meth:`DashboardHead.nodes_summary` — per-node panels, preferring
+  reporter rows (:mod:`repro.tools.reporter`) and falling back to
+  ``Runtime.nodes_info()`` when reporters are disabled, so ``/nodes``
+  always answers.
+* :meth:`DashboardHead.events` — the cluster event *timeline*: one
+  seq-ordered strict-JSON stream merging task lifecycle events (PR 2),
+  fault-injection events (PR 4), node death/rejoin, and autoscaler
+  decisions, with since-cursor pagination.
+* :meth:`DashboardHead.cluster_load` — the aggregate pressure signals
+  (backlog per live node, store utilization) the autoscaler's policy loop
+  watches; exposing them here keeps head and autoscaler reading the same
+  numbers.
+* :meth:`DashboardHead.timeline_trace` — Chrome trace export with one
+  lane per node plus instant marks for cluster events, so scale-ups and
+  node deaths are visible against the task spans that caused them.
+
+Everything is derived from the GCS (reporter table + event log); the only
+non-GCS input is the ``nodes_info()`` membership fallback — the paper's
+Figure 5 tooling-on-the-control-store shape.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.tools.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import Runtime
+
+__all__ = ["DashboardHead"]
+
+# Event categories rendered as instant marks in the node-lane trace.
+_TRACE_INSTANT_CATEGORIES = (
+    "node_death",
+    "node_restart",
+    "autoscaler_decision",
+    "fault_injected",
+)
+
+
+class DashboardHead:
+    """Aggregates GCS reporter rows and event logs for serving."""
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+
+    # -- per-node panels ---------------------------------------------------
+
+    def nodes_summary(self) -> Dict[str, Any]:
+        """Cluster membership with per-node load panels.
+
+        Each node's entry starts from the runtime membership snapshot
+        (``nodes_info()`` — always available) and is enriched with its
+        reporter row when one exists; ``source`` says which mode the
+        cluster is in so clients can tell a quiet cluster from a
+        reporters-off one.
+        """
+        reports = self.runtime.gcs.node_reports()
+        nodes: List[Dict[str, Any]] = []
+        seen = set()
+        for info in self.runtime.nodes_info():
+            node_hex = info["node_id"]
+            seen.add(node_hex)
+            entry = dict(info)
+            row = reports.get(node_hex)
+            if row is not None:
+                entry["report"] = row
+            nodes.append(entry)
+        # Tombstoned rows for nodes the runtime no longer lists (none
+        # today — kill_node keeps membership — but the table is the
+        # durable record, so serve it completely).
+        for node_hex, row in sorted(reports.items()):
+            if node_hex not in seen:
+                nodes.append(
+                    {"node_id": node_hex, "alive": False, "report": row}
+                )
+        return {
+            "source": "reporters" if reports else "runtime",
+            "num_nodes": len(nodes),
+            "num_alive": sum(1 for n in nodes if n.get("alive")),
+            "nodes": nodes,
+        }
+
+    def node_detail(self, node_ref: str) -> Optional[Dict[str, Any]]:
+        """One node's panel, addressed by full hex id or unique prefix."""
+        summary = self.nodes_summary()
+        matches = [
+            n for n in summary["nodes"]
+            if n["node_id"] == node_ref or n["node_id"].startswith(node_ref)
+        ]
+        if len(matches) != 1:
+            return None
+        return matches[0]
+
+    # -- aggregate load (shared with the autoscaler) -----------------------
+
+    def cluster_load(self) -> Dict[str, Any]:
+        """Aggregate pressure signals from the reporter rows.
+
+        Falls back to sampling the runtime directly when no reporter rows
+        exist yet, so the autoscaler still closes its loop with reporters
+        disabled.  ``backlog_per_node`` is the primary scale signal:
+        placed-but-unfinished tasks averaged over live nodes.
+        """
+        reports = self.runtime.gcs.node_reports()
+        live = [r for r in reports.values() if r.get("alive")]
+        if live:
+            backlog = sum(r.get("backlog", 0) for r in live)
+            queued = sum(r.get("queue_length", 0) for r in live)
+            utilizations = [r.get("store_utilization", 0.0) for r in live]
+            inflight = sum(r.get("transfers_inflight", 0) for r in live)
+            num_live = len(live)
+            source = "reporters"
+        else:
+            from repro.tools.reporter import sample_node
+
+            rows = [
+                sample_node(self.runtime, node)
+                for node in self.runtime.live_nodes()
+            ]
+            backlog = sum(r["backlog"] for r in rows)
+            queued = sum(r["queue_length"] for r in rows)
+            utilizations = [r["store_utilization"] for r in rows]
+            inflight = sum(r["transfers_inflight"] for r in rows)
+            num_live = len(rows)
+            source = "runtime"
+        return {
+            "source": source,
+            "num_live_nodes": num_live,
+            "backlog_total": backlog,
+            "backlog_per_node": backlog / num_live if num_live else 0.0,
+            "queue_total": queued,
+            "store_utilization_max": max(utilizations) if utilizations else 0.0,
+            "transfers_inflight": inflight,
+        }
+
+    # -- the event timeline ------------------------------------------------
+
+    def events(
+        self,
+        since: int = 0,
+        limit: Optional[int] = None,
+        categories: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """One page of the merged cluster event timeline.
+
+        ``since`` is the cursor returned by the previous page
+        (``next_cursor``); the first call passes 0.  Events are ordered by
+        their cluster-wide ``seq`` stamp, so interleavings across
+        categories (a ``node_death`` between two ``autoscaler_decision``
+        entries) are faithful to record order.
+        """
+        records, next_cursor = self.runtime.gcs.events_since(
+            cursor=since, categories=categories, limit=limit
+        )
+        return {
+            "events": [r.as_timeline_dict() for r in records],
+            "next_cursor": next_cursor,
+            "categories": self.runtime.gcs.event_categories(),
+        }
+
+    # -- Chrome trace with cluster-event marks -----------------------------
+
+    def timeline_trace(self) -> str:
+        """Node-lane Chrome trace plus instant marks for cluster events.
+
+        Task spans carry ``perf_counter`` timestamps while event records
+        carry wall-clock ``ts``; the export bridges them with the current
+        offset between the two clocks (both advance in real time, so the
+        offset is stable within a process).
+        """
+        timeline = Timeline(self.runtime)
+        spans = timeline.spans()
+        trace = json.loads(timeline.to_chrome_trace())
+        events = trace["traceEvents"]
+        node_pids = {
+            e["args"]["name"][len("node-"):]: e["pid"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        epoch = min((s.start for s in spans), default=time.perf_counter())
+        wall_to_pc = time.perf_counter() - time.time()
+        marks_pid = max(node_pids.values(), default=0) + 1
+        wrote_marks = False
+        records, _cursor = self.runtime.gcs.events_since(0)
+        for rec in records:
+            if rec.category not in _TRACE_INSTANT_CATEGORIES or not rec.ts:
+                continue
+            payload = rec.as_dict()
+            node = str(payload.get("node", ""))
+            pid = next(
+                (p for h, p in node_pids.items() if node and h.startswith(node)),
+                marks_pid,
+            )
+            wrote_marks = wrote_marks or pid == marks_pid
+            events.append(
+                {
+                    "name": rec.category,
+                    "cat": "cluster",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": max(0.0, (rec.ts + wall_to_pc - epoch)) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": payload,
+                }
+            )
+        if wrote_marks:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": marks_pid,
+                    "args": {"name": "cluster-events"},
+                }
+            )
+        return json.dumps(trace)

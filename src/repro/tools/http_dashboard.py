@@ -14,31 +14,41 @@ control store.
     server.stop()
 
 Endpoints:
-  /              tiny HTML overview
-  /snapshot      cluster snapshot JSON
-  /profile       per-function execution statistics JSON
-  /trace         Chrome trace JSON (load in chrome://tracing)
-  /tasks         task-status counts JSON
-  /waits         wait-path / notification-layer statistics JSON
-  /metrics       cluster metrics, Prometheus text-exposition format
-  /metrics.json  the same metrics as JSON
-  /critical_path critical-path report JSON
+  /               tiny HTML overview (links every endpoint below)
+  /snapshot       cluster snapshot JSON
+  /profile        per-function execution statistics JSON
+  /trace          Chrome trace JSON (load in chrome://tracing)
+  /timeline_trace Chrome trace with node lanes + cluster-event marks
+  /tasks          task-status counts JSON
+  /waits          wait-path / notification-layer statistics JSON
+  /metrics        cluster metrics, Prometheus text-exposition format
+  /metrics.json   the same metrics as JSON
+  /critical_path  critical-path report JSON
+  /nodes          per-node panels (reporter rows; nodes_info fallback)
+  /nodes/<id>     one node's panel (full hex id or unique prefix)
+  /cluster_load   aggregate pressure signals (the autoscaler's inputs)
+  /events         merged cluster event timeline
+                  (?since=<cursor>&limit=<n>&category=<cat> pagination)
 """
 
 from __future__ import annotations
 
 import json
-import threading
+import urllib.parse
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.common.lockwatch import make_lock, make_thread
 from repro.tools.critical_path import CriticalPath
+from repro.tools.dashboard_head import DashboardHead
 from repro.tools.inspect import ClusterInspector
 from repro.tools.profiler import Profiler
 from repro.tools.timeline import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover
+    import threading
+
     from repro.core.runtime import Runtime
 
 
@@ -86,20 +96,34 @@ def _profile_json(runtime: "Runtime") -> str:
     )
 
 
+# Every JSON/text endpoint the server exposes, linked from the index page
+# (kept here, next to the dispatch table, so the two cannot drift).
+ENDPOINTS = (
+    "/snapshot",
+    "/profile",
+    "/trace",
+    "/timeline_trace",
+    "/tasks",
+    "/waits",
+    "/metrics",
+    "/metrics.json",
+    "/critical_path",
+    "/nodes",
+    "/cluster_load",
+    "/events",
+)
+
+
 def _index_html(runtime: "Runtime") -> str:
     snapshot = ClusterInspector(runtime).snapshot()
+    links = " · ".join(
+        f'<a href="{path}">{path.lstrip("/")}</a>' for path in ENDPOINTS
+    )
     return (
         "<html><head><title>repro dashboard</title></head><body>"
         "<h1>repro cluster</h1>"
         f"<pre>{snapshot.format()}</pre>"
-        '<p><a href="/snapshot">snapshot.json</a> · '
-        '<a href="/profile">profile.json</a> · '
-        '<a href="/trace">trace.json</a> · '
-        '<a href="/tasks">tasks.json</a> · '
-        '<a href="/waits">waits.json</a> · '
-        '<a href="/metrics">metrics</a> · '
-        '<a href="/metrics.json">metrics.json</a> · '
-        '<a href="/critical_path">critical_path.json</a></p>'
+        f"<p>{links}</p>"
         "</body></html>"
     )
 
@@ -109,6 +133,7 @@ class DashboardServer:
 
     def __init__(self, runtime: "Runtime", host: str = "127.0.0.1", port: int = 0):
         self.runtime = runtime
+        self.head = DashboardHead(runtime)
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -116,41 +141,79 @@ class DashboardServer:
                 pass
 
             def do_GET(self):
+                parsed = urllib.parse.urlsplit(self.path)
+                path = parsed.path
+                query = urllib.parse.parse_qs(parsed.query)
                 try:
-                    if self.path == "/":
+                    if path == "/":
                         body, content_type = _index_html(outer.runtime), "text/html"
-                    elif self.path == "/snapshot":
+                    elif path == "/snapshot":
                         body, content_type = _snapshot_json(outer.runtime), "application/json"
-                    elif self.path == "/profile":
+                    elif path == "/profile":
                         body, content_type = _profile_json(outer.runtime), "application/json"
-                    elif self.path == "/trace":
+                    elif path == "/trace":
                         body, content_type = (
                             Timeline(outer.runtime).to_chrome_trace(),
                             "application/json",
                         )
-                    elif self.path == "/tasks":
+                    elif path == "/timeline_trace":
+                        body, content_type = (
+                            outer.head.timeline_trace(),
+                            "application/json",
+                        )
+                    elif path == "/tasks":
                         body, content_type = (
                             _json_dumps(ClusterInspector(outer.runtime).tasks_by_status()),
                             "application/json",
                         )
-                    elif self.path == "/waits":
+                    elif path == "/waits":
                         body, content_type = (
                             _json_dumps(ClusterInspector(outer.runtime).wait_path_stats()),
                             "application/json",
                         )
-                    elif self.path == "/metrics":
+                    elif path == "/metrics":
                         body, content_type = (
                             outer.runtime.metrics.to_prometheus_text(),
                             "text/plain; version=0.0.4",
                         )
-                    elif self.path == "/metrics.json":
+                    elif path == "/metrics.json":
                         body, content_type = (
                             _json_dumps(outer.runtime.metrics.to_dict()),
                             "application/json",
                         )
-                    elif self.path == "/critical_path":
+                    elif path == "/critical_path":
                         body, content_type = (
                             _json_dumps(CriticalPath(outer.runtime).analyze().as_dict()),
+                            "application/json",
+                        )
+                    elif path == "/nodes":
+                        body, content_type = (
+                            _json_dumps(outer.head.nodes_summary()),
+                            "application/json",
+                        )
+                    elif path.startswith("/nodes/"):
+                        detail = outer.head.node_detail(path[len("/nodes/"):])
+                        if detail is None:
+                            self.send_response(404)
+                            self.end_headers()
+                            return
+                        body, content_type = _json_dumps(detail), "application/json"
+                    elif path == "/cluster_load":
+                        body, content_type = (
+                            _json_dumps(outer.head.cluster_load()),
+                            "application/json",
+                        )
+                    elif path == "/events":
+                        since = int(query.get("since", ["0"])[0])
+                        limit_arg = query.get("limit", [None])[0]
+                        limit = int(limit_arg) if limit_arg is not None else None
+                        categories = query.get("category") or None
+                        body, content_type = (
+                            _json_dumps(
+                                outer.head.events(
+                                    since=since, limit=limit, categories=categories
+                                )
+                            ),
                             "application/json",
                         )
                     else:
@@ -170,7 +233,9 @@ class DashboardServer:
                 self.wfile.write(payload)
 
         self._server = ThreadingHTTPServer((host, port), Handler)
-        self._thread: Optional[threading.Thread] = None
+        self._thread: Optional["threading.Thread"] = None
+        self._lifecycle_lock = make_lock("DashboardServer._lifecycle_lock")
+        self._stopped = False
 
     @property
     def address(self) -> str:
@@ -178,14 +243,28 @@ class DashboardServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "DashboardServer":
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="repro-dashboard", daemon=True
-        )
-        self._thread.start()
+        with self._lifecycle_lock:
+            if self._thread is None and not self._stopped:
+                self._thread = make_thread(
+                    self._server.serve_forever, name="repro-dashboard",
+                    daemon=True,
+                )
+                self._thread.start()
         return self
 
     def stop(self) -> None:
-        self._server.shutdown()
+        """Stop serving and close the listening socket; idempotent (a
+        second ``server_close`` on an already-closed socket is the classic
+        double-stop hazard this guards against)."""
+        with self._lifecycle_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            thread = self._thread
+        if thread is not None:
+            # shutdown() blocks on serve_forever's exit handshake, so it
+            # must only run when the serving thread was actually started.
+            self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+        if thread is not None:
+            thread.join(timeout=5)

@@ -128,10 +128,14 @@ class TestDashboard:
             "/snapshot",
             "/profile",
             "/trace",
+            "/timeline_trace",
             "/tasks",
             "/waits",
             "/metrics.json",
             "/critical_path",
+            "/nodes",
+            "/cluster_load",
+            "/events",
         ):
             _status, body = fetch(dashboard, path)
             strict_loads(body)
@@ -157,3 +161,136 @@ class TestDashboard:
     def test_stop_is_clean(self, runtime):
         server = DashboardServer(runtime).start()
         server.stop()  # no exception; port released
+
+    def test_index_links_every_endpoint(self, dashboard):
+        from repro.tools.http_dashboard import ENDPOINTS
+
+        _status, body = fetch(dashboard, "/")
+        for path in ENDPOINTS:
+            assert f'href="{path}"' in body, path
+
+
+class TestNodesEndpoint:
+    def test_nodes_fallback_without_reporters(self, runtime, dashboard):
+        """Reporters are off by default; /nodes must still answer from
+        Runtime.nodes_info()."""
+        _status, body = fetch(dashboard, "/nodes")
+        summary = strict_loads(body)
+        assert summary["source"] == "runtime"
+        assert summary["num_nodes"] == 2
+        assert summary["num_alive"] == 2
+        for node in summary["nodes"]:
+            assert node["alive"] is True
+            assert "resources" in node
+            assert "report" not in node
+
+    def test_nodes_with_reporters_carries_rows(self):
+        rt = repro.init(num_nodes=2, reporters_enabled=True)
+        server = DashboardServer(rt).start()
+        try:
+            _status, body = fetch(server, "/nodes")
+            summary = strict_loads(body)
+            assert summary["source"] == "reporters"
+            for node in summary["nodes"]:
+                assert node["report"]["node_id"] == node["node_id"]
+                assert "backlog" in node["report"]
+        finally:
+            server.stop()
+            repro.shutdown()
+
+    def test_node_detail_by_prefix(self, runtime, dashboard):
+        node_hex = runtime.nodes()[0].node_id.hex()
+        _status, body = fetch(dashboard, f"/nodes/{node_hex[:8]}")
+        assert strict_loads(body)["node_id"] == node_hex
+
+    def test_node_detail_unknown_404(self, dashboard):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            fetch(dashboard, "/nodes/ffffffffffff")
+        assert info.value.code == 404
+
+    def test_cluster_load_shape(self, runtime, dashboard):
+        _status, body = fetch(dashboard, "/cluster_load")
+        load = strict_loads(body)
+        assert load["num_live_nodes"] == 2
+        assert load["backlog_per_node"] >= 0.0
+
+
+class TestEventsEndpoint:
+    def test_events_are_seq_ordered(self, runtime, dashboard):
+        repro.get([work.remote(i) for i in range(4)])
+        _status, body = fetch(dashboard, "/events")
+        page = strict_loads(body)
+        seqs = [e["seq"] for e in page["events"]]
+        assert seqs == sorted(seqs)
+        assert page["next_cursor"] == (seqs[-1] if seqs else 0)
+        assert "task_finished" in page["categories"]
+
+    def test_cursor_pagination_covers_the_stream_without_overlap(
+        self, runtime, dashboard
+    ):
+        repro.get([work.remote(i) for i in range(4)])
+        _status, body = fetch(dashboard, "/events")
+        full = strict_loads(body)["events"]
+        assert full
+        cursor, paged = 0, []
+        for _ in range(1000):
+            _status, body = fetch(dashboard, f"/events?since={cursor}&limit=3")
+            page = strict_loads(body)
+            if not page["events"]:
+                break
+            paged.extend(page["events"])
+            cursor = page["next_cursor"]
+        assert [e["seq"] for e in paged] == [e["seq"] for e in full]
+
+    def test_cursor_returns_only_new_events(self, runtime, dashboard):
+        repro.get(work.remote(1))
+        _status, body = fetch(dashboard, "/events")
+        cursor = strict_loads(body)["next_cursor"]
+        _status, body = fetch(dashboard, f"/events?since={cursor}")
+        assert strict_loads(body)["events"] == []
+        repro.get(work.remote(2))
+        _status, body = fetch(dashboard, f"/events?since={cursor}")
+        fresh = strict_loads(body)["events"]
+        assert fresh and all(e["seq"] > cursor for e in fresh)
+
+    def test_category_filter(self, runtime, dashboard):
+        repro.get(work.remote(1))
+        runtime.kill_node(runtime.nodes()[1].node_id)
+        _status, body = fetch(dashboard, "/events?category=node_death")
+        page = strict_loads(body)
+        assert page["events"]
+        assert all(e["category"] == "node_death" for e in page["events"])
+
+    def test_node_lifecycle_interleaves_with_task_events(
+        self, runtime, dashboard
+    ):
+        repro.get(work.remote(1))
+        victim = runtime.nodes()[1]
+        runtime.kill_node(victim.node_id)
+        runtime.restart_node(victim.node_id)
+        _status, body = fetch(dashboard, "/events")
+        events = strict_loads(body)["events"]
+        categories = [e["category"] for e in events]
+        death, restart = categories.index("node_death"), categories.index(
+            "node_restart"
+        )
+        assert death < restart
+        assert "task_finished" in categories
+
+
+class TestLifecycleHygiene:
+    def test_double_stop_is_idempotent(self, runtime):
+        server = DashboardServer(runtime).start()
+        server.stop()
+        server.stop()  # regression: second server_close used to be a hazard
+
+    def test_stop_without_start_does_not_hang(self, runtime):
+        DashboardServer(runtime).stop()
+
+    def test_runtime_shutdown_stops_registered_server(self):
+        rt = repro.init(num_nodes=1)
+        server = rt.register_ops(DashboardServer(rt).start())
+        repro.shutdown()
+        # The serving thread is down and a second stop stays a no-op.
+        assert server._thread is None or not server._thread.is_alive()
+        server.stop()
