@@ -48,6 +48,7 @@ from repro.api import (
     put,
     remote,
     shutdown,
+    submit_many,
     wait,
 )
 from repro.common.serialization import deregister_serializer, register_serializer
@@ -79,6 +80,7 @@ __all__ = [
     "get",
     "put",
     "wait",
+    "submit_many",
     "cancel",
     "kill",
     "free",

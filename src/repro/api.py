@@ -41,7 +41,7 @@ from repro.common.ids import ActorID, FunctionID, ObjectID
 from repro.core import context
 from repro.core.resources import normalize_resources
 from repro.core.runtime import Runtime, RuntimeConfig
-from repro.core.task_spec import ArgRef
+from repro.core.task_spec import ArgRef, intern_shape
 
 _runtime_lock = make_lock("api._runtime_lock")
 _global_runtime: Optional[Runtime] = None
@@ -236,6 +236,23 @@ class RemoteFunction:
         self._function_id = _function_id_for(func)
         self.__name__ = getattr(func, "__name__", "remote_function")
         self.__doc__ = func.__doc__
+        self._intern()
+
+    def _intern(self) -> None:
+        # Canonicalize the invocation shape: every ``.remote()`` of this
+        # function (and of ``.options()`` clones with equal options) then
+        # shares one resources dict instead of copying a fresh one per
+        # call.  Specs never mutate it — readers copy when they need
+        # ownership.
+        self._shape = intern_shape(
+            self._function_id,
+            self.__name__,
+            self._num_returns,
+            self._resources,
+            max_retries=self._max_retries,
+            retry_exceptions=self._retry_exceptions,
+        )
+        self._resources = self._shape.resources
 
     def options(
         self,
@@ -262,6 +279,7 @@ class RemoteFunction:
             if num_cpus is None and num_gpus is None and resources is None
             else normalize_resources(num_cpus, num_gpus, resources)
         )
+        clone._intern()
         return clone
 
     def remote(self, *args: Any, **kwargs: Any):
@@ -275,7 +293,7 @@ class RemoteFunction:
             encoded_args,
             encoded_kwargs,
             num_returns=self._num_returns,
-            resources=dict(self._resources),
+            resources=self._resources,
             max_retries=self._max_retries,
             retry_exceptions=self._retry_exceptions,
         )
@@ -284,11 +302,59 @@ class RemoteFunction:
             return refs[0]
         return refs
 
+    def submit_many(
+        self, calls: Sequence[Sequence[Any]], batched: Optional[bool] = None
+    ) -> List[Any]:
+        """Submit one invocation per element of ``calls`` in a single batch.
+
+        Each element is a tuple of positional arguments (``()`` for a
+        no-arg call; use ``.remote()`` for keyword arguments).  The whole
+        batch's GCS task-row adds and ``task_submitted`` events coalesce
+        into one write per shard, which is the cheap way to launch large
+        fan-outs.  Returns one future per call (or one tuple of futures
+        per call when ``num_returns > 1``), in submission order.
+
+        ``batched=False`` forces the per-call write path — the batch is
+        then semantically identical but pays one GCS round-trip per task
+        (kept for ablation; see ``scripts/bench_throughput.py``).
+        """
+        runtime = get_runtime()
+        runtime.ensure_function_registered(self._function_id, self._func)
+        encoded = [_encode_args(tuple(args), {}) for args in calls]
+        id_tuples = runtime.submit_many(
+            self._function_id,
+            self.__name__,
+            encoded,
+            num_returns=self._num_returns,
+            resources=self._resources,
+            max_retries=self._max_retries,
+            retry_exceptions=self._retry_exceptions,
+            batched=batched,
+        )
+        if self._num_returns == 1:
+            return [ObjectRef(ids[0]) for ids in id_tuples]
+        return [tuple(ObjectRef(i) for i in ids) for ids in id_tuples]
+
     def __call__(self, *args: Any, **kwargs: Any):
         raise TypeError(
             f"remote function {self.__name__} cannot be called directly; "
             "use .remote()"
         )
+
+
+def submit_many(
+    func: "RemoteFunction",
+    calls: Sequence[Sequence[Any]],
+    batched: Optional[bool] = None,
+) -> List[Any]:
+    """Batch-submit many calls of one remote function — see
+    :meth:`RemoteFunction.submit_many`."""
+    if not isinstance(func, RemoteFunction):
+        raise TypeError(
+            "submit_many expects a @repro.remote function, got "
+            f"{type(func).__name__}"
+        )
+    return func.submit_many(calls, batched=batched)
 
 
 # ---------------------------------------------------------------------------

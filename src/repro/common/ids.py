@@ -24,20 +24,34 @@ ID_LENGTH = 20
 _counter_lock = make_lock("ids._counter_lock")
 _counter = 0
 
+# Random salts are drawn from a slab refilled once per _SLAB_IDS ids: one
+# os.urandom syscall amortized over the slab instead of paid per ID.  The
+# monotonic counter (leading 8 bytes) still guarantees process-uniqueness;
+# the random tail keeps shard_index (trailing 4 bytes) well spread.
+_SLAB_IDS = 1024
+_SALT_BYTES = ID_LENGTH - 8
+_salt_slab = b""
+_salt_offset = 0
+
 
 def _unique_bytes() -> bytes:
     """Return 20 process-unique bytes (monotonic counter + random salt)."""
-    global _counter
+    global _counter, _salt_slab, _salt_offset
     with _counter_lock:
         _counter += 1
         n = _counter
-    return hashlib.sha1(n.to_bytes(8, "little") + os.urandom(8)).digest()
+        if _salt_offset >= len(_salt_slab):
+            _salt_slab = os.urandom(_SALT_BYTES * _SLAB_IDS)
+            _salt_offset = 0
+        salt = _salt_slab[_salt_offset:_salt_offset + _SALT_BYTES]
+        _salt_offset += _SALT_BYTES
+    return n.to_bytes(8, "little") + salt
 
 
 class BaseID:
     """A fixed-width, hashable, immutable binary identifier."""
 
-    __slots__ = ("_binary",)
+    __slots__ = ("_binary", "_hex", "_hash")
 
     def __init__(self, binary: bytes):
         if not isinstance(binary, bytes) or len(binary) != ID_LENGTH:
@@ -46,6 +60,8 @@ class BaseID:
                 f"got {binary!r}"
             )
         object.__setattr__(self, "_binary", binary)
+        object.__setattr__(self, "_hex", None)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError(f"{type(self).__name__} is immutable")
@@ -75,10 +91,26 @@ class BaseID:
         return self._binary
 
     def hex(self) -> str:
-        return self._binary.hex()
+        # Cached: trace events and log lines format the same ID repeatedly,
+        # so the hot submit path must not re-encode it per event.
+        value = self._hex
+        if value is None:
+            value = self._binary.hex()
+            object.__setattr__(self, "_hex", value)
+        return value
+
+    def short(self) -> str:
+        """The 8-char hex prefix used in trace events and log lines."""
+        return self.hex()[:8]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._binary))
+        # Cached: IDs key every hot-path dict (task tables, stores, shard
+        # routing), so one ID is hashed dozens of times per task.
+        value = self._hash
+        if value is None:
+            value = hash((type(self).__name__, self._binary))
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __eq__(self, other) -> bool:
         return type(other) is type(self) and other._binary == self._binary

@@ -318,7 +318,11 @@ class ActorManager:
             self._kill_forever(state, cause=input_error)
             return None
         try:
-            with context.execution_scope(runtime, node, spec.task_id, None):
+            # A restarted incarnation re-runs __init__, which may resubmit
+            # children the first incarnation already created.
+            with context.execution_scope(
+                runtime, node, spec.task_id, None, is_replay=incarnation > 0
+            ):
                 instance = state.cls(*args, **kwargs)
         except BaseException as exc:  # noqa: BLE001
             self._kill_forever(
@@ -424,8 +428,14 @@ class ActorManager:
             attempt = 0
             while True:
                 try:
+                    # Replayed methods (and retry attempts after a partial
+                    # failure) may resubmit children that already exist.
                     with context.execution_scope(
-                        runtime, node, spec.task_id, dict(spec.resources)
+                        runtime,
+                        node,
+                        spec.task_id,
+                        dict(spec.resources),
+                        is_replay=is_replay or attempt > 0,
                     ):
                         output = method(*args, **kwargs)
                     values = normalize_returns(spec, output)
@@ -469,9 +479,9 @@ class ActorManager:
             event=(
                 "task_finished",
                 dict(
-                    task=spec.task_id.hex()[:8],
+                    task=spec.task_id.short(),
                     name=spec.function_name,
-                    node=node.node_id.hex()[:8],
+                    node=node.node_id.short(),
                     start=started,
                     duration=duration,
                     status=status.value,
@@ -479,6 +489,7 @@ class ActorManager:
                 ),
             ),
             batched=runtime.config.gcs_batched_writes,
+            spec=spec,
         )
         gcs.update_actor(state.actor_id, methods_executed=executed)
         runtime.report_task_duration(duration)
@@ -509,9 +520,9 @@ class ActorManager:
             event=(
                 "task_finished",
                 dict(
-                    task=spec.task_id.hex()[:8],
+                    task=spec.task_id.short(),
                     name=spec.function_name,
-                    node=node.node_id.hex()[:8],
+                    node=node.node_id.short(),
                     start=time.perf_counter(),
                     duration=0.0,
                     status=TaskStatus.CANCELLED.value,
@@ -519,6 +530,7 @@ class ActorManager:
                 ),
             ),
             batched=runtime.config.gcs_batched_writes,
+            spec=spec,
         )
         runtime.gcs.update_actor(state.actor_id, methods_executed=executed)
 

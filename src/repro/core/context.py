@@ -32,6 +32,7 @@ class _ContextState(threading.local):
         self.submission_index: int = 0
         self.put_index: int = 0
         self.held_resources: Optional[Dict[str, float]] = None
+        self.is_replay: bool = False
 
 
 _state = _ContextState()
@@ -61,8 +62,16 @@ def next_put_index() -> int:
     return index
 
 
+def in_replay() -> bool:
+    """Is the current execution a replay (re-execution of a task that may
+    already have submitted children)?  Child submissions made under a
+    replay scope must take the checked (existence-verified) submit path;
+    first-time submissions are guaranteed fresh and may skip the check."""
+    return _state.is_replay
+
+
 @contextlib.contextmanager
-def execution_scope(runtime, node, task_id, held_resources=None):
+def execution_scope(runtime, node, task_id, held_resources=None, is_replay=False):
     """Install the context for the duration of one task/method execution."""
     previous = (
         _state.runtime,
@@ -71,6 +80,7 @@ def execution_scope(runtime, node, task_id, held_resources=None):
         _state.submission_index,
         _state.put_index,
         _state.held_resources,
+        _state.is_replay,
     )
     _state.runtime = runtime
     _state.node = node
@@ -78,6 +88,7 @@ def execution_scope(runtime, node, task_id, held_resources=None):
     _state.submission_index = 0
     _state.put_index = 0
     _state.held_resources = held_resources
+    _state.is_replay = is_replay
     try:
         yield
     finally:
@@ -88,6 +99,7 @@ def execution_scope(runtime, node, task_id, held_resources=None):
             _state.submission_index,
             _state.put_index,
             _state.held_resources,
+            _state.is_replay,
         ) = previous
 
 

@@ -19,16 +19,30 @@ on a node,
 the local scheduler pulls any missing inputs via the object fetcher and
 dispatches the task to a worker when all inputs are local and its resources
 are available.
+
+Two throughput mechanisms sit on top of that checked pipeline:
+
+* a **submit fast path** — when the node is idle enough that the spillback
+  policy would keep the task local anyway, and its inputs are already
+  local, submission dispatches straight to a worker (one RUNNING status
+  write; no global-scheduler hop, no dispatcher queue round-trip), and
+* a **persistent worker pool** — workers park on a queue between tasks, so
+  dispatch costs a queue hand-off instead of a per-task thread spawn.
+
+Both are observable (``scheduler_fastpath_total``, ``policy="fastpath"``
+on the trace event) and both degrade to the checked path whenever any
+precondition fails.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
-from repro.common.lockwatch import make_condition
+from repro.common.lockwatch import make_condition, make_thread
 from repro.common.events import BACKSTOP_INTERVAL, WaitStats
 from repro.common.faults import NULL_FAULTS
 from repro.common.ids import ObjectID, TaskID
@@ -39,6 +53,39 @@ from repro.gcs.tables import TaskStatus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import Node
+
+
+class _PendingBacklogView(RuntimeNodeView):
+    """A node view whose backlog includes batch members admitted just
+    before this decision but not yet enqueued — keeps the per-spec
+    spillback decisions of one ``submit_many`` batch equivalent to the
+    sequential per-call decisions."""
+
+    __slots__ = ("_extra",)
+
+    def __init__(self, node, extra: int):
+        super().__init__(node, 0)
+        self._extra = extra
+
+    def backlog(self) -> int:
+        return super().backlog() + self._extra
+
+
+def _policy_fastpath_trustworthy(policy) -> bool:
+    """Whether ``policy.allows_fastpath`` may stand in for ``should_forward``.
+
+    The fast path bypasses ``should_forward``, trusting ``allows_fastpath``
+    to give the same answer.  That only holds when the two methods come
+    from the same class: a subclass overriding ``should_forward`` while
+    inheriting ``allows_fastpath`` (e.g. a recording/experimental policy)
+    would get a stale opt-in, so it keeps the checked path.
+    """
+    for klass in type(policy).__mro__:
+        has_forward = "should_forward" in klass.__dict__
+        has_fast = "allows_fastpath" in klass.__dict__
+        if has_forward or has_fast:
+            return has_forward and has_fast
+    return False
 
 
 class LocalScheduler:
@@ -57,6 +104,9 @@ class LocalScheduler:
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[Callable[..., None]] = None,
         faults: Optional[object] = None,
+        fastpath: bool = True,
+        pooled_workers: bool = True,
+        batched_writes: bool = True,
     ):
         self.node = node
         self.gcs = gcs
@@ -69,6 +119,11 @@ class LocalScheduler:
         self._wait_stats = wait_stats
         self._trace = trace
         self._faults = faults if faults is not None else NULL_FAULTS
+        self._fastpath = fastpath and _policy_fastpath_trustworthy(
+            self._spillback
+        )
+        self._pooled = pooled_workers
+        self._batched_writes = batched_writes
 
         self._cond = make_condition("LocalScheduler._cond")
         self._ready: deque = deque()
@@ -78,11 +133,20 @@ class LocalScheduler:
         self._ready_since: Dict[TaskID, float] = {}
         self._stopped = False
 
+        # Persistent worker pool: dispatching onto a parked thread costs a
+        # queue put instead of a ~100µs thread spawn.  The pool grows on
+        # demand up to peak concurrency (the per-task-thread model had the
+        # same peak) and threads park on the queue between tasks.
+        self._work_queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._pool_threads: List[threading.Thread] = []
+        self._idle_workers = 0
+
         self.scheduled_locally = 0
         self.forwarded = 0
 
         metrics = metrics or NULL_REGISTRY
         node_label = node.node_id.hex()[:8]
+        self._node_hex = node_label
         self._m_placed = metrics.counter(
             "scheduler_tasks_placed_total", "Tasks placed on this node",
             node=node_label,
@@ -90,6 +154,11 @@ class LocalScheduler:
         self._m_spillbacks = metrics.counter(
             "scheduler_spillbacks_total",
             "Tasks forwarded to a global scheduler",
+            node=node_label,
+        )
+        self._m_fastpath = metrics.counter(
+            "scheduler_fastpath_total",
+            "Tasks dispatched straight to a worker by the submit fast path",
             node=node_label,
         )
         self._m_dispatch = metrics.histogram(
@@ -116,6 +185,8 @@ class LocalScheduler:
 
     def submit(self, spec: TaskSpec) -> None:
         """A co-located driver or worker created this task."""
+        if self._fastpath and self._try_fastpath(spec):
+            return
         if (
             not self.node.alive
             or not self.node.resources.can_ever_satisfy(spec.resources)
@@ -135,6 +206,118 @@ class LocalScheduler:
             return
         self.scheduled_locally += 1
         self.place(spec)
+
+    def _try_fastpath(self, spec: TaskSpec) -> bool:
+        """Dispatch a fresh submission straight to a worker, if it is safe.
+
+        When this node is idle enough — queues empty, every input already
+        local, resources free, and the spillback policy confirms the task
+        would have stayed local anyway — the whole submit→dispatch pipeline
+        (global-scheduler hop, ``ClusterView`` construction, the SCHEDULED
+        status write, the dispatcher queue round-trip) collapses into one
+        RUNNING status write and a hand-off to a pooled worker.  Any check
+        failing falls back to the ordinary checked path; the shortcut never
+        changes *where* a task runs, only how many hops it takes to start.
+        """
+        node = self.node
+        if not node.alive:
+            return False
+        for dep in spec.dependencies():
+            if not node.store.contains(dep):
+                return False
+        with self._cond:
+            if (
+                self._stopped
+                or self._ready
+                or self._waiting
+                # Queues are empty, so the backlog is exactly the running
+                # set — let the policy apply its own rule to it.
+                or not self._spillback.allows_fastpath(len(self._running))
+            ):
+                return False
+            if not node.resources.try_acquire(spec.resources):
+                return False
+        # Placement-fault parity with ``place()``: a kill injected at
+        # placement must be discovered by the placement that triggered it.
+        if self._faults.enabled:
+            self._faults.on_place(node.node_id)
+            if not node.alive:
+                node.resources.release(spec.resources)
+                return False
+        with self._cond:
+            if self._stopped:
+                # ``kill_node`` ran between the checks above and here; its
+                # drain/running snapshots (serialized by this condition)
+                # never saw the task, so hand it back for rerouting.
+                bounced = True
+            else:
+                bounced = False
+                self._running.add(spec.task_id)
+        if bounced:
+            node.resources.release(spec.resources)
+            return False
+        self.scheduled_locally += 1
+        self._m_placed.inc()
+        self._m_fastpath.inc()
+        # One coalesced write instead of SCHEDULED-then-RUNNING plus two
+        # event appends: the kill and reconstruction paths treat both
+        # states identically (in flight on this node), so the intermediate
+        # write carries no information, and the lifecycle events ride in
+        # the same batch.
+        events = None
+        if self._trace is not None:
+            now = time.perf_counter()
+            task_hex = spec.task_id.short()
+            base = dict(
+                task=task_hex, name=spec.function_name, node=self._node_hex,
+                t=now,
+            )
+            events = [
+                ("task_scheduled", dict(base, policy="fastpath")),
+                ("task_inputs_ready", base),
+            ]
+        self.gcs.set_task_states(
+            [(spec, TaskStatus.RUNNING, node.node_id)],
+            events=events,
+            batched=self._batched_writes,
+        )
+        self._dispatch_to_worker(spec, already_running=True)
+        return True
+
+    def submit_many(self, specs: List[TaskSpec]) -> None:
+        """Submit one ``submit_many`` batch created on this node.
+
+        Decisions match per-spec :meth:`submit` exactly — the spillback
+        policy sees the backlog grow as earlier batch members are admitted
+        — but every task kept here is placed through :meth:`place_many`,
+        whose whole-batch SCHEDULED write replaces one control round-trip
+        per task.  The single-submission fast path is deliberately *not*
+        consulted here: it pays one control write per task in the
+        submitting thread, which is exactly what a batch must avoid.
+        """
+        place_batch: List[TaskSpec] = []
+        for spec in specs:
+            if (
+                not self.node.alive
+                or not self.node.resources.can_ever_satisfy(spec.resources)
+                or self._spillback.should_forward(
+                    TaskView(
+                        key=spec.task_id,
+                        name=spec.function_name,
+                        resources=spec.resources,
+                        deps_fn=spec.dependencies,
+                    ),
+                    _PendingBacklogView(self.node, len(place_batch)),
+                )
+            ):
+                self.forwarded += 1
+                self._m_spillbacks.inc()
+                self._forward_to_global(spec)
+                continue
+            self.scheduled_locally += 1
+            place_batch.append(spec)
+        if place_batch:
+            self.place_many(place_batch)
 
     # -- placement ------------------------------------------------------------
 
@@ -186,15 +369,109 @@ class LocalScheduler:
             )
         self.fetcher.prefetch(list(missing), self.node)
 
-    def _emit(self, category: str, spec: TaskSpec) -> None:
+    def place_many(self, specs: List[TaskSpec]) -> None:
+        """Place a batch chosen for this node.
+
+        Semantically ``place()`` per spec, but the whole batch's SCHEDULED
+        rows and ``task_scheduled``/``task_inputs_ready`` events coalesce
+        into one shard write, and the ready sub-batch is enqueued under one
+        condition acquisition with a single wake-up.
+        """
+        node = self.node
+        if self._faults.enabled:
+            # One placement trigger per task, as on the per-spec path.
+            for _ in specs:
+                self._faults.on_place(node.node_id)
+        if not node.alive:
+            for spec in specs:
+                self._forward_to_global(spec)
+            return
+        ready: List[TaskSpec] = []
+        missing_by_spec: List[tuple] = []
+        for spec in specs:
+            missing = {
+                dep
+                for dep in spec.dependencies()
+                if not node.store.contains(dep)
+            }
+            if missing:
+                missing_by_spec.append((spec, missing))
+            else:
+                ready.append(spec)
+        events = None
+        if self._trace is not None:
+            now = time.perf_counter()
+            events = [
+                (
+                    "task_scheduled",
+                    dict(
+                        task=spec.task_id.short(),
+                        name=spec.function_name,
+                        node=self._node_hex,
+                        t=now,
+                    ),
+                )
+                for spec in specs
+            ]
+            events.extend(
+                (
+                    "task_inputs_ready",
+                    dict(
+                        task=spec.task_id.short(),
+                        name=spec.function_name,
+                        node=self._node_hex,
+                        t=now,
+                    ),
+                )
+                for spec in ready
+            )
+        self.gcs.set_task_states(
+            [(spec, TaskStatus.SCHEDULED, node.node_id) for spec in specs],
+            events=events,
+            batched=self._batched_writes,
+        )
+        self._m_placed.inc(len(specs))
+        with self._cond:
+            if self._stopped:
+                bounced = True
+            else:
+                bounced = False
+                for spec, missing in missing_by_spec:
+                    self._waiting[spec.task_id] = set(missing)
+                    self._waiting_specs[spec.task_id] = spec
+                if ready:
+                    now_mono = time.monotonic()
+                    for spec in ready:
+                        self._ready.append(spec)
+                        self._ready_since[spec.task_id] = now_mono
+                    self._cond.notify_all()
+        if bounced:
+            # Stopped between the alive check and registration (see
+            # ``place``): none of the batch was registered — reroute all.
+            for spec in specs:
+                self._forward_to_global(spec)
+            return
+        all_missing: List[ObjectID] = []
+        for spec, missing in missing_by_spec:
+            for dep in missing:
+                self.node.store.on_available(
+                    dep,
+                    lambda oid, tid=spec.task_id: self._input_ready(tid, oid),
+                )
+            all_missing.extend(missing)
+        if all_missing:
+            self.fetcher.prefetch(all_missing, node)
+
+    def _emit(self, category: str, spec: TaskSpec, **extra) -> None:
         """Record a task-lifecycle trace event (never under ``_cond``)."""
         if self._trace is not None:
             self._trace(
                 category,
-                task=spec.task_id.hex()[:8],
+                task=spec.task_id.short(),
                 name=spec.function_name,
-                node=self.node.node_id.hex()[:8],
+                node=self._node_hex,
                 t=time.perf_counter(),
+                **extra,
             )
 
     def _input_ready(self, task_id: TaskID, object_id: ObjectID) -> None:
@@ -233,16 +510,16 @@ class LocalScheduler:
     def _dispatch_loop(self) -> None:
         while True:
             with self._cond:
-                spec = self._pick_dispatchable()
-                while spec is None and not self._stopped:
+                batch = self._pick_dispatch_batch()
+                while not batch and not self._stopped:
                     # Notification-driven: ready-queue pushes and resource
                     # releases notify this condition.  The timed wait is
                     # only a guarded missed-wakeup backstop.
                     notified = self._cond.wait(timeout=BACKSTOP_INTERVAL)
-                    spec = self._pick_dispatchable()
+                    batch = self._pick_dispatch_batch()
                     if (
                         not notified
-                        and spec is not None
+                        and batch
                         and self._wait_stats is not None
                     ):
                         # A task was dispatchable but no notification
@@ -250,25 +527,36 @@ class LocalScheduler:
                         self._wait_stats.record_backstop(recovered=True)
                 stopped = self._stopped
                 if not stopped:
-                    self._running.add(spec.task_id)
+                    for spec in batch:
+                        self._running.add(spec.task_id)
             if stopped:
-                # A spec picked in the same round the node stopped was
-                # already out of _ready (invisible to drain), with its
-                # resources held: release and reroute it rather than drop
-                # it.  Forwarding happens outside _cond — it takes another
+                # Specs picked in the same round the node stopped were
+                # already out of _ready (invisible to drain), with their
+                # resources held: release and reroute them rather than drop
+                # them.  Forwarding happens outside _cond — it takes another
                 # node's condition, and nesting the two would invert lock
                 # order against that node's own dispatcher.
-                if spec is not None:
+                for spec in batch:
                     self.node.resources.release(spec.resources)
                     self._forward_to_global(spec)
                 return
-            worker = threading.Thread(
-                target=self._run_task,
-                args=(spec,),
-                name=f"worker-{spec.function_name[:24]}",
-                daemon=True,
-            )
-            worker.start()
+            if self._pooled:
+                # One coalesced RUNNING write for the whole round (built
+                # from the specs in hand — no read-modify-write), then
+                # queue hand-offs; the per-task write is skipped by the
+                # workers (``status_already_running``).
+                self.gcs.set_task_states(
+                    [
+                        (spec, TaskStatus.RUNNING, self.node.node_id)
+                        for spec in batch
+                    ],
+                    batched=self._batched_writes,
+                )
+                for spec in batch:
+                    self._dispatch_to_worker(spec, already_running=True)
+            else:
+                for spec in batch:
+                    self._dispatch_to_worker(spec)
 
     def _pick_dispatchable(self) -> Optional[TaskSpec]:
         """First ready task whose resources fit right now (lock held)."""
@@ -281,9 +569,67 @@ class LocalScheduler:
                 return spec
         return None
 
-    def _run_task(self, spec: TaskSpec) -> None:
+    def _pick_dispatch_batch(self) -> List[TaskSpec]:
+        """Every ready task whose resources fit right now (lock held)."""
+        batch: List[TaskSpec] = []
+        while True:
+            spec = self._pick_dispatchable()
+            if spec is None:
+                return batch
+            batch.append(spec)
+
+    def _dispatch_to_worker(
+        self, spec: TaskSpec, already_running: bool = False
+    ) -> None:
+        """Hand a dispatched task (resources held, in ``_running``) to a
+        worker thread — a parked pool thread when pooling is on, a fresh
+        thread otherwise."""
+        if not self._pooled:
+            worker = threading.Thread(
+                target=self._run_task,
+                args=(spec, already_running),
+                name=f"worker-{spec.function_name[:24]}",
+                daemon=True,
+            )
+            worker.start()
+            return
+        spawn = None
+        with self._cond:
+            if self._idle_workers > 0:
+                self._idle_workers -= 1
+            else:
+                spawn = make_thread(
+                    self._worker_loop,
+                    name=f"worker-{self._node_hex[:6]}-{len(self._pool_threads)}",
+                )
+                self._pool_threads.append(spawn)
+        if spawn is not None:
+            spawn.start()
+        self._work_queue.put((spec, already_running))
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._work_queue.get()
+            if item is None:  # stop() sentinel
+                return
+            spec, already_running = item
+            self._run_task(spec, already_running)
+            with self._cond:
+                if self._stopped:
+                    return
+                self._idle_workers += 1
+
+    def _run_task(self, spec: TaskSpec, already_running: bool = False) -> None:
         try:
-            self._execute(self.node, spec, dict(spec.resources))
+            if already_running:
+                self._execute(
+                    self.node,
+                    spec,
+                    dict(spec.resources),
+                    status_already_running=True,
+                )
+            else:
+                self._execute(self.node, spec, dict(spec.resources))
         finally:
             self.node.resources.release(spec.resources)
             with self._cond:
@@ -343,8 +689,30 @@ class LocalScheduler:
         with self._cond:
             self._stopped = True
             self._cond.notify_all()
+            pool_size = len(self._pool_threads)
+        # One sentinel per pool thread: parked workers wake and exit; busy
+        # workers notice ``_stopped`` after their task and leave their
+        # sentinel behind in a dead queue.
+        for _ in range(pool_size):
+            self._work_queue.put(None)
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for the dispatcher thread to exit (call ``stop`` first)."""
         if self._dispatcher is not threading.current_thread():
             self._dispatcher.join(timeout)
+        me = threading.current_thread()
+        with self._cond:
+            pool = list(self._pool_threads)
+        # One shared deadline across the pool: a worker stranded in a
+        # blocked task must not multiply the wait (they are daemons and
+        # exit with the process regardless).
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in pool:
+            if worker is me:
+                continue
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            worker.join(remaining)

@@ -96,6 +96,9 @@ class ReconstructionManager:
             task=task_id.hex()[:8],
             name=spec.function_name,
         )
+        # The replayed execution may re-submit children that already have
+        # task rows: flag it so its submissions take the checked path.
+        runtime.mark_replay(task_id)
         # Route through the global scheduler: the original node may be gone,
         # and placement will recursively pull (and if needed reconstruct)
         # the task's own inputs.

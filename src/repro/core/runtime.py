@@ -113,6 +113,20 @@ class RuntimeConfig:
     value_cache_capacity_bytes: Optional[int] = 256 * 1024 * 1024
     prefetch_parallelism: int = 8
     gcs_batched_writes: bool = True
+    # Task-throughput fast path knobs (both default on; bench_throughput.py
+    # measures each against the off configuration).  ``submit_fastpath``
+    # lets a local scheduler dispatch a locally-submitted task straight to
+    # an idle pooled worker when its queue is empty, deps are local, and
+    # resources fit — skipping the dispatcher handoff and the separate
+    # SCHEDULED status write.  ``worker_pool`` reuses persistent worker
+    # threads instead of spawning one thread per task.
+    submit_fastpath: bool = True
+    worker_pool: bool = True
+    # Client-side GCS caching: the write-through function cache and the
+    # location-publication hint that lets fetchers with local lineage skip
+    # the authoritative location read while an object is still being
+    # produced.  Off reproduces the every-read-is-remote control plane.
+    gcs_client_cache: bool = True
     # Deterministic fault injection: a FaultSchedule whose planned faults
     # (node kills/restarts, chain-member kills, chunk drops/delays) fire at
     # task-count or placement triggers.  None (the default) installs the
@@ -162,13 +176,24 @@ class Node:
             gcs=runtime.gcs,
             fetcher=runtime.fetcher,
             forward_to_global=runtime.route_and_place,
-            execute=lambda node, spec, held: execute_task(runtime, node, spec, held),
+            execute=lambda node, spec, held, **kw: execute_task(
+                runtime, node, spec, held, **kw
+            ),
             spillback_threshold=runtime.config.spillback_threshold,
             spillback=runtime.make_spillback_policy(),
             wait_stats=runtime.wait_stats,
             metrics=runtime.metrics,
-            trace=runtime.trace_event,
+            # Pass None when tracing is off so the schedulers skip event
+            # formatting entirely instead of gating inside trace_event.
+            trace=(
+                runtime.trace_event
+                if runtime.config.trace_events_enabled
+                else None
+            ),
             faults=runtime.faults,
+            fastpath=runtime.config.submit_fastpath,
+            pooled_workers=runtime.config.worker_pool,
+            batched_writes=runtime.config.gcs_batched_writes,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -218,6 +243,7 @@ class Runtime:
             num_replicas=config.gcs_replicas,
             metrics=self.metrics,
             faults=self.faults,
+            client_cache=config.gcs_client_cache,
         )
         self.transfer = TransferService(
             self.gcs, metrics=self.metrics, faults=self.faults
@@ -283,6 +309,10 @@ class Runtime:
         self.actors = ActorManager(self)
         self.reconstruction = ReconstructionManager(self)
         self.fetcher.reconstruct = self.reconstruction.maybe_reconstruct
+        if config.gcs_client_cache:
+            self.fetcher.lineage_known = (
+                lambda object_id: self.graph.producer_of(object_id) is not None
+            )
 
         # Cancellation registry: task_id -> forced?  A task stays marked
         # after cancellation (the stored error is the durable record); the
@@ -290,6 +320,14 @@ class Runtime:
         self._cancel_lock = make_lock("Runtime._cancel_lock")
         self._cancelled: Dict[TaskID, bool] = {}
         self._cancel_events: Dict[TaskID, Completion] = {}
+
+        # Replay registry: tasks resubmitted by reconstruction or node
+        # death.  Their re-executions may re-submit children that already
+        # have task rows, so submissions made under them take the checked
+        # (existence-verified) submit path; everything else is a first
+        # submission whose deterministic ID cannot be in the table yet.
+        self._replay_lock = make_lock("Runtime._replay_lock")
+        self._replay_hints: set = set()
 
         # Bind the fault schedule last: triggers may kill/restart nodes and
         # chain members, so the full cluster must exist first.
@@ -387,6 +425,7 @@ class Runtime:
         for spec in drained:
             if spec.actor_id is None:
                 self.gcs.update_task_status(spec.task_id, TaskStatus.PENDING)
+                self.mark_replay(spec.task_id)
                 self.route_and_place(spec)
         # Tasks RUNNING on the dead node are lost with it: their worker
         # threads are stranded (they exit quietly via NodeDiedError) and
@@ -412,6 +451,7 @@ class Runtime:
                         self.reconstruction.maybe_reconstruct(object_id)
                 continue
             self.gcs.update_task_status(task_id, TaskStatus.PENDING)
+            self.mark_replay(task_id)
             self.route_and_place(entry.spec)
         self.actors.on_node_death(node_id)
 
@@ -567,6 +607,24 @@ class Runtime:
         )
 
     # ------------------------------------------------------------------
+    # Replay hints (submit-path fast path)
+    # ------------------------------------------------------------------
+
+    def mark_replay(self, task_id: TaskID) -> None:
+        """Flag ``task_id`` as a re-execution: its run must use the checked
+        child-submission path (children may already have task rows)."""
+        with self._replay_lock:
+            self._replay_hints.add(task_id)
+
+    def is_replay_execution(self, task_id: TaskID) -> bool:
+        with self._replay_lock:
+            return task_id in self._replay_hints
+
+    def clear_replay_hint(self, task_id: TaskID) -> None:
+        with self._replay_lock:
+            self._replay_hints.discard(task_id)
+
+    # ------------------------------------------------------------------
     # Cancellation
     # ------------------------------------------------------------------
 
@@ -699,6 +757,21 @@ class Runtime:
             self._driver_submission_index += 1
         return self.driver_task_id, index, self.driver_node
 
+    def _submission_context_many(self, count: int) -> Tuple[TaskID, int, Node]:
+        """Reserve ``count`` consecutive submission indices at once:
+        (parent task, first index, submitting node)."""
+        task_id = context.current_task_id()
+        if task_id is not None:
+            node = context.current_node()
+            first = context.next_submission_index()
+            for _ in range(count - 1):
+                context.next_submission_index()
+            return task_id, first, node
+        with self._driver_lock:
+            first = self._driver_submission_index
+            self._driver_submission_index += count
+        return self.driver_task_id, first, self.driver_node
+
     def ensure_function_registered(self, function_id: FunctionID, function: Callable) -> None:
         try:
             self.gcs.get_function(function_id)
@@ -729,43 +802,140 @@ class Runtime:
             args=tuple(args),
             kwargs=tuple(kwargs),
             num_returns=num_returns,
-            resources=resources or normalize_resources(),
+            resources=resources if resources is not None else normalize_resources(),
             parent_task_id=parent,
             max_retries=max_retries,
             retry_exceptions=retry_exceptions,
         )
-        existing = self.gcs.get_task(task_id)
-        if existing is not None:
-            # Replay of a task we have already seen (a re-executed parent
-            # resubmitting children).  Skip if its outputs still exist or it
-            # is in flight on a live node.
-            if existing.status == TaskStatus.FINISHED and all(
-                self.transfer.live_locations(oid) for oid in spec.return_ids
-            ):
+        if context.in_replay():
+            # Replay of a parent re-running its submissions: the child may
+            # already have a row — take the checked (existence-verified)
+            # path and skip re-placement if it is finished or in flight.
+            if not self._admit_replayed_task(spec):
                 return spec.return_ids
-            if existing.status in (
-                TaskStatus.PENDING,
-                TaskStatus.SCHEDULED,
-                TaskStatus.RUNNING,
-            ):
-                running_node = (
-                    self.transfer.node(existing.node_id) if existing.node_id else None
-                )
-                if running_node is not None and running_node.alive:
-                    return spec.return_ids
-            self.gcs.update_task_status(task_id, TaskStatus.PENDING)
         else:
-            self.gcs.add_task(task_id, spec)
+            # First submission: the deterministic (parent, index) pair has
+            # never been used, so the task row cannot exist — skip the
+            # replay-existence read entirely.
+            self.gcs.add_task(task_id, spec, check_existing=False)
         self._m_tasks_submitted.inc()
-        self.trace_event(
-            "task_submitted",
-            task=task_id.hex()[:8],
-            name=function_name,
-            t=time.perf_counter(),
-        )
+        if self._trace_enabled:
+            self.gcs.record_event(
+                "task_submitted",
+                task=task_id.short(),
+                name=function_name,
+                t=time.perf_counter(),
+            )
         self.graph.add_task(spec)
         node.local_scheduler.submit(spec)
         return spec.return_ids
+
+    def _admit_replayed_task(self, spec: TaskSpec) -> bool:
+        """Existence check for a possibly-replayed submission.
+
+        Returns True if the task should be (re)placed: either it is new
+        (row added) or its previous execution is dead with lost outputs.
+        Returns False when its outputs still exist or it is in flight on a
+        live node — the caller returns the deterministic futures as-is.
+        """
+        task_id = spec.task_id
+        existing = self.gcs.get_task(task_id)
+        if existing is None:
+            self.gcs.add_task(task_id, spec)
+            return True
+        if existing.status == TaskStatus.FINISHED and all(
+            self.transfer.live_locations(oid) for oid in spec.return_ids
+        ):
+            return False
+        if existing.status in (
+            TaskStatus.PENDING,
+            TaskStatus.SCHEDULED,
+            TaskStatus.RUNNING,
+        ):
+            running_node = (
+                self.transfer.node(existing.node_id) if existing.node_id else None
+            )
+            if running_node is not None and running_node.alive:
+                return False
+        self.gcs.update_task_status(task_id, TaskStatus.PENDING)
+        return True
+
+    def submit_many(
+        self,
+        function_id: FunctionID,
+        function_name: str,
+        calls: Sequence[Tuple[Tuple[Any, ...], Tuple[Tuple[str, Any], ...]]],
+        num_returns: int = 1,
+        resources: Optional[Dict[str, float]] = None,
+        max_retries: int = 0,
+        retry_exceptions: Optional[Tuple[type, ...]] = None,
+        batched: Optional[bool] = None,
+    ) -> List[Tuple[ObjectID, ...]]:
+        """Submit many invocations of one function in one batch.
+
+        ``calls`` is a sequence of ``(args, kwargs)`` pairs (already
+        encoded).  The task-row adds and ``task_submitted`` trace events of
+        the whole batch coalesce into one ``ShardedKV.batch`` per shard —
+        the submit-side mirror of the finish-side batching — and every spec
+        shares one resources dict.  Returns one return-ID tuple per call.
+        ``batched`` defaults to ``config.gcs_batched_writes``;
+        ``batched=False`` keeps the per-op ablation path honest.
+        """
+        if not calls:
+            return []
+        if batched is None:
+            batched = self.config.gcs_batched_writes
+        parent, first, node = self._submission_context_many(len(calls))
+        if resources is None:
+            resources = normalize_resources()
+        specs = [
+            TaskSpec(
+                task_id=deterministic_task_id(parent, first + offset),
+                function_id=function_id,
+                function_name=function_name,
+                args=tuple(args),
+                kwargs=tuple(kwargs),
+                num_returns=num_returns,
+                resources=resources,
+                parent_task_id=parent,
+                max_retries=max_retries,
+                retry_exceptions=retry_exceptions,
+            )
+            for offset, (args, kwargs) in enumerate(calls)
+        ]
+        if context.in_replay():
+            # Replayed batch: fall back to per-task checked admission.
+            out: List[Tuple[ObjectID, ...]] = []
+            for spec in specs:
+                if self._admit_replayed_task(spec):
+                    self._m_tasks_submitted.inc()
+                    if self._trace_enabled:
+                        self.gcs.record_event(
+                            "task_submitted",
+                            task=spec.task_id.short(),
+                            name=function_name,
+                            t=time.perf_counter(),
+                        )
+                    self.graph.add_task(spec)
+                    node.local_scheduler.submit(spec)
+                out.append(spec.return_ids)
+            return out
+        events = None
+        if self._trace_enabled:
+            now = time.perf_counter()
+            events = [
+                (
+                    "task_submitted",
+                    dict(task=spec.task_id.short(), name=function_name, t=now),
+                )
+                for spec in specs
+            ]
+        self.gcs.add_tasks(specs, events=events, batched=batched)
+        self._m_tasks_submitted.inc(len(specs))
+        for spec in specs:
+            self.graph.add_task(spec)
+        node.local_scheduler.submit_many(specs)
+        return [spec.return_ids for spec in specs]
 
     def create_actor(
         self,
@@ -858,12 +1028,13 @@ class Runtime:
         # reach the actor thread (which immediately updates its status).
         spec = self.actors.submit_method(build, actor_id)
         self._m_methods_submitted.inc()
-        self.trace_event(
-            "task_submitted",
-            task=spec.task_id.hex()[:8],
-            name=spec.function_name,
-            t=time.perf_counter(),
-        )
+        if self._trace_enabled:
+            self.gcs.record_event(
+                "task_submitted",
+                task=spec.task_id.short(),
+                name=spec.function_name,
+                t=time.perf_counter(),
+            )
         self.graph.add_task(spec)
         return spec.return_ids
 
@@ -915,6 +1086,12 @@ class Runtime:
         lost = Completion(stats=self.wait_stats)
 
         def check_lost() -> None:
+            # Lineage known locally ⇒ the object is reconstructible, so
+            # the lost verdict (lineage-less and no live copy) can never
+            # apply — skip the GCS entry read it would otherwise cost on
+            # every blocking get of a still-in-flight task return.
+            if self.graph.producer_of(object_id) is not None:
+                return
             entry = self.gcs.get_object_entry(object_id)
             if (
                 entry is not None
@@ -1169,3 +1346,4 @@ class Runtime:
         self.fetcher.close()
         if self.flusher is not None:
             self.flusher.close()
+        self.gcs.kv.close()

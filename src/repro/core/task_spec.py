@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.common.ids import ActorID, FunctionID, ObjectID, TaskID
+from repro.common.lockwatch import make_lock
 
 
 @dataclass(frozen=True)
@@ -70,10 +71,18 @@ class TaskSpec:
 
     @property
     def return_ids(self) -> Tuple[ObjectID, ...]:
-        return tuple(
-            ObjectID.for_task_return(self.task_id, i)
-            for i in range(self.num_returns)
-        )
+        # Memoized: deriving a return ID hashes the task ID, and the hot
+        # path asks for the tuple several times per task (submit, dispatch,
+        # output write, get).  Frozen dataclasses still carry a __dict__,
+        # so the memo bypasses the blocked __setattr__.
+        cached = self.__dict__.get("_return_ids")
+        if cached is None:
+            cached = tuple(
+                ObjectID.for_task_return(self.task_id, i)
+                for i in range(self.num_returns)
+            )
+            object.__setattr__(self, "_return_ids", cached)
+        return cached
 
     def dependencies(self) -> Tuple[ObjectID, ...]:
         """Object IDs this task needs before it can execute (data edges in)."""
@@ -95,3 +104,59 @@ class TaskSpec:
             else "task"
         )
         return f"{kind}:{self.function_name}#{self.task_id.hex()[:8]}"
+
+
+@dataclass(frozen=True)
+class TaskShape:
+    """The per-function-invocation fields every call of one remote function
+    shares: identity, return arity, resource request, retry policy.
+
+    Interning the shape means repeated submissions of the same function
+    reuse one canonical ``resources`` dict (specs never mutate it — readers
+    copy when they need ownership) instead of re-normalizing and copying a
+    fresh dict per call, which is measurable at high task rates.
+    """
+
+    function_id: FunctionID
+    function_name: str
+    num_returns: int
+    resources: Dict[str, float]
+    max_retries: int = 0
+    retry_exceptions: Optional[Tuple[type, ...]] = None
+
+
+_shape_lock = make_lock("task_spec._shape_lock")
+_shape_cache: Dict[Tuple, TaskShape] = {}
+
+
+def intern_shape(
+    function_id: FunctionID,
+    function_name: str,
+    num_returns: int,
+    resources: Dict[str, float],
+    max_retries: int = 0,
+    retry_exceptions: Optional[Tuple[type, ...]] = None,
+) -> TaskShape:
+    """Canonical :class:`TaskShape` for ``(function, returns, resources,
+    retry policy)`` — one shared instance per distinct shape."""
+    key = (
+        function_id,
+        function_name,
+        num_returns,
+        tuple(sorted(resources.items())),
+        max_retries,
+        retry_exceptions,
+    )
+    with _shape_lock:
+        shape = _shape_cache.get(key)
+        if shape is None:
+            shape = TaskShape(
+                function_id=function_id,
+                function_name=function_name,
+                num_returns=num_returns,
+                resources=dict(resources),
+                max_retries=max_retries,
+                retry_exceptions=retry_exceptions,
+            )
+            _shape_cache[key] = shape
+    return shape

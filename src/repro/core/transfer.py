@@ -271,6 +271,10 @@ class ObjectFetcher:
         # reconstruct(object_id) is installed by the runtime after the
         # reconstruction manager exists (breaks a construction cycle).
         self.reconstruct: Optional[Callable[[ObjectID], None]] = None
+        # lineage_known(object_id) — installed by the runtime — answers
+        # "does the local task graph know this object's producing task?"
+        # without touching the GCS.  See ensure_local's light path.
+        self.lineage_known: Optional[Callable[[ObjectID], bool]] = None
         self._inflight: Dict[Tuple[NodeID, ObjectID], float] = {}
         self._inflight_lock = make_lock("ObjectFetcher._inflight_lock")
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -428,6 +432,20 @@ class ObjectFetcher:
         unsubscribe = self.gcs.subscribe_object_locations(
             object_id, on_location_update
         )
+        # Light path — checked *after* subscribing, so a publication that
+        # raced ahead of the subscription is visible in the hint (writers
+        # set the hint before the location append).  No location ever
+        # published plus locally-known lineage means the object is still
+        # being produced: the authoritative location read would come back
+        # empty and the reconstruct probe would find no entry, so both
+        # remote round-trips are skipped and the subscription (or the
+        # producing node's own store) announces the object when it exists.
+        if (
+            self.lineage_known is not None
+            and not self.gcs.has_location_hint(object_id)
+            and self.lineage_known(object_id)
+        ):
+            return
         with lock:
             if try_transfer():
                 state["done"] = True

@@ -179,10 +179,18 @@ def execute_task(
     node: "Node",
     spec: TaskSpec,
     held_resources: Dict[str, float],
+    status_already_running: bool = False,
 ) -> None:
     """Run one stateless task on ``node`` (called on a worker thread)."""
     gcs = runtime.gcs
-    gcs.update_task_status(spec.task_id, TaskStatus.RUNNING, node_id=node.node_id)
+    # A replayed execution (reconstruction / node-death resubmission) may
+    # re-run user code that already submitted children: its submissions
+    # must take the checked path.  First executions submit children fresh.
+    replay = runtime.is_replay_execution(spec.task_id)
+    if not status_already_running:
+        gcs.update_task_status(
+            spec.task_id, TaskStatus.RUNNING, node_id=node.node_id
+        )
     deps = spec.dependencies()
     started = time.perf_counter()
     status = TaskStatus.FINISHED
@@ -206,8 +214,15 @@ def execute_task(
                 attempt = 0
                 while True:
                     try:
+                        # Attempt > 0 is a replay even for a first execution:
+                        # the failed attempt may already have submitted
+                        # children before raising.
                         with context.execution_scope(
-                            runtime, node, spec.task_id, held_resources
+                            runtime,
+                            node,
+                            spec.task_id,
+                            held_resources,
+                            is_replay=replay or attempt > 0,
                         ):
                             output = function(*args, **kwargs)
                         values = normalize_returns(spec, output)
@@ -261,9 +276,9 @@ def execute_task(
                 event=(
                     "task_finished",
                     dict(
-                        task=spec.task_id.hex()[:8],
+                        task=spec.task_id.short(),
                         name=spec.function_name,
-                        node=node.node_id.hex()[:8],
+                        node=node.node_id.short(),
                         start=started,
                         duration=duration,
                         status=status.value,
@@ -271,7 +286,10 @@ def execute_task(
                     ),
                 ),
                 batched=runtime.config.gcs_batched_writes,
+                spec=spec,
             )
             runtime.report_task_duration(duration)
             runtime.reconstruction.task_finished(spec.task_id)
             runtime.discard_cancellation_event(spec.task_id)
+            if replay:
+                runtime.clear_replay_hint(spec.task_id)

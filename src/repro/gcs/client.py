@@ -45,6 +45,7 @@ class GlobalControlStore:
         hop_delay: float = 0.0,
         metrics: Any = None,
         faults: Any = None,
+        client_cache: bool = True,
     ):
         self.kv = ShardedKV(
             num_shards=num_shards,
@@ -58,6 +59,22 @@ class GlobalControlStore:
         # so next() is atomic — every recorded event gets a unique,
         # monotonically increasing timeline position without a lock.
         self._event_seq = itertools.count(1)
+        # Write-through function cache: registration flows through this
+        # client, and function rows are immutable for a given FunctionID,
+        # so workers can skip the remote read that would otherwise tax
+        # every single task execution with a chain hop.  ``client_cache``
+        # False turns lookups back into remote reads (the pre-cache
+        # control plane, kept measurable for benchmarks).
+        self._client_cache = client_cache
+        self._function_cache: Dict[FunctionID, Any] = {}
+        # Location-publication hint: every location append flows through
+        # this client, so an ID absent from this set has never had a copy
+        # anywhere.  Fetchers that also hold the object's lineage locally
+        # use this to skip the authoritative (remote) location read and
+        # wait on the pub-sub subscription alone.  Never cleared — a
+        # retracted location keeps its hint, which only forces the full
+        # (checked) path.  GIL-atomic set add/lookup; no lock needed.
+        self._published_locations: Set[ObjectID] = set()
 
     # ------------------------------------------------------------------
     # Function table
@@ -71,11 +88,15 @@ class GlobalControlStore:
         mechanism — workers look functions up here by ID.
         """
         self.kv.put((_FUNC, function_id), function)
+        self._function_cache[function_id] = function
 
     def get_function(self, function_id: FunctionID) -> Any:
-        fn = self.kv.get((_FUNC, function_id))
+        fn = self._function_cache.get(function_id) if self._client_cache else None
         if fn is None:
-            raise KeyError(f"function {function_id!r} not registered")
+            fn = self.kv.get((_FUNC, function_id))
+            if fn is None:
+                raise KeyError(f"function {function_id!r} not registered")
+            self._function_cache[function_id] = fn
         return fn
 
     # ------------------------------------------------------------------
@@ -89,6 +110,9 @@ class GlobalControlStore:
         self.kv.put((_OBJ, object_id), (size, task_id))
 
     def add_object_location(self, object_id: ObjectID, node_id: NodeID) -> None:
+        # Hint before write: a reader that subscribes and *then* misses
+        # the hint is guaranteed the publication has not happened yet.
+        self._published_locations.add(object_id)
         self.kv.append((_OBJ_LOC, object_id), ("add", node_id))
 
     def remove_object_location(self, object_id: ObjectID, node_id: NodeID) -> None:
@@ -119,6 +143,7 @@ class GlobalControlStore:
         ops: List[tuple] = []
         for object_id, size, task_id, node_id in entries:
             if node_id is not None:
+                self._published_locations.add(object_id)
                 ops.append((
                     "append", (_OBJ_LOC, object_id), ("add", node_id)
                 ))
@@ -134,25 +159,35 @@ class GlobalControlStore:
         entries: List[Tuple[ObjectID, int, Optional[TaskID], Optional[NodeID]]],
         event: Optional[Tuple[str, Dict[str, Any]]] = None,
         batched: bool = True,
+        spec: Any = None,
     ) -> None:
         """Coalesce *every* GCS write of one task finish into batched shard
         writes: the per-output rows (as in :meth:`add_task_outputs`), the
         task-table status update, and the ``task_finished`` event append.
         Output rows precede the status put, so a reader that observes
         ``FINISHED`` can already see the outputs' metadata.  ``batched=False``
-        issues the same writes per-op (the pre-batching path)."""
+        issues the same writes per-op (the pre-batching path).
+
+        When the caller passes the task's ``spec`` (workers hold it — they
+        just executed it), the task row is rebuilt in place and the finish
+        costs zero reads; without it the row is read back first."""
         if not batched:
             self.add_task_outputs(entries, batched=False)
             self.update_task_status(task_id, status, node_id=node_id)
             if event is not None:
                 self.record_event(event[0], **event[1])
             return
-        task_entry = self.kv.get((_TASK, task_id))
-        if task_entry is None:
-            raise KeyError(f"task {task_id!r} not in task table")
+        if spec is None or node_id is None:
+            task_entry = self.kv.get((_TASK, task_id))
+            if task_entry is None:
+                raise KeyError(f"task {task_id!r} not in task table")
+            spec = task_entry.spec
+            if node_id is None:
+                node_id = task_entry.node_id
         ops: List[tuple] = []
         for object_id, size, producer, node in entries:
             if node is not None:
+                self._published_locations.add(object_id)
                 ops.append(("append", (_OBJ_LOC, object_id), ("add", node)))
             ops.append(("put", (_OBJ, object_id), (size, producer)))
         ops.append((
@@ -160,9 +195,9 @@ class GlobalControlStore:
             (_TASK, task_id),
             TaskTableEntry(
                 task_id=task_id,
-                spec=task_entry.spec,
+                spec=spec,
                 status=status,
-                node_id=node_id if node_id is not None else task_entry.node_id,
+                node_id=node_id,
             ),
         ))
         if event is not None:
@@ -172,6 +207,15 @@ class GlobalControlStore:
                 self._stamped_event(event[0], event[1]),
             ))
         self.kv.batch(ops)
+
+    def has_location_hint(self, object_id: ObjectID) -> bool:
+        """Has any location for ``object_id`` ever been published through
+        this client?  ``False`` means no copy has ever existed (the object
+        may still be in production) — an in-process invariant, because all
+        location appends flow through this client.  A cheap local
+        pre-check only: when ``True``, callers still need the
+        authoritative :meth:`get_object_locations` read."""
+        return object_id in self._published_locations
 
     def get_object_locations(self, object_id: ObjectID) -> Set[NodeID]:
         locations: Set[NodeID] = set()
@@ -215,16 +259,117 @@ class GlobalControlStore:
     # Task table (durable lineage)
     # ------------------------------------------------------------------
 
-    def add_task(self, task_id: TaskID, spec: Any) -> None:
-        existing = self.kv.get((_TASK, task_id))
-        if existing is not None:
-            # Replay of an already-recorded task: keep the original spec so
-            # lineage stays stable (exactly-once bookkeeping).
-            return
+    def add_task(self, task_id: TaskID, spec: Any, check_existing: bool = True) -> None:
+        """Record a task row.  ``check_existing=False`` skips the replay
+        read — only valid for *first* submissions (a fresh deterministic
+        task ID that cannot already be in the table); replayed parents must
+        keep the check so lineage stays stable (exactly-once bookkeeping)."""
+        if check_existing:
+            existing = self.kv.get((_TASK, task_id))
+            if existing is not None:
+                # Replay of an already-recorded task: keep the original spec
+                # so lineage stays stable.
+                return
         self.kv.put(
             (_TASK, task_id),
             TaskTableEntry(task_id=task_id, spec=spec, status=TaskStatus.PENDING),
         )
+
+    def add_tasks(
+        self,
+        specs: List[Any],
+        events: Optional[List[Tuple[str, Dict[str, Any]]]] = None,
+        batched: bool = True,
+    ) -> None:
+        """Record many first-submission task rows (plus their
+        ``task_submitted`` trace events) in coalesced shard writes.
+
+        The submit-side mirror of :meth:`finish_task`: one
+        :meth:`ShardedKV.batch` call groups every row into one chain write
+        per shard instead of one round-trip per task, and the submit events
+        ride in the same batch.  Events are seq-stamped here in submission
+        order, so the cluster timeline ordering invariant holds exactly as
+        it does for per-op writes.  All specs must be first submissions
+        (see :meth:`add_task`); ``batched=False`` issues the same writes
+        per-op (the pre-batching path, kept for benchmarks/ablation).
+        """
+        if not batched:
+            for spec in specs:
+                self.add_task(spec.task_id, spec, check_existing=False)
+            for category, payload in events or ():
+                self.record_event(category, **payload)
+            return
+        ops: List[tuple] = []
+        for spec in specs:
+            ops.append((
+                "put",
+                (_TASK, spec.task_id),
+                TaskTableEntry(
+                    task_id=spec.task_id, spec=spec, status=TaskStatus.PENDING
+                ),
+            ))
+        for category, payload in events or ():
+            ops.append((
+                "append",
+                (_EVENT, category),
+                self._stamped_event(category, payload),
+            ))
+        if ops:
+            self.kv.batch(ops)
+
+    def set_task_states(
+        self,
+        updates: List[Tuple[Any, TaskStatus, Optional[NodeID]]],
+        events: Optional[List[Tuple[str, Dict[str, Any]]]] = None,
+        batched: bool = True,
+    ) -> None:
+        """Write task rows for ``[(spec, status, node_id), ...]`` plus trace
+        events in one coalesced shard write.
+
+        The scheduler-side mirror of :meth:`finish_task`: a local scheduler
+        moving a batch of queued tasks to SCHEDULED/RUNNING already holds
+        their specs, so the rows are rebuilt directly — no per-row
+        read-modify-write round-trip — and every row plus the batch's
+        ``task_scheduled``/``task_inputs_ready`` events collapse into one
+        chain write per shard.  Only valid for tasks whose status the
+        caller currently owns (placed/queued on its node); events are
+        seq-stamped in list order so timeline ordering holds.
+        ``batched=False`` issues the same writes per-op.
+        """
+        if not batched:
+            for spec, status, node_id in updates:
+                self.kv.put(
+                    (_TASK, spec.task_id),
+                    TaskTableEntry(
+                        task_id=spec.task_id,
+                        spec=spec,
+                        status=status,
+                        node_id=node_id,
+                    ),
+                )
+            for category, payload in events or ():
+                self.record_event(category, **payload)
+            return
+        ops: List[tuple] = []
+        for spec, status, node_id in updates:
+            ops.append((
+                "put",
+                (_TASK, spec.task_id),
+                TaskTableEntry(
+                    task_id=spec.task_id,
+                    spec=spec,
+                    status=status,
+                    node_id=node_id,
+                ),
+            ))
+        for category, payload in events or ():
+            ops.append((
+                "append",
+                (_EVENT, category),
+                self._stamped_event(category, payload),
+            ))
+        if ops:
+            self.kv.batch(ops)
 
     def update_task_status(
         self,

@@ -10,6 +10,7 @@ one shard.
 from __future__ import annotations
 
 import hashlib
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.ids import BaseID, shard_index
@@ -85,6 +86,16 @@ class ShardedKV:
             "Operations coalesced into one shard write",
             buckets=(1, 2, 4, 8, 16, 32, 64),
         )
+        # Flushes one batch's per-shard groups concurrently when chain
+        # hops cost real time (threads are spawned lazily on first use and
+        # reused, so batches in the free-hop regime never pay for them).
+        # Sized for concurrent *issuers* (many workers finish tasks at
+        # once), not for shard count — an undersized pool makes callers
+        # queue behind each other's round-trips.
+        self._flush_pool = ThreadPoolExecutor(
+            max_workers=max(16, 2 * num_shards),
+            thread_name_prefix="gcs-batch-flush",
+        )
 
     @property
     def num_shards(self) -> int:
@@ -117,14 +128,36 @@ class ShardedKV:
         shard.  Keys of one entity (e.g. an object's location log and
         metadata row) shard together, so a task's per-output writes
         coalesce instead of paying one chain round-trip each.  Relative
-        order is preserved within each shard group."""
+        order is preserved within each shard group.
+
+        Shards are independent servers, so when chain hops cost real time
+        (``hop_delay`` models the remote round-trip) the per-shard flushes
+        are issued concurrently — one batch spanning N shards pays one
+        round-trip, not N back to back.  With free hops the serial loop is
+        cheaper than spawning threads.
+        """
         groups: Dict[int, List[tuple]] = {}
         for entry in ops:
             groups.setdefault(_shard_of(entry[1], len(self.shards)), []).append(
                 entry
             )
-        for index, group in groups.items():
-            self.shards[index].write_batch(group)
+        items = list(groups.items())
+        if len(items) > 1 and any(
+            self.shards[index].hop_delay for index, _ in items
+        ):
+            futures = [
+                self._flush_pool.submit(
+                    self.shards[index].write_batch, group
+                )
+                for index, group in items[1:]
+            ]
+            self.shards[items[0][0]].write_batch(items[0][1])
+            for future in futures:
+                future.result()
+        else:
+            for index, group in items:
+                self.shards[index].write_batch(group)
+        for index, group in items:
             counters = self._op_counters[index]
             for op, _key, _value in group:
                 counters[op].inc()
@@ -147,6 +180,10 @@ class ShardedKV:
         self, key: Any, callback: Callable[[Any, Any], None]
     ) -> Callable[[], None]:
         return self.shard_for(key).subscribe(key, callback)
+
+    def close(self) -> None:
+        """Release the batch-flush worker threads (idempotent)."""
+        self._flush_pool.shutdown(wait=False)
 
     # -- aggregate stats -----------------------------------------------------
 

@@ -64,15 +64,20 @@ class TestSubmissionDedup:
 
         parent_id = runtime.driver_task_id
 
-        def submit_as_replay():
+        def submit_as_replay(replay=False):
             # Same parent + same submission index ⇒ same child task ID.
-            with context.execution_scope(runtime, runtime.driver_node, parent_id):
+            # A replayed execution carries is_replay=True (set by the
+            # reconstruction / resubmission paths), which routes its
+            # submissions through the checked, deduplicating path.
+            with context.execution_scope(
+                runtime, runtime.driver_node, parent_id, is_replay=replay
+            ):
                 return leaf.remote()
 
         first = submit_as_replay()
         assert repro.get(first, timeout=10) == 42
         executed_before = len(runtime.gcs.events("task_finished"))
-        second = submit_as_replay()  # identical deterministic ID
+        second = submit_as_replay(replay=True)  # identical deterministic ID
         assert second == first
         time.sleep(0.2)
         assert len(runtime.gcs.events("task_finished")) == executed_before
