@@ -54,6 +54,7 @@ from repro.api import (
 from repro.common.serialization import deregister_serializer, register_serializer
 from repro.common.errors import (
     ActorDiedError,
+    BackpressureError,
     GetTimeoutError,
     ObjectLostError,
     ObjectStoreFullError,
@@ -61,6 +62,7 @@ from repro.common.errors import (
     TaskCancelledError,
     TaskExecutionError,
 )
+from repro.common.options import Options
 from repro.common.faults import (
     FaultAction,
     FaultSchedule,
@@ -68,6 +70,7 @@ from repro.common.faults import (
     PlannedFault,
 )
 from repro.core.runtime import Runtime, RuntimeConfig
+from repro import serve
 
 __version__ = "0.1.0"
 
@@ -92,12 +95,15 @@ __all__ = [
     "register_serializer",
     "deregister_serializer",
     "ObjectRef",
+    "Options",
     "RemoteFunction",
     "ActorClass",
     "ActorHandle",
     "Runtime",
     "RuntimeConfig",
+    "serve",
     "ReproError",
+    "BackpressureError",
     "TaskExecutionError",
     "TaskCancelledError",
     "ObjectLostError",

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.common.lockwatch import make_lock
 from repro.common.errors import RuntimeNotInitializedError
 from repro.common.ids import ActorID, FunctionID, ObjectID
+from repro.common.options import Options, suggest
 from repro.core import context
 from repro.core.resources import normalize_resources
 from repro.core.runtime import Runtime, RuntimeConfig
@@ -61,8 +62,21 @@ def init(config: Optional[RuntimeConfig] = None, **overrides: Any) -> Runtime:
     ``scheduler_policy``, ``spillback_policy``, …).  Scheduler policies
     resolve by registry name, class, or instance — see
     ``docs/SCHEDULING.md``.
+
+    Unknown keyword arguments are rejected here with the list of valid
+    ``RuntimeConfig`` fields (``RuntimeConfig.describe()`` renders them
+    with types, defaults, and one-line docs).
     """
     global _global_runtime
+    if overrides:
+        valid = set(RuntimeConfig.__dataclass_fields__)
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            hint = suggest(unknown[0], valid)
+            raise TypeError(
+                f"unknown repro.init() option(s) {unknown}{hint}; "
+                f"valid RuntimeConfig fields: {sorted(valid)}"
+            )
     with _runtime_lock:
         if _global_runtime is not None:
             raise RuntimeError("repro.init() called twice; call shutdown() first")
@@ -254,31 +268,27 @@ class RemoteFunction:
         )
         self._resources = self._shape.resources
 
-    def options(
-        self,
-        num_returns: Optional[int] = None,
-        num_cpus: Optional[float] = None,
-        num_gpus: Optional[float] = None,
-        resources: Optional[Dict[str, float]] = None,
-        max_retries: Optional[int] = None,
-        retry_exceptions: Optional[Sequence[type]] = None,
-    ) -> "RemoteFunction":
-        """A copy of this remote function with overridden invocation options."""
+    def options(self, **kwargs: Any) -> "RemoteFunction":
+        """A copy of this remote function with overridden invocation options.
+
+        Validated through the shared :class:`~repro.common.options.Options`
+        path (surface ``"task"``); unknown keys raise ``TypeError`` with a
+        did-you-mean suggestion.  Chained calls *merge*: a later
+        ``.options()`` overrides only the fields it actually sets.
+        """
+        opts = Options.for_surface("task", **kwargs)
         clone = RemoteFunction(
             self._func,
-            num_returns=self._num_returns if num_returns is None else num_returns,
-            max_retries=self._max_retries if max_retries is None else max_retries,
-            retry_exceptions=(
-                self._retry_exceptions
-                if retry_exceptions is None
-                else tuple(retry_exceptions)
-            ),
+            num_returns=opts.get("num_returns", self._num_returns),
+            max_retries=opts.get("max_retries", self._max_retries),
+            retry_exceptions=opts.get("retry_exceptions", self._retry_exceptions),
         )
-        clone._resources = (
-            self._resources
-            if num_cpus is None and num_gpus is None and resources is None
-            else normalize_resources(num_cpus, num_gpus, resources)
-        )
+        if any(opts.is_set(k) for k in ("num_cpus", "num_gpus", "resources")):
+            clone._resources = normalize_resources(
+                opts.get("num_cpus"), opts.get("num_gpus"), opts.get("resources")
+            )
+        else:
+            clone._resources = self._resources
         clone._intern()
         return clone
 
@@ -381,22 +391,17 @@ class ActorMethod:
             None if retry_exceptions is None else tuple(retry_exceptions)
         )
 
-    def options(
-        self,
-        num_returns: Optional[int] = None,
-        max_retries: Optional[int] = None,
-        retry_exceptions: Optional[Sequence[type]] = None,
-    ) -> "ActorMethod":
+    def options(self, **kwargs: Any) -> "ActorMethod":
+        """A copy of this bound method with overridden per-call options
+        (shared :class:`~repro.common.options.Options` path, surface
+        ``"method"``; chained calls merge)."""
+        opts = Options.for_surface("method", **kwargs)
         return ActorMethod(
             self._handle,
             self._method_name,
-            self._num_returns if num_returns is None else num_returns,
-            max_retries=self._max_retries if max_retries is None else max_retries,
-            retry_exceptions=(
-                self._retry_exceptions
-                if retry_exceptions is None
-                else tuple(retry_exceptions)
-            ),
+            num_returns=opts.get("num_returns", self._num_returns),
+            max_retries=opts.get("max_retries", self._max_retries),
+            retry_exceptions=opts.get("retry_exceptions", self._retry_exceptions),
         )
 
     def remote(self, *args: Any, **kwargs: Any):
@@ -429,7 +434,20 @@ class ActorHandle:
         return ActorMethod(self, name)
 
     def __repr__(self) -> str:
-        return f"ActorHandle({self.actor_id.hex()[:12]})"
+        """Stable, greppable form carrying class, name, and incarnation
+        when the runtime can resolve them, e.g.
+        ``ActorHandle(Counter, 1f2e3d4c5b6a, name='alpha', incarnation=2)``."""
+        short = self.actor_id.hex()[:12]
+        runtime = context.current_runtime() or _global_runtime
+        actors = getattr(runtime, "actors", None)
+        state = actors.get_state(self.actor_id) if actors is not None else None
+        if state is None:
+            return f"ActorHandle({short})"
+        name_part = f", name={state.name!r}" if state.name else ""
+        return (
+            f"ActorHandle({state.class_name}, {short}{name_part}, "
+            f"incarnation={state.incarnation})"
+        )
 
     def __reduce__(self):
         return (ActorHandle, (self.actor_id,))
@@ -456,28 +474,31 @@ class ActorClass:
         self.__name__ = cls.__name__
         self.__doc__ = cls.__doc__
 
-    def options(
-        self,
-        num_cpus: Optional[float] = None,
-        num_gpus: Optional[float] = None,
-        resources: Optional[Dict[str, float]] = None,
-        checkpoint_interval: Optional[int] = None,
-        max_restarts: Optional[int] = None,
-        name: Optional[str] = None,
-    ) -> "ActorClass":
-        return ActorClass(
+    def options(self, **kwargs: Any) -> "ActorClass":
+        """A copy of this actor class with overridden creation options.
+
+        Shared :class:`~repro.common.options.Options` path (surface
+        ``"actor"``).  Chained calls merge; in particular, a call that
+        sets no resource field *keeps* the decorator's resources instead
+        of resetting them to the defaults (the historical divergence from
+        ``RemoteFunction.options``).
+        """
+        opts = Options.for_surface("actor", **kwargs)
+        clone = ActorClass(
             self._cls,
-            num_cpus=num_cpus,
-            num_gpus=num_gpus,
-            resources=resources,
-            checkpoint_interval=(
-                self._checkpoint_interval
-                if checkpoint_interval is None
-                else checkpoint_interval
+            checkpoint_interval=opts.get(
+                "checkpoint_interval", self._checkpoint_interval
             ),
-            max_restarts=self._max_restarts if max_restarts is None else max_restarts,
-            name=self._name if name is None else name,
+            max_restarts=opts.get("max_restarts", self._max_restarts),
+            name=opts.get("name", self._name),
         )
+        if any(opts.is_set(k) for k in ("num_cpus", "num_gpus", "resources")):
+            clone._resources = normalize_resources(
+                opts.get("num_cpus"), opts.get("num_gpus"), opts.get("resources")
+            )
+        else:
+            clone._resources = self._resources
+        return clone
 
     def remote(self, *args: Any, **kwargs: Any) -> ActorHandle:
         """Instantiate the class as a remote actor (paper Table 1).
@@ -622,28 +643,26 @@ def remote(*args: Any, **kwargs: Any):
 
 
 def _wrap_remote(target, **options: Any):
+    # Decorator keywords flow through the same Options validation path as
+    # every .options() surface — one place rejects unknown keys.
     if isinstance(target, type):
-        allowed = {
-            "num_cpus",
-            "num_gpus",
-            "resources",
-            "checkpoint_interval",
-            "max_restarts",
-            "name",
-        }
-        unknown = set(options) - allowed
-        if unknown:
-            raise TypeError(f"unknown actor options: {sorted(unknown)}")
-        return ActorClass(target, **options)
-    allowed = {
-        "num_returns",
-        "num_cpus",
-        "num_gpus",
-        "resources",
-        "max_retries",
-        "retry_exceptions",
-    }
-    unknown = set(options) - allowed
-    if unknown:
-        raise TypeError(f"unknown task options: {sorted(unknown)}")
-    return RemoteFunction(target, **options)
+        opts = Options.for_surface("actor", **options)
+        return ActorClass(
+            target,
+            num_cpus=opts.get("num_cpus"),
+            num_gpus=opts.get("num_gpus"),
+            resources=opts.get("resources"),
+            checkpoint_interval=opts.get("checkpoint_interval"),
+            max_restarts=opts.get("max_restarts", 4),
+            name=opts.get("name"),
+        )
+    opts = Options.for_surface("task", **options)
+    return RemoteFunction(
+        target,
+        num_returns=opts.get("num_returns", 1),
+        num_cpus=opts.get("num_cpus"),
+        num_gpus=opts.get("num_gpus"),
+        resources=opts.get("resources"),
+        max_retries=opts.get("max_retries", 0),
+        retry_exceptions=opts.get("retry_exceptions"),
+    )

@@ -91,3 +91,13 @@ class ChainUnavailableError(ReproError):
 
 class CheckpointError(ReproError):
     """An actor checkpoint could not be saved or restored."""
+
+
+class BackpressureError(ReproError):
+    """A serve router shed a request because its pending queue is full.
+
+    Raised synchronously by ``DeploymentHandle.submit``/``query`` when the
+    deployment's admission bound (``max_queue_per_replica * num_replicas``)
+    is reached; the HTTP ingress maps it to a 429 response.  Clients should
+    back off and retry.
+    """

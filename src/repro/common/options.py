@@ -1,0 +1,252 @@
+"""One typed options surface for tasks, actors, actor methods, and deployments.
+
+Historically ``RemoteFunction.options``, ``ActorClass.options`` and
+``ActorMethod.options`` each carried their own keyword list, their own
+(diverging) inheritance rules, and their own ad-hoc unknown-key check.
+This module replaces all of that with a single :class:`Options` value
+object and one validation path:
+
+* every surface ("task", "actor", "method", "deployment") declares the
+  fields it accepts in :data:`SURFACE_FIELDS`;
+* :meth:`Options.for_surface` is the only place unknown keys are
+  rejected — with a did-you-mean suggestion and, when the key exists on
+  a *different* surface, a hint naming it;
+* explicitly-passed values (including an explicit ``None``) are
+  distinguished from never-passed ones via the :data:`UNSET` sentinel,
+  which is what makes ``f.options(a).options(b)`` merge instead of
+  replace.
+
+``repro.serve.deployment`` consumes the same object (surface
+"deployment") instead of growing a fourth kwargs filter.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, fields
+from typing import Any, Dict, FrozenSet, Mapping, Tuple
+
+
+class _UnsetType:
+    """Sentinel distinguishing "never passed" from an explicit ``None``."""
+
+    _instance = None
+
+    def __new__(cls) -> "_UnsetType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_UnsetType, ())
+
+
+UNSET = _UnsetType()
+
+
+#: Which Options fields each ``.options()`` surface accepts.
+SURFACE_FIELDS: Dict[str, FrozenSet[str]] = {
+    "task": frozenset(
+        {
+            "num_returns",
+            "num_cpus",
+            "num_gpus",
+            "resources",
+            "max_retries",
+            "retry_exceptions",
+        }
+    ),
+    "actor": frozenset(
+        {
+            "num_cpus",
+            "num_gpus",
+            "resources",
+            "checkpoint_interval",
+            "max_restarts",
+            "name",
+        }
+    ),
+    "method": frozenset({"num_returns", "max_retries", "retry_exceptions"}),
+    "deployment": frozenset(
+        {
+            "num_replicas",
+            "max_batch_size",
+            "batch_wait_timeout_s",
+            "max_queue_per_replica",
+            "num_cpus",
+            "num_gpus",
+            "resources",
+            "max_restarts",
+            "name",
+        }
+    ),
+}
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_non_negative_int(key: str, value: Any) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise TypeError(f"option {key!r} must be a non-negative int, got {value!r}")
+
+
+def _check_value(key: str, value: Any) -> None:
+    """Per-field value validation, shared by every surface."""
+    if key == "num_returns":
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise TypeError(f"option 'num_returns' must be an int >= 1, got {value!r}")
+    elif key in ("num_cpus", "num_gpus"):
+        if value is None:
+            return
+        if not _is_number(value) or value < 0:
+            raise TypeError(f"option {key!r} must be a non-negative number, got {value!r}")
+    elif key == "resources":
+        if value is None:
+            return
+        if not isinstance(value, Mapping) or not all(
+            isinstance(k, str) and _is_number(v) for k, v in value.items()
+        ):
+            raise TypeError(
+                f"option 'resources' must be a dict of resource name -> amount, got {value!r}"
+            )
+    elif key in ("max_retries", "max_restarts"):
+        _check_non_negative_int(key, value)
+    elif key == "retry_exceptions":
+        if value is None:
+            return
+        if isinstance(value, type):
+            raise TypeError(
+                "option 'retry_exceptions' must be a sequence of exception "
+                f"types, got the bare type {value!r} (wrap it in a list)"
+            )
+        try:
+            ok = all(isinstance(e, type) and issubclass(e, BaseException) for e in value)
+        except TypeError:
+            ok = False
+        if not ok:
+            raise TypeError(
+                f"option 'retry_exceptions' must be a sequence of exception types, got {value!r}"
+            )
+    elif key == "checkpoint_interval":
+        if value is None:
+            return
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise TypeError(
+                f"option 'checkpoint_interval' must be None or an int >= 1, got {value!r}"
+            )
+    elif key == "name":
+        if value is None:
+            return
+        if not isinstance(value, str) or not value:
+            raise TypeError(f"option 'name' must be a non-empty string, got {value!r}")
+    elif key in ("num_replicas", "max_batch_size", "max_queue_per_replica"):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise TypeError(f"option {key!r} must be an int >= 1, got {value!r}")
+    elif key == "batch_wait_timeout_s":
+        if not _is_number(value) or value < 0:
+            raise TypeError(
+                f"option 'batch_wait_timeout_s' must be a non-negative number, got {value!r}"
+            )
+
+
+def suggest(key: str, candidates) -> str:
+    """A ``did you mean`` clause for an unknown key ('' when no match)."""
+    matches = difflib.get_close_matches(key, sorted(candidates), n=1, cutoff=0.6)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def _unknown_key_error(surface: str, key: str) -> TypeError:
+    allowed = SURFACE_FIELDS[surface]
+    hint = suggest(key, allowed)
+    if not hint:
+        homes = sorted(s for s, keys in SURFACE_FIELDS.items() if key in keys)
+        if homes:
+            hint = f" ({key!r} is valid on the {'/'.join(homes)} surface)"
+    return TypeError(
+        f"unknown {surface} option {key!r}{hint}; valid {surface} options: "
+        f"{sorted(allowed)}"
+    )
+
+
+@dataclass(frozen=True)
+class Options:
+    """Validated, mergeable invocation options (all surfaces).
+
+    Fields left at :data:`UNSET` were never passed; ``merged`` lets a
+    later ``.options()`` call override only the fields it actually sets.
+    """
+
+    num_returns: Any = UNSET
+    num_cpus: Any = UNSET
+    num_gpus: Any = UNSET
+    resources: Any = UNSET
+    max_retries: Any = UNSET
+    retry_exceptions: Any = UNSET
+    checkpoint_interval: Any = UNSET
+    max_restarts: Any = UNSET
+    name: Any = UNSET
+    num_replicas: Any = UNSET
+    max_batch_size: Any = UNSET
+    batch_wait_timeout_s: Any = UNSET
+    max_queue_per_replica: Any = UNSET
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def for_surface(cls, surface: str, **kwargs: Any) -> "Options":
+        """THE validation path: reject unknown keys (with did-you-mean),
+        type/value-check the known ones, and freeze the result."""
+        if surface not in SURFACE_FIELDS:
+            raise ValueError(
+                f"unknown options surface {surface!r}; "
+                f"expected one of {sorted(SURFACE_FIELDS)}"
+            )
+        allowed = SURFACE_FIELDS[surface]
+        values: Dict[str, Any] = {}
+        for key, value in kwargs.items():
+            if key not in allowed:
+                raise _unknown_key_error(surface, key)
+            _check_value(key, value)
+            if key == "retry_exceptions" and value is not None:
+                value = tuple(value)
+            elif key == "resources" and value is not None:
+                value = dict(value)
+            values[key] = value
+        return cls(**values)
+
+    def is_set(self, field_name: str) -> bool:
+        return getattr(self, field_name) is not UNSET
+
+    def get(self, field_name: str, default: Any = None) -> Any:
+        value = getattr(self, field_name)
+        return default if value is UNSET else value
+
+    def set_fields(self) -> Dict[str, Any]:
+        """Only the explicitly-passed fields, as a plain dict."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) is not UNSET
+        }
+
+    def merged(self, other: "Options") -> "Options":
+        """A new Options where ``other``'s set fields win; this object's
+        set fields survive where ``other`` left them unset.  ``resources``
+        dicts replace wholesale (no per-key union)."""
+        values = self.set_fields()
+        values.update(other.set_fields())
+        return Options(**values)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in sorted(self.set_fields().items()))
+        return f"Options({body})"

@@ -388,6 +388,7 @@ class ActorManager:
             ):
                 with state.cond:
                     state.next_counter = spec.actor_counter + 1
+                    state.cond.notify_all()  # wake quiesce_actor waiters
                 return
         if is_replay:
             with self._lock:
@@ -470,6 +471,7 @@ class ActorManager:
         with state.cond:
             state.next_counter = spec.actor_counter + 1
             executed = state.next_counter
+            state.cond.notify_all()  # wake quiesce_actor waiters
         duration = time.perf_counter() - started
         gcs.finish_task(
             spec.task_id,
@@ -512,6 +514,7 @@ class ActorManager:
         with state.cond:
             state.next_counter = spec.actor_counter + 1
             executed = state.next_counter
+            state.cond.notify_all()  # wake quiesce_actor waiters
         runtime.gcs.finish_task(
             spec.task_id,
             TaskStatus.CANCELLED,
@@ -676,6 +679,49 @@ class ActorManager:
     def get_state(self, actor_id: ActorID) -> Optional[ActorState]:
         with self._lock:
             return self.actors.get(actor_id)
+
+    # ------------------------------------------------------------------
+    # Graceful retirement (serve hot-swap drain hook)
+    # ------------------------------------------------------------------
+
+    def quiesce_actor(
+        self, actor_id: ActorID, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until every submitted method has executed, or the actor is
+        permanently dead.  Returns True when drained, False on timeout.
+
+        The caller is responsible for stopping new submissions first (the
+        serve router unroutes a replica before quiescing it); this only
+        waits out the in-flight mailbox.
+        """
+        state = self.get_state(actor_id)
+        if state is None:
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with state.cond:
+            while not (state.dead_forever or state.next_counter >= state.submitted):
+                wait_for = BACKSTOP_INTERVAL
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    wait_for = min(wait_for, remaining)
+                state.cond.wait(wait_for)
+            return True
+
+    def drain_actor(
+        self, actor_id: ActorID, timeout: Optional[float] = None
+    ) -> bool:
+        """Quiesce then permanently kill the actor (no restart): graceful
+        retirement, used by serve's versioned hot model-swap.  Returns the
+        quiesce verdict (False means the kill proceeded after a timeout
+        with methods still pending)."""
+        drained = self.quiesce_actor(actor_id, timeout=timeout)
+        with self._lock:
+            known = actor_id in self.actors
+        if known:
+            self.kill_actor(actor_id, restart=False)
+        return drained
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -18,7 +18,7 @@ import itertools
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common import lockwatch
@@ -141,6 +141,66 @@ class RuntimeConfig:
     # lifecycle paths (the NULL_FAULTS pattern).
     reporters_enabled: bool = False
     reporter_interval_seconds: float = 0.25
+    # Serve plane: how often each deployment's router publishes its
+    # per-replica latency/queue-depth report into the GCS serve tables.
+    serve_report_interval_seconds: float = 0.25
+
+    @classmethod
+    def describe(cls) -> List[Dict[str, Any]]:
+        """One row per config field — name, type, default, one-line doc —
+        renderable by both the docs and the dashboard ``/config`` endpoint."""
+        rows: List[Dict[str, Any]] = []
+        for f in fields(cls):
+            if f.default is not MISSING:
+                default: Any = f.default
+            elif f.default_factory is not MISSING:  # type: ignore[misc]
+                default = f.default_factory()  # type: ignore[misc]
+            else:
+                default = None
+            rows.append(
+                {
+                    "name": f.name,
+                    "type": f.type if isinstance(f.type, str) else str(f.type),
+                    "default": repr(default),
+                    "doc": _CONFIG_FIELD_DOCS.get(f.name, ""),
+                }
+            )
+        return rows
+
+
+#: One-line docs for RuntimeConfig fields (``RuntimeConfig.describe()``).
+_CONFIG_FIELD_DOCS: Dict[str, str] = {
+    "num_nodes": "Nodes created at init.",
+    "num_cpus_per_node": "CPU resource units per node.",
+    "num_gpus_per_node": "GPU resource units per node.",
+    "custom_resources": "Extra per-node resource capacities (name -> amount).",
+    "object_store_capacity_bytes": "Per-node object-store cap (None = unbounded).",
+    "object_spill_directory": "LRU eviction spills here instead of dropping copies.",
+    "gcs_shards": "Number of GCS shards (hash-partitioned tables).",
+    "gcs_replicas": "Chain-replication length per GCS shard.",
+    "num_global_schedulers": "Global scheduler replicas sharing the policy.",
+    "locality_aware": "Weigh object locality in placement decisions.",
+    "spillback_threshold": "Local backlog above which tasks spill to the global scheduler.",
+    "scheduler_delay": "Injected scheduling latency (Fig 12b experiments).",
+    "scheduler_policy": "Placement policy: registry name, class, or instance.",
+    "spillback_policy": "Forward-to-global policy: registry name, class, or instance.",
+    "gcs_flush_path": "Flush finished-task lineage to this file when over threshold.",
+    "gcs_flush_threshold": "In-memory lineage entries tolerated before a flush.",
+    "metrics_enabled": "Maintain the counters/gauges/histograms registry.",
+    "trace_events_enabled": "Record task-lifecycle trace events in the GCS event log.",
+    "value_cache_enabled": "Per-node deserialized-value LRU cache for repeated reads.",
+    "value_cache_capacity_bytes": "Byte budget of the deserialized-value cache.",
+    "prefetch_parallelism": "Parallel replica fetches for a task's missing inputs.",
+    "gcs_batched_writes": "Coalesce finish-time GCS writes into one batch per task.",
+    "submit_fastpath": "Dispatch local submissions straight to idle pooled workers.",
+    "worker_pool": "Reuse persistent worker threads instead of one thread per task.",
+    "gcs_client_cache": "Client-side caches for function rows and location hints.",
+    "fault_schedule": "Deterministic fault-injection plan (None = null injector).",
+    "retry_backoff_base": "First app-level retry delay; doubles per attempt.",
+    "reporters_enabled": "Per-node reporters publishing load rows into the GCS.",
+    "reporter_interval_seconds": "Reporter sampling period.",
+    "serve_report_interval_seconds": "Serve router metrics publication period.",
+}
 
 
 class Node:
@@ -978,6 +1038,12 @@ class Runtime:
             name=name,
         )
         return actor_id
+
+    def drain_actor(self, actor_id: ActorID, timeout: Optional[float] = None) -> bool:
+        """Gracefully retire an actor: wait for its in-flight methods to
+        finish, then kill it permanently (no restart).  The serve plane's
+        hot model-swap uses this to drain old-version replicas."""
+        return self.actors.drain_actor(actor_id, timeout=timeout)
 
     def submit_actor_method(
         self,

@@ -33,6 +33,9 @@ _ACTOR = "actor"  # actor table
 _ACTOR_NAME = "actor_name"  # user-visible name -> actor id
 _EVENT = "event"  # event log
 _NODE_REPORT = "node_report"  # per-node reporter snapshot rows
+_DEPLOYMENT = "deployment"  # serve: current row per deployment name
+_DEPLOYMENT_LOG = "deployment_log"  # serve: append-only version history
+_SERVE_REPORT = "serve_report"  # serve: per-deployment router metrics row
 
 
 class GlobalControlStore:
@@ -547,6 +550,78 @@ class GlobalControlStore:
         row["tombstone"] = True
         row["tombstoned_at"] = time.time()
         self.kv.put((_NODE_REPORT, node_hex), row)
+
+    # ------------------------------------------------------------------
+    # Serve tables: versioned deployments + router metrics rows
+    # ------------------------------------------------------------------
+
+    def put_deployment(self, name: str, row: Dict[str, Any]) -> None:
+        """Store the current row for one deployment and append it to the
+        deployment's version history log.
+
+        The row is expected to carry ``version`` plus replica membership
+        (``replicas``: list of actor hex ids); the current-row key is
+        always the latest version, while the append-only log preserves
+        every deploy for the dashboard timeline and debugging.
+        """
+        row = dict(row)
+        row["updated_at"] = time.time()
+        self.kv.put((_DEPLOYMENT, name), row)
+        self.kv.append((_DEPLOYMENT_LOG, name), dict(row))
+
+    def get_deployment(self, name: str) -> Optional[Dict[str, Any]]:
+        return self.kv.get((_DEPLOYMENT, name))
+
+    def deployments(self) -> Dict[str, Dict[str, Any]]:
+        """All current deployment rows, keyed by deployment name."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in self.kv.keys():
+            if isinstance(key, tuple) and key[0] == _DEPLOYMENT:
+                row = self.kv.get(key)
+                if row is not None:
+                    out[key[1]] = row
+        return out
+
+    def deployment_history(self, name: str) -> List[Dict[str, Any]]:
+        """Every version row ever written for ``name``, in deploy order."""
+        return list(self.kv.log((_DEPLOYMENT_LOG, name)))
+
+    def delete_deployment(self, name: str) -> None:
+        """Tombstone a deployment (history survives for the timeline)."""
+        row = dict(self.kv.get((_DEPLOYMENT, name)) or {"name": name})
+        row["deleted"] = True
+        row["deleted_at"] = time.time()
+        self.kv.put((_DEPLOYMENT, name), row)
+
+    def publish_serve_report(self, name: str, row: Dict[str, Any]) -> None:
+        """Store the latest router metrics snapshot for one deployment.
+
+        Mirrors ``publish_node_report``: one row per deployment (put, not
+        append), versioned by the ``seq``/``ts`` the router stamps into
+        it, carrying per-replica queue depth, in-flight count, and p50/p99
+        latency — the signal the replica autoscaler scales from.
+        """
+        self.kv.put((_SERVE_REPORT, name), dict(row))
+
+    def get_serve_report(self, name: str) -> Optional[Dict[str, Any]]:
+        return self.kv.get((_SERVE_REPORT, name))
+
+    def serve_reports(self) -> Dict[str, Dict[str, Any]]:
+        """All router metrics rows, keyed by deployment name."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in self.kv.keys():
+            if isinstance(key, tuple) and key[0] == _SERVE_REPORT:
+                row = self.kv.get(key)
+                if row is not None:
+                    out[key[1]] = row
+        return out
+
+    def tombstone_serve_report(self, name: str) -> None:
+        """Mark a deployment's metrics row dead (deployment torn down)."""
+        row = dict(self.kv.get((_SERVE_REPORT, name)) or {"deployment": name})
+        row["tombstone"] = True
+        row["tombstoned_at"] = time.time()
+        self.kv.put((_SERVE_REPORT, name), row)
 
     # ------------------------------------------------------------------
     # Introspection (debugging tools ride on the GCS — paper Section 7)

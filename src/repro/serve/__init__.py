@@ -1,0 +1,48 @@
+"""``repro.serve`` — the high-QPS model-serving plane (see docs/SERVING.md).
+
+Layered purely on the task/actor API: a ``@serve.deployment`` decorator
+deploys a named-actor replica group behind a router with dynamic
+micro-batching, admission control/backpressure, per-replica p50/p99
+metrics in the GCS, versioned hot model-swap, and a load-based replica
+autoscaler (:class:`repro.tools.autoscaler.ReplicaAutoscaler`).
+
+    import repro
+    from repro import serve
+
+    @serve.deployment(num_replicas=2, max_batch_size=8)
+    def double(x):
+        return x * 2
+
+    repro.init()
+    handle = double.deploy()
+    assert handle.query(21) == 42
+"""
+
+from repro.common.errors import BackpressureError
+from repro.serve.deployment import (
+    Deployment,
+    DeploymentHandle,
+    ServePlane,
+    ServeReplica,
+    deployment,
+    get_deployment,
+    get_plane,
+    list_deployments,
+)
+from repro.serve.http import ServeHTTPServer
+from repro.serve.router import Router, ServeFuture
+
+__all__ = [
+    "BackpressureError",
+    "Deployment",
+    "DeploymentHandle",
+    "Router",
+    "ServeFuture",
+    "ServeHTTPServer",
+    "ServePlane",
+    "ServeReplica",
+    "deployment",
+    "get_deployment",
+    "get_plane",
+    "list_deployments",
+]

@@ -1,0 +1,495 @@
+"""Deployments: named-actor replica groups with versioned hot swap.
+
+A *deployment* is a user callable (class or function) served by
+``num_replicas`` replica actors behind one :class:`~repro.serve.router.Router`.
+Everything is layered on the existing task/actor API — a replica is an
+ordinary named actor (``serve:<deployment>#v<version>:<index>``) created
+through :class:`repro.api.ActorClass`, so it inherits placement, lifetime
+resources, crash-restart reconstruction (``max_restarts``), and the chaos
+harness for free.
+
+    import repro
+    from repro import serve
+
+    @serve.deployment(num_replicas=2, max_batch_size=8, batch_wait_timeout_s=0.02)
+    class Model:
+        def __init__(self, scale):
+            self.scale = scale
+        def handle_batch(self, payloads):           # vectorized path
+            return [p * self.scale for p in payloads]
+
+    repro.init()
+    handle = Model.deploy(3)              # version 1
+    assert handle.query(2) == 6
+    handle = Model.options(max_batch_size=16).deploy(4)   # version 2: hot swap
+
+Hot swap: ``deploy()`` on an existing deployment creates the new replica
+group, atomically repoints the router (new requests only see v2), writes
+the versioned row to the GCS deployment table, then *drains* the old
+replicas — each finishes its in-flight methods before being killed
+(:meth:`Runtime.drain_actor`).
+
+Options flow through the same validated :class:`repro.common.options.Options`
+object as tasks/actors/methods (surface ``"deployment"``) — unknown keys
+fail with did-you-mean, and ``.options()`` calls chain/merge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import api
+from repro.common.lockwatch import make_lock, make_thread
+from repro.common.options import Options
+from repro.serve.router import Router
+
+DEFAULT_NUM_REPLICAS = 1
+DEFAULT_MAX_BATCH_SIZE = 8
+DEFAULT_BATCH_WAIT_TIMEOUT_S = 0.05
+DEFAULT_MAX_QUEUE_PER_REPLICA = 64
+DEFAULT_MAX_RESTARTS = 4
+DRAIN_TIMEOUT_S = 10.0
+
+
+class ServeReplica:
+    """The generic replica actor: holds one instance of the user target.
+
+    ``handle_batch(payloads)`` prefers the target's vectorized
+    ``handle_batch`` when it defines one; otherwise it maps the target
+    (``__call__`` for classes, the function itself otherwise) over the
+    batch.  Either way the router gets exactly one result per payload.
+    """
+
+    def __init__(self, target: Any, version: int, init_args, init_kwargs):
+        if isinstance(target, type):
+            self.impl = target(*init_args, **init_kwargs)
+        else:
+            if init_args or init_kwargs:
+                raise TypeError(
+                    "function deployments take no deploy()-time arguments"
+                )
+            self.impl = target
+        self.version = version
+        self.handled = 0
+
+    def handle_batch(self, payloads: List[Any]) -> List[Any]:
+        self.handled += len(payloads)
+        batch_fn = getattr(self.impl, "handle_batch", None)
+        if callable(batch_fn):
+            return list(batch_fn(list(payloads)))
+        return [self.impl(payload) for payload in payloads]
+
+    def info(self) -> Dict[str, Any]:
+        return {"version": self.version, "handled": self.handled}
+
+
+class _DeploymentState:
+    """Plane-side record for one live deployment."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.version = 0
+        self.router: Optional[Router] = None
+        self.target: Any = None
+        self.init_args: Tuple[Any, ...] = ()
+        self.init_kwargs: Dict[str, Any] = {}
+        self.opts: Options = Options()
+        self.replica_seq = 0  # monotonic index so names never collide
+
+
+class ServePlane:
+    """Per-runtime serve registry: deployments, routers, drains.
+
+    Registered as an ops component (``runtime.register_ops``) so
+    ``Runtime.shutdown()`` stops every router before the actors go away.
+    Control operations (deploy / scale / delete) are serialized per plane;
+    blocking work (actor creation, drains, GCS writes) happens outside the
+    registry lock.
+    """
+
+    def __init__(self, runtime: Any):
+        self.runtime = runtime
+        self._lock = make_lock("serve.ServePlane._lock")
+        self._control = make_lock("serve.ServePlane._control")
+        self._deployments: Dict[str, _DeploymentState] = {}
+        self._drain_threads: List[Any] = []
+        self._stopped = False
+
+    # -- registry -------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_DeploymentState]:
+        with self._lock:
+            return self._deployments.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._deployments)
+
+    def handle(self, name: str) -> "DeploymentHandle":
+        state = self.get(name)
+        if state is None:
+            raise KeyError(f"no deployment named {name!r}")
+        return DeploymentHandle(self, name)
+
+    # -- deploy / swap --------------------------------------------------
+
+    def deploy(
+        self,
+        deployment: "Deployment",
+        init_args: Tuple[Any, ...],
+        init_kwargs: Dict[str, Any],
+        version: Optional[int] = None,
+    ) -> "DeploymentHandle":
+        with self._control:
+            if self._stopped:
+                raise RuntimeError("serve plane is stopped")
+            name = deployment.name
+            with self._lock:
+                state = self._deployments.get(name)
+                if state is None:
+                    state = self._deployments[name] = _DeploymentState(name)
+            old_router_replicas: List[Tuple[Any, str]] = []
+            new_version = state.version + 1 if version is None else version
+            if new_version <= state.version:
+                raise ValueError(
+                    f"deployment {name!r} is already at version {state.version}; "
+                    f"cannot deploy version {new_version}"
+                )
+            opts = deployment.opts
+            state.target = deployment.target
+            state.init_args = tuple(init_args)
+            state.init_kwargs = dict(init_kwargs)
+            state.opts = opts
+
+            num_replicas = opts.get("num_replicas", DEFAULT_NUM_REPLICAS)
+            replicas = [
+                self._create_replica(state, new_version)
+                for _ in range(num_replicas)
+            ]
+
+            if state.router is None:
+                state.router = Router(
+                    self.runtime,
+                    name,
+                    version=new_version,
+                    max_batch_size=opts.get("max_batch_size", DEFAULT_MAX_BATCH_SIZE),
+                    batch_wait_timeout_s=opts.get(
+                        "batch_wait_timeout_s", DEFAULT_BATCH_WAIT_TIMEOUT_S
+                    ),
+                    max_queue_per_replica=opts.get(
+                        "max_queue_per_replica", DEFAULT_MAX_QUEUE_PER_REPLICA
+                    ),
+                ).start()
+                state.router.set_replicas(replicas, version=new_version)
+            else:
+                # Hot swap: capture the old group, repoint the router (new
+                # requests only ever see the new version), then drain.
+                old_router_replicas = self._current_replicas(state)
+                state.router.set_replicas(
+                    replicas,
+                    version=new_version,
+                    max_batch_size=opts.get("max_batch_size"),
+                    batch_wait_timeout_s=opts.get("batch_wait_timeout_s"),
+                    max_queue_per_replica=opts.get("max_queue_per_replica"),
+                )
+            state.version = new_version
+        # GCS writes and drains happen off the control lock (the row is
+        # last-write-wins; a racing scale_to republishes a consistent one).
+        self._publish_row(state)
+        self.runtime.gcs.record_event(
+            "serve",
+            action="deploy",
+            deployment=name,
+            version=new_version,
+            replicas=len(replicas),
+        )
+        for handle, _name in old_router_replicas:
+            self._drain_async(handle)
+        return DeploymentHandle(self, name)
+
+    def _current_replicas(self, state: _DeploymentState) -> List[Tuple[Any, str]]:
+        router = state.router
+        if router is None:
+            return []
+        with router._cond:
+            return [(slot.handle, slot.actor_name) for slot in router._slots]
+
+    def _create_replica(
+        self, state: _DeploymentState, version: int
+    ) -> Tuple[Any, str]:
+        index = state.replica_seq
+        state.replica_seq += 1
+        actor_name = f"serve:{state.name}#v{version}:{index}"
+        opts = state.opts
+        actor_cls = api.ActorClass(
+            ServeReplica,
+            num_cpus=opts.get("num_cpus"),
+            num_gpus=opts.get("num_gpus"),
+            resources=opts.get("resources"),
+            max_restarts=opts.get("max_restarts", DEFAULT_MAX_RESTARTS),
+            name=actor_name,
+        )
+        handle = actor_cls.remote(
+            state.target, version, state.init_args, state.init_kwargs
+        )
+        return handle, actor_name
+
+    def _drain_async(self, handle: Any) -> None:
+        """Retire one replica off the control path: wait out its in-flight
+        methods, then kill it permanently."""
+        runtime = self.runtime
+
+        def drain() -> None:
+            runtime.drain_actor(handle.actor_id, timeout=DRAIN_TIMEOUT_S)
+
+        thread = make_thread(
+            drain, name=f"serve-drain-{handle.actor_id.hex()[:8]}", daemon=True
+        )
+        self._drain_threads.append(thread)
+        thread.start()
+
+    def wait_drains(self, timeout: float = DRAIN_TIMEOUT_S) -> None:
+        """Test hook: block until queued drains finish."""
+        for thread in list(self._drain_threads):
+            thread.join(timeout=timeout)
+
+    # -- scaling (the replica autoscaler's hooks) -----------------------
+
+    def scale_to(self, name: str, num_replicas: int) -> int:
+        """Grow or shrink the live replica group to ``num_replicas``.
+
+        Scale-down drains the removed replicas (in-flight finishes first).
+        Returns the resulting group size.
+        """
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        with self._control:
+            state = self.get(name)
+            if state is None or state.router is None:
+                raise KeyError(f"no deployment named {name!r}")
+            router = state.router
+            current = len(router.replica_infos())
+            while current < num_replicas:
+                handle, actor_name = self._create_replica(state, state.version)
+                router.add_replica(handle, actor_name)
+                current += 1
+            while current > num_replicas:
+                removed = router.remove_replica()
+                if removed is None:
+                    break
+                self._drain_async(removed[0])
+                current -= 1
+        self._publish_row(state)
+        return current
+
+    def replace_dead_replicas(self, name: str) -> int:
+        """Swap permanently-dead replicas for fresh ones (same version).
+        Returns how many were replaced."""
+        with self._control:
+            state = self.get(name)
+            if state is None or state.router is None:
+                return 0
+            router = state.router
+            dead = [info for info in router.replica_infos() if info["dead"]]
+            for info in dead:
+                router.remove_replica(info["actor_name"])
+                handle, actor_name = self._create_replica(state, state.version)
+                router.add_replica(handle, actor_name)
+        if dead:
+            self._publish_row(state)
+        return len(dead)
+
+    # -- GCS rows -------------------------------------------------------
+
+    def _publish_row(self, state: _DeploymentState) -> None:
+        router = state.router
+        replicas = router.replica_infos() if router is not None else []
+        self.runtime.gcs.put_deployment(
+            state.name,
+            {
+                "name": state.name,
+                "version": state.version,
+                "num_replicas": len(replicas),
+                "replicas": [info["actor_name"] for info in replicas],
+                "max_batch_size": router.max_batch_size if router else None,
+                "batch_wait_timeout_s": router.batch_wait_timeout_s if router else None,
+                "max_queue_per_replica": (
+                    router.max_queue_per_replica if router else None
+                ),
+                "created_at": time.time(),
+            },
+        )
+
+    # -- teardown -------------------------------------------------------
+
+    def delete(self, name: str) -> None:
+        """Tear one deployment down: stop its router, drain its replicas."""
+        with self._control:
+            with self._lock:
+                state = self._deployments.pop(name, None)
+            if state is None:
+                return
+            replicas = self._current_replicas(state)
+            if state.router is not None:
+                state.router.stop()
+        for handle, _name in replicas:
+            self._drain_async(handle)
+        self.runtime.gcs.delete_deployment(name)
+        self.runtime.gcs.tombstone_serve_report(name)
+
+    def stop(self) -> None:
+        """Idempotent ops-component teardown (runtime shutdown path):
+        stops routers only — the runtime kills the actors itself."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            states = list(self._deployments.values())
+        for state in states:
+            if state.router is not None:
+                state.router.stop()
+
+    def summary(self) -> Dict[str, Any]:
+        """Everything the dashboard ``/serve`` panel shows."""
+        out: Dict[str, Any] = {}
+        with self._lock:
+            states = list(self._deployments.values())
+        for state in states:
+            row: Dict[str, Any] = {"version": state.version}
+            if state.router is not None:
+                row.update(state.router.stats())
+            out[state.name] = row
+        return out
+
+
+_plane_lock = make_lock("serve._plane_lock")
+
+
+def get_plane(runtime: Any) -> ServePlane:
+    """The runtime's serve plane, created on first use."""
+    with _plane_lock:
+        plane = getattr(runtime, "_serve_plane", None)
+        if plane is None or plane._stopped:
+            plane = ServePlane(runtime)
+            runtime._serve_plane = plane
+            runtime.register_ops(plane)
+        return plane
+
+
+class DeploymentHandle:
+    """A client handle to one live deployment (safe to share/pass)."""
+
+    def __init__(self, plane: ServePlane, name: str):
+        self._plane = plane
+        self.name = name
+
+    def _router(self) -> Router:
+        state = self._plane.get(self.name)
+        if state is None or state.router is None:
+            raise KeyError(f"deployment {self.name!r} is not deployed")
+        return state.router
+
+    def submit(self, payload: Any):
+        """Non-blocking: enqueue one request, return a ServeFuture.
+        Raises BackpressureError when the admission bound is hit."""
+        return self._router().submit(payload)
+
+    def query(self, payload: Any, timeout: Optional[float] = None) -> Any:
+        """Blocking round-trip for one request."""
+        return self._router().query(payload, timeout=timeout)
+
+    def query_many(
+        self, payloads: List[Any], timeout: Optional[float] = None
+    ) -> List[Any]:
+        """Submit a burst, then gather (amortizes batching across them)."""
+        futures = [self.submit(p) for p in payloads]
+        return [future.result(timeout) for future in futures]
+
+    @property
+    def version(self) -> int:
+        state = self._plane.get(self.name)
+        return state.version if state is not None else 0
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._router().replica_infos())
+
+    def stats(self) -> Dict[str, Any]:
+        return self._router().stats()
+
+    def __repr__(self) -> str:
+        state = self._plane.get(self.name)
+        if state is None or state.router is None:
+            return f"DeploymentHandle({self.name!r}, undeployed)"
+        return (
+            f"DeploymentHandle({self.name!r}, version={state.version}, "
+            f"replicas={len(state.router.replica_infos())})"
+        )
+
+
+class Deployment:
+    """The deployable object ``@serve.deployment`` produces.
+
+    Immutable: ``.options()`` returns a new Deployment with merged options
+    (same chaining semantics as every other options surface).
+    """
+
+    def __init__(self, target: Any, opts: Options):
+        self.target = target
+        self.opts = opts
+        self.name = opts.get("name") or getattr(target, "__name__", "deployment")
+        self.__doc__ = getattr(target, "__doc__", None)
+
+    def options(self, **kwargs: Any) -> "Deployment":
+        new = Options.for_surface("deployment", **kwargs)
+        return Deployment(self.target, self.opts.merged(new))
+
+    def deploy(
+        self, *init_args: Any, version: Optional[int] = None, **init_kwargs: Any
+    ) -> DeploymentHandle:
+        """Create (or hot-swap to) a new version of this deployment."""
+        plane = get_plane(api.get_runtime())
+        return plane.deploy(self, init_args, init_kwargs, version=version)
+
+    def __call__(self, *args: Any, **kwargs: Any):
+        raise TypeError(
+            f"deployment {self.name!r} cannot be called directly; "
+            "deploy() it and use the handle"
+        )
+
+    def __repr__(self) -> str:
+        return f"Deployment({self.name!r}, {self.opts!r})"
+
+
+def deployment(_target: Any = None, **kwargs: Any):
+    """Declare a deployment (bare or with options):
+
+        @serve.deployment
+        class Model: ...
+
+        @serve.deployment(num_replicas=4, max_batch_size=16)
+        def embed(payload): ...
+
+    Keywords are validated through ``Options.for_surface("deployment")`` —
+    the same single path as task/actor/method options.
+    """
+    opts = Options.for_surface("deployment", **kwargs)
+    if _target is not None:
+        if kwargs:
+            raise TypeError("pass either a bare target or keyword options")
+        return Deployment(_target, opts)
+
+    def decorator(target: Any) -> Deployment:
+        return Deployment(target, opts)
+
+    return decorator
+
+
+def get_deployment(name: str) -> DeploymentHandle:
+    """Look up a live deployment by name (like ``serve.get_deployment``)."""
+    return get_plane(api.get_runtime()).handle(name)
+
+
+def list_deployments() -> List[str]:
+    return get_plane(api.get_runtime()).names()

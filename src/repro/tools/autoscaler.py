@@ -33,7 +33,12 @@ from repro.tools.dashboard_head import DashboardHead
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import Runtime
 
-__all__ = ["Autoscaler", "AutoscalerConfig"]
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ReplicaAutoscaler",
+    "ReplicaAutoscalerConfig",
+]
 
 
 @dataclass
@@ -195,6 +200,182 @@ class Autoscaler:
                     return
             # Evaluate outside the condition: the tick reads the GCS and
             # may resize the cluster (RT-BLOCKING-UNDER-LOCK).
+            self.tick()
+
+    def stop(self) -> None:
+        """Stop the policy thread; idempotent."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Replica autoscaler: the serve plane's counterpart of the node policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicaAutoscalerConfig:
+    """Watermarks and damping for one deployment's replica-count policy."""
+
+    # Scale up when queue depth per alive replica sits at/above this.
+    high_watermark: float = 4.0
+    # Scale down when queue depth per alive replica sits at/below this.
+    low_watermark: float = 0.25
+    # Consecutive over/under observations required before acting.
+    hysteresis: int = 2
+    cooldown_seconds: float = 1.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    # Interval of the background policy thread.
+    interval: float = 0.25
+
+
+class ReplicaAutoscaler:
+    """Closed loop over one deployment's GCS serve-report row.
+
+    The signal chain is deliberately identical to the node autoscaler's:
+    the router publishes per-replica queue-depth/latency rows into the GCS
+    (:meth:`~repro.gcs.client.GlobalControlStore.publish_serve_report`),
+    and this policy reads *only* that table — never the router directly —
+    so it could run in any process with GCS access.  Actions go through
+    :meth:`ServePlane.scale_to`; every tick also *reconciles*: permanently
+    dead replicas are replaced at current size (the chaos-recovery path),
+    and a scale-up first restarts a dead node when one exists, since a
+    killed node is usually why a replica is missing capacity.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        deployment: str,
+        config: Optional[ReplicaAutoscalerConfig] = None,
+        restart_dead_nodes: bool = True,
+    ):
+        self.runtime = runtime
+        self.deployment = deployment
+        self.config = config or ReplicaAutoscalerConfig()
+        self.restart_dead_nodes = restart_dead_nodes
+        self._high_streak = 0
+        self._low_streak = 0
+        self._last_action_at: Optional[float] = None
+        self.decisions = 0
+        self.replaced = 0
+        self._cond = make_condition("ReplicaAutoscaler._cond")
+        self._stopped = False
+        self._thread = None
+
+    def _plane(self):
+        from repro.serve.deployment import get_plane
+
+        return get_plane(self.runtime)
+
+    # -- policy ------------------------------------------------------------
+
+    def tick(self) -> Optional[Dict[str, Any]]:
+        """One policy evaluation; returns the decision dict if an action
+        was taken (and recorded), else None."""
+        cfg = self.config
+        row = self.runtime.gcs.get_serve_report(self.deployment)
+        if not row or row.get("tombstone"):
+            return None
+        plane = self._plane()
+
+        # Reconcile first: replace permanently-dead replicas in place, and
+        # repair node capacity so restarting replicas can actually place.
+        dead_replicas = sum(1 for r in row.get("replicas", ()) if r.get("dead"))
+        if dead_replicas:
+            if self.restart_dead_nodes:
+                self._restart_dead_node()
+            replaced = plane.replace_dead_replicas(self.deployment)
+            if replaced:
+                self.replaced += replaced
+                return self._decide("replace_replica", row, replaced=replaced)
+
+        alive = row.get("alive_replicas") or 0
+        num_replicas = row.get("num_replicas") or 0
+        depth = row.get("queue_depth", 0) / max(1, alive)
+        if depth >= cfg.high_watermark:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif depth <= cfg.low_watermark:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+
+        now = time.monotonic()
+        if (
+            self._last_action_at is not None
+            and now - self._last_action_at < cfg.cooldown_seconds
+        ):
+            return None
+
+        if self._high_streak >= cfg.hysteresis and num_replicas < cfg.max_replicas:
+            if self.restart_dead_nodes:
+                self._restart_dead_node()
+            plane.scale_to(self.deployment, num_replicas + 1)
+            return self._decide("scale_up", row, now=now, target=num_replicas + 1)
+        if self._low_streak >= cfg.hysteresis and num_replicas > cfg.min_replicas:
+            plane.scale_to(self.deployment, num_replicas - 1)
+            return self._decide("scale_down", row, now=now, target=num_replicas - 1)
+        return None
+
+    def _restart_dead_node(self) -> Optional[str]:
+        """Capacity repair: rejoin one dead node so a blocked replica
+        placement (or the replacement about to be created) can land."""
+        for node in self.runtime.nodes():
+            if not node.alive:
+                return self.runtime.restart_node(node.node_id).node_id.hex()
+        return None
+
+    def _decide(
+        self, action: str, row: Dict[str, Any], now: Optional[float] = None, **extra: Any
+    ) -> Dict[str, Any]:
+        self._last_action_at = time.monotonic() if now is None else now
+        self._high_streak = 0
+        self._low_streak = 0
+        self.decisions += 1
+        decision = {
+            "action": action,
+            "kind": "serve_replicas",
+            "deployment": self.deployment,
+            "queue_depth": row.get("queue_depth"),
+            "alive_replicas": row.get("alive_replicas"),
+            "num_replicas": row.get("num_replicas"),
+            "p99_ms": row.get("p99_ms"),
+            "high_watermark": self.config.high_watermark,
+            "low_watermark": self.config.low_watermark,
+            **extra,
+        }
+        self.runtime.gcs.record_event("autoscaler_decision", **decision)
+        return decision
+
+    # -- interval thread ---------------------------------------------------
+
+    def start(self) -> None:
+        with self._cond:
+            if self._thread is not None or self._stopped:
+                return
+            self._thread = make_thread(
+                self._run, name=f"replica-autoscaler-{self.deployment}", daemon=True
+            )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopped:
+                    return
+                self._cond.wait(timeout=self.config.interval)
+                if self._stopped:
+                    return
+            # Evaluate outside the condition: the tick reads the GCS and
+            # may create/drain actors (RT-BLOCKING-UNDER-LOCK).
             self.tick()
 
     def stop(self) -> None:

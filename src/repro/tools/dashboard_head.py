@@ -142,6 +142,41 @@ class DashboardHead:
             "transfers_inflight": inflight,
         }
 
+    # -- the serve plane ---------------------------------------------------
+
+    def serve_summary(self) -> Dict[str, Any]:
+        """Every deployment's current row joined with its latest router
+        metrics report — both read purely from the GCS serve tables, so
+        the panel works from any process with GCS access."""
+        deployments = self.runtime.gcs.deployments()
+        reports = self.runtime.gcs.serve_reports()
+        out: Dict[str, Any] = {}
+        for name, row in deployments.items():
+            entry = dict(row)
+            report = reports.get(name)
+            if report is not None:
+                entry["report"] = report
+            out[name] = entry
+        # Reports can outlive a deleted deployment row briefly; show them.
+        for name, report in reports.items():
+            out.setdefault(name, {})["report"] = report
+        return out
+
+    # -- runtime configuration ---------------------------------------------
+
+    def config_panel(self) -> List[Dict[str, Any]]:
+        """``RuntimeConfig.describe()`` joined with this cluster's actual
+        values — the dashboard ``/config`` endpoint body."""
+        from repro.core.runtime import RuntimeConfig
+
+        current = self.runtime.config
+        rows = []
+        for row in RuntimeConfig.describe():
+            entry = dict(row)
+            entry["value"] = repr(getattr(current, row["name"], None))
+            rows.append(entry)
+        return rows
+
     # -- the event timeline ------------------------------------------------
 
     def events(

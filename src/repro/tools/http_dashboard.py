@@ -29,6 +29,8 @@ Endpoints:
   /cluster_load   aggregate pressure signals (the autoscaler's inputs)
   /events         merged cluster event timeline
                   (?since=<cursor>&limit=<n>&category=<cat> pagination)
+  /serve          deployment rows + latest router metrics reports
+  /config         RuntimeConfig.describe() joined with current values
 """
 
 from __future__ import annotations
@@ -111,6 +113,8 @@ ENDPOINTS = (
     "/nodes",
     "/cluster_load",
     "/events",
+    "/serve",
+    "/config",
 )
 
 
@@ -201,6 +205,16 @@ class DashboardServer:
                     elif path == "/cluster_load":
                         body, content_type = (
                             _json_dumps(outer.head.cluster_load()),
+                            "application/json",
+                        )
+                    elif path == "/serve":
+                        body, content_type = (
+                            _json_dumps(outer.head.serve_summary()),
+                            "application/json",
+                        )
+                    elif path == "/config":
+                        body, content_type = (
+                            _json_dumps(outer.head.config_panel()),
                             "application/json",
                         )
                     elif path == "/events":
