@@ -42,10 +42,14 @@ def main():
     runtime = repro.init(num_nodes=3, num_cpus_per_node=2)
 
     metrics = MetricsActor.remote()
+    record_refs = []
     for round_index in range(4):
         batches = [preprocess.remote(i) for i in range(6)]
         merged = train_step.remote(batches[0], batches[1])
-        repro.get(metrics.record.remote(merged))
+        # Submit the record without blocking — the actor runs its mailbox in
+        # submission order — and drain all four acks in one batched get.
+        record_refs.append(metrics.record.remote(merged))
+    repro.get(record_refs)
     repro.get(merged)
 
     print("── cluster snapshot ─────────────────────────────────")

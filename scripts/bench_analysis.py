@@ -3,8 +3,9 @@
 
 The concurrency lint engine runs on every CI push (``analyze --strict``),
 so its cost has to stay in lint territory, not test-suite territory.  This
-benchmark times repeated full scans of ``src/repro`` (parse + all six
-rules + baseline matching) and writes ``BENCH_analysis.json``:
+benchmark times repeated full scans of the default corpus (``src/repro``
+plus ``examples/`` and ``scripts/``; parse + all twelve rules + baseline
+matching) and writes ``BENCH_analysis.json``:
 
 * ``scan_seconds`` — best-of-N wall-clock for one full scan
 * ``files_scanned`` / ``findings_total`` — scope of the measured scan
@@ -16,6 +17,7 @@ rule regresses into accidentally-quadratic behaviour.
 
 Run as:  PYTHONPATH=src python scripts/bench_analysis.py [--smoke] [-o PATH]
 ``--smoke`` runs a single iteration (CI); the default is best-of-3.
+``--jobs N`` parses on N threads (passed through to the engine).
 """
 
 from __future__ import annotations
@@ -26,7 +28,11 @@ import sys
 import time
 
 from repro.tools.analysis import Baseline, analyze
-from repro.tools.analyze import default_baseline_path, default_scan_paths
+from repro.tools.analyze import (
+    default_baseline_path,
+    default_scan_base,
+    default_scan_paths,
+)
 
 BUDGET_SECONDS = 5.0
 
@@ -35,19 +41,25 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="one iteration")
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="parser threads"
+    )
+    parser.add_argument(
         "-o", "--output", default="BENCH_analysis.json", help="result path"
     )
     args = parser.parse_args()
 
     baseline = Baseline.load(default_baseline_path())
     paths = default_scan_paths()
+    jobs = max(1, args.jobs)
     iterations = 1 if args.smoke else 3
 
     best = None
     report = None
     for _ in range(iterations):
         start = time.perf_counter()
-        report = analyze(paths, baseline=baseline)
+        report = analyze(
+            paths, baseline=baseline, base=default_scan_base(), jobs=jobs
+        )
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
 
@@ -59,6 +71,7 @@ def main() -> int:
         "new_findings": len(report.new),
         "per_file_ms": round(1000.0 * best / max(1, report.files_scanned), 3),
         "iterations": iterations,
+        "jobs": jobs,
         "budget_seconds": BUDGET_SECONDS,
         "within_budget": best < BUDGET_SECONDS,
     }

@@ -107,6 +107,10 @@ class DDPGTrainer:
         self.env_steps = 0
         self.learner_steps = 0
         self.episode_rewards: List[float] = []
+        # Client-side mirror of the replay ring size (add() returns
+        # min(capacity, total_added)); saves a blocking round trip per add.
+        self.replay_size = 0
+        self._replay_refs: List[repro.ObjectRef] = []
 
     # -- pieces -------------------------------------------------------------
 
@@ -171,12 +175,26 @@ class DDPGTrainer:
             transitions, finished = repro.get(ready[0])
             self.env_steps += len(transitions)
             self.episode_rewards.extend(finished)
-            size = repro.get(self.replay.add.remote(transitions))
-            if size >= cfg.learn_starts:
-                for _ in range(cfg.learner_steps_per_round):
-                    _i, batch, _w = repro.get(self.replay.sample.remote(cfg.batch_size))
+            self._replay_refs.append(self.replay.add.remote(transitions))
+            self.replay_size = min(
+                cfg.replay_capacity, self.replay_size + len(transitions)
+            )
+            if self.replay_size >= cfg.learn_starts:
+                # Submit the whole round of sample() calls up front and
+                # fetch them in one batched get: the actor mailbox preserves
+                # submission order, so the batches are identical to the old
+                # one-get-per-step loop minus the per-step round trips
+                # (learn steps never touch the buffer).
+                sample_refs = [
+                    self.replay.sample.remote(cfg.batch_size)
+                    for _ in range(cfg.learner_steps_per_round)
+                ]
+                for _i, batch, _w in repro.get(sample_refs):
                     if batch:
                         td_errors.append(self._learn_step(batch))
+        if self._replay_refs:
+            repro.get(self._replay_refs)
+            self._replay_refs.clear()
         return {
             "env_steps": self.env_steps,
             "learner_steps": self.learner_steps,

@@ -110,6 +110,11 @@ class ApexDQNTrainer:
         self.env_steps = 0
         self.learner_steps = 0
         self.episode_rewards: List[float] = []
+        # Client-side mirror of the replay buffer's ring size: add() returns
+        # min(capacity, total_added), which we can compute locally instead of
+        # blocking on the actor round trip every add.
+        self.replay_size = 0
+        self._replay_refs: List[repro.ObjectRef] = []
 
     # -- pieces -------------------------------------------------------------
 
@@ -143,7 +148,12 @@ class ApexDQNTrainer:
             self.q_network.get_flat() + cfg.learning_rate * gradient
         )
 
-        repro.get(self.replay.update_priorities.remote(indices, list(np.abs(td_error))))
+        # Fire the priority update without blocking: the actor mailbox runs
+        # methods in submission order, so the update lands before the next
+        # sample() regardless; the ref is drained in train_round.
+        self._replay_refs.append(
+            self.replay.update_priorities.remote(indices, list(np.abs(td_error)))
+        )
         self.learner_steps += 1
         if self.learner_steps % cfg.target_sync_interval == 0:
             self.target_network.set_flat(self.q_network.get_flat())
@@ -166,13 +176,21 @@ class ApexDQNTrainer:
             transitions, finished = repro.get(ready[0])
             self.env_steps += len(transitions)
             self.episode_rewards.extend(finished)
-            size = repro.get(self.replay.add.remote(transitions))
-            if size >= cfg.learn_starts:
+            self._replay_refs.append(self.replay.add.remote(transitions))
+            self.replay_size = min(
+                cfg.replay_capacity, self.replay_size + len(transitions)
+            )
+            if self.replay_size >= cfg.learn_starts:
                 indices, batch, weights = repro.get(
                     self.replay.sample.remote(cfg.batch_size)
                 )
                 if batch:
                     td_errors.append(self._td_step(indices, batch, weights))
+        # One batched drain of the round's add/update refs: surfaces any
+        # replay-actor error without a per-call blocking round trip.
+        if self._replay_refs:
+            repro.get(self._replay_refs)
+            self._replay_refs.clear()
         return {
             "env_steps": self.env_steps,
             "learner_steps": self.learner_steps,

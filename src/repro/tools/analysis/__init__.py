@@ -17,10 +17,12 @@ from repro.tools.analysis.engine import (
 )
 from repro.tools.analysis.findings import ERROR, WARNING, Finding
 from repro.tools.analysis.registry import RULES, all_rules
+from repro.tools.analysis.sarif import sarif_payload
 
 # Importing the rule modules registers them.
 from repro.tools.analysis import rules_flow  # noqa: F401
 from repro.tools.analysis import rules_locks  # noqa: F401
+from repro.tools.analysis import rules_dataflow  # noqa: F401
 
 __all__ = [
     "Baseline",
@@ -35,5 +37,6 @@ __all__ = [
     "render_text",
     "report_payload",
     "run_rules",
+    "sarif_payload",
     "scan_paths",
 ]

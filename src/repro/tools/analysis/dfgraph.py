@@ -1,0 +1,884 @@
+"""Interprocedural ObjectRef dataflow model for the DF-* rule family.
+
+The RT-* rules reason about locks; the DF-* rules reason about *futures*.
+This module builds, once per :class:`~repro.tools.analysis.engine.ModuleInfo`,
+a model of how the repro API is used in that module:
+
+* which names are bound to the API (``import repro``, ``import repro as r``,
+  ``from repro import get, remote``, ``from repro import serve``), so calls
+  like ``r.get(...)`` and bare ``get(...)`` resolve to the same primitive;
+* which definitions are remote functions (``@repro.remote`` bare or called),
+  actor classes, or ``@serve.deployment`` classes;
+* every **production** of an ObjectRef — ``.remote()`` on a remote function,
+  actor class, or actor method (``.options(...)`` chains peeled),
+  ``submit_many``, ``repro.put`` — with its enclosing function and loop;
+* every **blocking** call (``repro.get`` / ``repro.wait``) with a tag for
+  where its argument came from (fresh production, local ``put``, a
+  ``wait``-derived ready list, ...);
+* a per-function fact table (:class:`FuncInfo`) closed under three bounded
+  fixed points over the per-module call graph:
+
+  - ``remote_context`` — executes inside a worker (remote fn / actor or
+    deployment method, or any function they transitively call);
+  - ``returns_ref`` — provably returns a fresh ObjectRef;
+  - ``param_remote_flow`` — parameters that flow into the arguments of a
+    ``.remote(...)`` call (directly or through a local callee), i.e. values
+    whose consumption genuinely serializes the caller.
+
+Name tracking is a single in-order pass per function — deliberately flow-
+insensitive across branches, like the rest of this engine: good enough to
+lint real code, cheap enough for the 5 s CI budget.  The model is memoized
+on the ``ModuleInfo`` so all six DF rules share one walk per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.tools.analysis.astutil import dotted_name
+
+# Argument-origin tags for blocking calls and name bindings.
+TAG_REF = "ref"  # a single fresh ObjectRef
+TAG_REFS = "refs"  # a container of fresh ObjectRefs
+TAG_PUT = "put"  # ref from a local repro.put
+TAG_HANDLE = "handle"  # actor handle
+TAG_HANDLES = "handles"  # container of actor handles
+TAG_WAIT = "wait"  # ready/pending list out of repro.wait
+TAG_UNKNOWN = "unknown"
+
+_API_FUNCS = {"get", "wait", "put", "kill", "cancel", "nodes", "init", "shutdown"}
+_BLOCKING = {"get", "wait"}
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+# Conservative size threshold for DF-LARGE-CAPTURE: below this, inline
+# serialization is noise; above it, repeated per-task copies dominate.
+LARGE_ELEMENTS = 10_000
+
+_BUILDER_CALLS = {
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "empty",
+    "rand",
+    "randn",
+    "bytes",
+    "bytearray",
+}
+
+
+class ApiEnv:
+    """Resolves which local names mean the repro API in one module."""
+
+    def __init__(self, tree: Optional[ast.Module]):
+        self.repro_aliases: Set[str] = set()
+        self.serve_aliases: Set[str] = set()
+        self.direct: Dict[str, str] = {}  # local name -> api function name
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "repro":
+                        self.repro_aliases.add(local)
+                    elif alias.name == "repro.serve":
+                        self.serve_aliases.add(alias.asname or "serve")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "repro":
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        if alias.name == "serve":
+                            self.serve_aliases.add(local)
+                        elif alias.name in _API_FUNCS or alias.name == "remote":
+                            self.direct[local] = alias.name
+                elif node.module == "repro.serve":
+                    for alias in node.names:
+                        if alias.name == "deployment":
+                            self.direct[alias.asname or "deployment"] = "deployment"
+
+    def api_call(self, call: ast.Call) -> Optional[str]:
+        """``"get"``/``"wait"``/``"put"``/... if this call hits the API."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id in self.repro_aliases and func.attr in _API_FUNCS:
+                return func.attr
+        elif isinstance(func, ast.Name):
+            mapped = self.direct.get(func.id)
+            if mapped in _API_FUNCS:
+                return mapped
+        return None
+
+    def _decorator_is(self, dec: ast.AST, api_name: str, serve: bool) -> bool:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            aliases = self.serve_aliases if serve else self.repro_aliases
+            return target.value.id in aliases and target.attr == api_name
+        if isinstance(target, ast.Name):
+            return self.direct.get(target.id) == api_name
+        return False
+
+    def is_remote_decorator(self, dec: ast.AST) -> bool:
+        return self._decorator_is(dec, "remote", serve=False)
+
+    def is_deployment_decorator(self, dec: ast.AST) -> bool:
+        return self._decorator_is(dec, "deployment", serve=True)
+
+
+@dataclass
+class Invocation:
+    """One ObjectRef-producing call site."""
+
+    kind: str  # "task" | "actor_method" | "actor_create" | "submit_many" | "put"
+    call: ast.Call
+    target: str  # display name: "preprocess", "metrics.record", "MetricsActor"
+    func: Optional["FuncInfo"]  # enclosing function, None at module level
+    loop: Optional[ast.stmt]  # nearest enclosing for/while in the same function
+    in_comprehension: bool = False
+
+
+@dataclass
+class BlockingCall:
+    """One ``repro.get`` / ``repro.wait`` call site."""
+
+    call: ast.Call
+    api: str  # "get" | "wait"
+    func: Optional["FuncInfo"]
+    loop: Optional[ast.stmt]
+    arg_tag: str  # TAG_* of the first argument's origin
+    arg_target: str  # display name of the production, when fresh
+    result_names: Tuple[str, ...]  # names the result unpacks into
+    fresh_invocation: Optional[Invocation] = None
+
+
+@dataclass
+class RefBinding:
+    """A name bound to a ref/handle production, for consumption analysis."""
+
+    name: str
+    tag: str
+    node: ast.AST  # the assignment statement
+    invocation: Optional[Invocation]
+    loop: Optional[ast.stmt]
+
+
+@dataclass
+class LocalCall:
+    """A call to a same-module function/method, the call-graph edge."""
+
+    key: str  # resolved FuncInfo key ("helper" or "Cls.method")
+    call: ast.Call
+    loop: Optional[ast.stmt]
+
+
+@dataclass
+class FuncInfo:
+    key: str  # "fn", "Cls.method", "outer.inner"
+    node: ast.AST
+    cls: Optional[str]  # enclosing class name for methods
+    params: List[str] = field(default_factory=list)
+    is_remote_fn: bool = False
+    in_actor_class: bool = False
+    in_deployment: bool = False
+    remote_context: bool = False
+    remote_via: str = ""  # human-readable seed/propagation reason
+    returns_ref: bool = False
+    param_remote_flow: Set[str] = field(default_factory=set)
+    local_calls: List[LocalCall] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    invocations: List[Invocation] = field(default_factory=list)
+    bindings: List[RefBinding] = field(default_factory=list)
+    discards: List[Invocation] = field(default_factory=list)  # Expr-stmt drops
+    loaded_names: Set[str] = field(default_factory=set)
+    assigned_names: Set[str] = field(default_factory=set)
+    large_names: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    consumed_names: Set[str] = field(default_factory=set)  # stored/passed/returned
+    returned_exprs: List[ast.AST] = field(default_factory=list)
+    # Blocking gets on refs produced in this function outside any loop and
+    # not loop/param-exempt — serial if the *caller* invokes us in a loop.
+    fresh_gets: List[BlockingCall] = field(default_factory=list)
+
+
+class ModuleModel:
+    """Everything the DF rules need to know about one module."""
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.env = ApiEnv(module.tree)
+        self.funcs: Dict[str, FuncInfo] = {}
+        self.remote_fns: Set[str] = set()
+        self.actor_classes: Set[str] = set()
+        self.deployment_classes: Set[str] = set()
+        self.module_invocations: List[Invocation] = []
+        self.module_discards: List[Invocation] = []
+        self.module_blocking: List[BlockingCall] = []
+        self.module_large: Dict[str, Tuple[int, str]] = {}  # name -> (line, desc)
+        if module.tree is not None:
+            self._collect_defs(module.tree)
+            _FunctionScanner(self, None, None, module.tree.body).run()
+            self._fixed_points()
+
+    # -- definition collection ----------------------------------------------
+
+    def _collect_defs(self, tree: ast.Module) -> None:
+        env = self.env
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                if any(env.is_remote_decorator(d) for d in node.decorator_list):
+                    self.actor_classes.add(node.name)
+                if any(env.is_deployment_decorator(d) for d in node.decorator_list):
+                    self.deployment_classes.add(node.name)
+        # Register every function; nested defs get dotted keys.
+        def register(body, prefix: str, cls: Optional[str]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    key = f"{prefix}{stmt.name}"
+                    info = FuncInfo(key=key, node=stmt, cls=cls)
+                    info.params = [a.arg for a in stmt.args.args]
+                    if info.params and info.params[0] in ("self", "cls"):
+                        info.params = info.params[1:]
+                    info.is_remote_fn = any(
+                        self.env.is_remote_decorator(d) for d in stmt.decorator_list
+                    )
+                    if info.is_remote_fn and cls is None:
+                        self.remote_fns.add(stmt.name)
+                    info.in_actor_class = cls in self.actor_classes
+                    info.in_deployment = cls in self.deployment_classes
+                    self.funcs[key] = info
+                    register(stmt.body, f"{key}.", cls)
+                elif isinstance(stmt, ast.ClassDef):
+                    register(stmt.body, f"{stmt.name}.", stmt.name)
+        register(tree.body, "", None)
+        # A class decorated @repro.remote is a class, not a remote fn, even
+        # though `ClassName.remote()` produces a handle; handled by kind.
+
+    # -- fixed points over the call graph ------------------------------------
+
+    def _fixed_points(self) -> None:
+        funcs = self.funcs
+        # Scan every function body (module-level code was scanned by __init__).
+        for info in funcs.values():
+            _FunctionScanner(self, info, None, info.node.body).run()
+
+        # 1. remote_context: seeded by decorators, closed over local calls.
+        for info in funcs.values():
+            if info.is_remote_fn and info.cls is None:
+                info.remote_context = True
+                info.remote_via = "remote function"
+            elif info.in_actor_class:
+                info.remote_context = True
+                info.remote_via = "actor method"
+            elif info.in_deployment:
+                info.remote_context = True
+                info.remote_via = "deployment method"
+            elif info.is_remote_fn:  # decorated method — treat as actor-side
+                info.remote_context = True
+                info.remote_via = "remote method"
+        for _ in range(len(funcs) + 1):
+            changed = False
+            for info in funcs.values():
+                if not info.remote_context:
+                    continue
+                for edge in info.local_calls:
+                    callee = funcs.get(edge.key)
+                    if callee is not None and not callee.remote_context:
+                        callee.remote_context = True
+                        callee.remote_via = f"called from {info.key} ({info.remote_via})"
+                        changed = True
+            if not changed:
+                break
+
+        # 2. returns_ref: a return of a production, a ref-tagged name, or a
+        #    call to a local returns_ref function.
+        ref_tags = {TAG_REF, TAG_REFS, TAG_PUT}
+        for _ in range(len(funcs) + 1):
+            changed = False
+            for info in funcs.values():
+                if info.returns_ref:
+                    continue
+                tagged = {
+                    b.name for b in info.bindings if b.tag in ref_tags
+                }
+                for expr in info.returned_exprs:
+                    if isinstance(expr, ast.Name) and expr.id in tagged:
+                        info.returns_ref = True
+                    elif isinstance(expr, ast.Call):
+                        inv = self.classify_call(expr, None, None)
+                        if inv is not None and inv.kind != "actor_create":
+                            info.returns_ref = True
+                        else:
+                            key = self._call_key(expr, info)
+                            callee = funcs.get(key) if key else None
+                            if callee is not None and callee.returns_ref:
+                                info.returns_ref = True
+                    if info.returns_ref:
+                        changed = True
+                        break
+            if not changed:
+                break
+
+        # 3. param_remote_flow: params appearing inside remote-call args,
+        #    directly or through a local callee's flowing parameter.
+        for _ in range(len(funcs) + 1):
+            changed = False
+            for info in funcs.values():
+                params = set(info.params)
+                if not params:
+                    continue
+                flowing = set(info.param_remote_flow)
+                for inv in info.invocations:
+                    if inv.kind == "put":
+                        continue
+                    for name in _names_in_args(inv.call):
+                        if name in params:
+                            flowing.add(name)
+                for edge in info.local_calls:
+                    callee = funcs.get(edge.key)
+                    if callee is None or not callee.param_remote_flow:
+                        continue
+                    for pos, arg in enumerate(edge.call.args):
+                        if pos >= len(callee.params):
+                            break
+                        if callee.params[pos] not in callee.param_remote_flow:
+                            continue
+                        for name in _names_in(arg):
+                            if name in params:
+                                flowing.add(name)
+                    for kw in edge.call.keywords:
+                        if kw.arg in callee.param_remote_flow:
+                            for name in _names_in(kw.value):
+                                if name in params:
+                                    flowing.add(name)
+                if flowing != info.param_remote_flow:
+                    info.param_remote_flow = flowing
+                    changed = True
+            if not changed:
+                break
+
+        # 4. fresh_gets: blocking gets on refs produced in the same function,
+        #    outside loops, whose get-result does not feed a later remote
+        #    call — a caller invoking this function in a loop serializes.
+        for info in funcs.values():
+            for bc in info.blocking:
+                if bc.api != "get" or bc.loop is not None:
+                    continue
+                if bc.arg_tag != TAG_REF or bc.fresh_invocation is None:
+                    continue
+                if bc.result_names and self.results_flow_remote(
+                    bc.result_names, info, info.node.body, exclude=bc.call
+                ):
+                    continue
+                info.fresh_gets.append(bc)
+
+    # -- shared classification helpers ---------------------------------------
+
+    def _call_key(self, call: ast.Call, info: Optional[FuncInfo]) -> Optional[str]:
+        """FuncInfo key for a local call (``helper()`` / ``self.m()``)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.funcs:
+                return func.id
+            if info is not None:
+                nested = f"{info.key}.{func.id}"
+                if nested in self.funcs:
+                    return nested
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and info is not None
+            and info.cls is not None
+        ):
+            key = f"{info.cls}.{func.attr}"
+            return key if key in self.funcs else None
+        return None
+
+    def classify_call(
+        self,
+        call: ast.Call,
+        func: Optional[FuncInfo],
+        loop: Optional[ast.stmt],
+        in_comprehension: bool = False,
+        project_model: Optional["ProjectModel"] = None,
+    ) -> Optional[Invocation]:
+        """Is this call a ref/handle production?  None if not."""
+        api = self.env.api_call(call)
+        if api == "put":
+            return Invocation("put", call, "repro.put", func, loop, in_comprehension)
+        f = call.func
+        if not isinstance(f, ast.Attribute):
+            return None
+        if f.attr == "remote":
+            base = f.value
+            # Peel `.options(...)` chains: X.options(...).remote(...)
+            if (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Attribute)
+                and base.func.attr == "options"
+            ):
+                base = base.func.value
+            if isinstance(base, ast.Name):
+                name = base.id
+                actor_classes = self.actor_classes
+                remote_fns = self.remote_fns
+                if project_model is not None:
+                    actor_classes = actor_classes | project_model.actor_classes
+                    remote_fns = remote_fns | project_model.remote_fns
+                if name in actor_classes or name in self.deployment_classes:
+                    return Invocation(
+                        "actor_create", call, name, func, loop, in_comprehension
+                    )
+                if name in remote_fns:
+                    return Invocation("task", call, name, func, loop, in_comprehension)
+                # Unknown Name.remote(): a remote fn or actor class imported
+                # from elsewhere — produces *something* lineage-pinned.
+                return Invocation("task", call, name, func, loop, in_comprehension)
+            if isinstance(base, ast.Attribute):
+                target = dotted_name(base) or f"<expr>.{base.attr}"
+                if target.startswith("self."):
+                    target = target[len("self."):]
+                return Invocation(
+                    "actor_method", call, target, func, loop, in_comprehension
+                )
+            return None
+        if f.attr == "submit_many" and isinstance(f.value, ast.Name):
+            # Name base only: `fn.submit_many(...)` is the API; dotted bases
+            # like `node.local_scheduler.submit_many(...)` are the runtime's
+            # internal scheduler call, not a ref production.
+            return Invocation(
+                "submit_many", call, f.value.id, func, loop, in_comprehension
+            )
+        return None
+
+    def results_flow_remote(
+        self,
+        names: Tuple[str, ...],
+        info: Optional[FuncInfo],
+        region: List[ast.stmt],
+        exclude: Optional[ast.Call] = None,
+    ) -> bool:
+        """Do any of ``names`` feed a remote call / put / flowing local callee
+        anywhere in ``region``?  Used for the loop-carried-dependency and
+        interprocedural get-in-loop exemptions (checks the *whole* region
+        because a loop wraps around: the consumer may precede the get)."""
+        wanted = set(names)
+        if not wanted:
+            return False
+        for stmt in region:
+            for node in ast.walk(stmt):
+                if isinstance(node, _NESTED):
+                    continue
+                if not isinstance(node, ast.Call) or node is exclude:
+                    continue
+                inv = self.classify_call(node, info, None)
+                if inv is not None:
+                    if wanted & _names_in_args(node):
+                        return True
+                    continue
+                key = self._call_key(node, info)
+                callee = self.funcs.get(key) if key else None
+                if callee is None or not callee.param_remote_flow:
+                    continue
+                for pos, arg in enumerate(node.args):
+                    if pos >= len(callee.params):
+                        break
+                    if callee.params[pos] in callee.param_remote_flow and (
+                        wanted & _names_in(arg)
+                    ):
+                        return True
+                for kw in node.keywords:
+                    if kw.arg in callee.param_remote_flow and (
+                        wanted & _names_in(kw.value)
+                    ):
+                        return True
+        return False
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def _names_in_args(call: ast.Call) -> Set[str]:
+    names: Set[str] = set()
+    for arg in call.args:
+        names |= _names_in(arg)
+    for kw in call.keywords:
+        names |= _names_in(kw.value)
+    return names
+
+
+def large_expr(node: ast.AST) -> Optional[str]:
+    """A description if ``node`` builds a large value inline, else None."""
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)) and len(node.elts) >= 1000:
+        return f"{len(node.elts)}-element literal"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        for side in (node.left, node.right):
+            if (
+                isinstance(side, ast.Constant)
+                and isinstance(side.value, int)
+                and side.value >= LARGE_ELEMENTS
+            ):
+                other = node.right if side is node.left else node.left
+                if isinstance(other, (ast.List, ast.Constant)):
+                    return f"sequence repeated {side.value}x"
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    big_const = any(
+        isinstance(a, ast.Constant)
+        and isinstance(a.value, (int, float))
+        and a.value >= LARGE_ELEMENTS
+        for a in node.args
+    )
+    if last in _BUILDER_CALLS and big_const:
+        return f"{name}(...) of >= {LARGE_ELEMENTS} elements"
+    if last == "list" and node.args:
+        inner = node.args[0]
+        if (
+            isinstance(inner, ast.Call)
+            and dotted_name(inner.func) == "range"
+            and any(
+                isinstance(a, ast.Constant)
+                and isinstance(a.value, int)
+                and a.value >= LARGE_ELEMENTS
+                for a in inner.args
+            )
+        ):
+            return f"list(range(>= {LARGE_ELEMENTS}))"
+    return None
+
+
+class _FunctionScanner:
+    """One in-order pass over a function (or module) body.
+
+    Records productions, blocking calls, call-graph edges, name bindings and
+    loads into the :class:`FuncInfo` (or the module-level lists)."""
+
+    def __init__(
+        self,
+        model: ModuleModel,
+        info: Optional[FuncInfo],
+        loop: Optional[ast.stmt],
+        body: List[ast.stmt],
+    ) -> None:
+        self.model = model
+        self.info = info
+        self.body = body
+        self.loop = loop
+        self.tags: Dict[str, RefBinding] = {}
+
+    def run(self) -> None:
+        self._walk(self.body, self.loop)
+        # Module-level large constants feed DF-LARGE-CAPTURE's closure check.
+        if self.info is None:
+            for stmt in self.body:
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    desc = large_expr(stmt.value)
+                    if isinstance(target, ast.Name) and desc is not None:
+                        self.model.module_large[target.id] = (stmt.lineno, desc)
+
+    # -- statement dispatch ---------------------------------------------------
+
+    def _walk(self, body: List[ast.stmt], loop: Optional[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, _NESTED):
+                continue  # separate FuncInfo scans nested defs
+            if isinstance(stmt, _LOOPS):
+                self._scan_exprs(self._loop_header(stmt), loop)
+                self._walk(stmt.body, stmt if loop is None else loop)
+                self._walk(stmt.orelse, loop)
+                continue
+            if isinstance(stmt, (ast.If,)):
+                self._scan_exprs([stmt.test], loop)
+                self._walk(stmt.body, loop)
+                self._walk(stmt.orelse, loop)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._walk(stmt.body, loop)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, loop)
+                self._walk(stmt.orelse, loop)
+                self._walk(stmt.finalbody, loop)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan_exprs([i.context_expr for i in stmt.items], loop)
+                self._walk(stmt.body, loop)
+                continue
+            self._statement(stmt, loop)
+
+    @staticmethod
+    def _loop_header(stmt: ast.stmt) -> List[ast.AST]:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        return [stmt.test]
+
+    def _statement(self, stmt: ast.stmt, loop: Optional[ast.stmt]) -> None:
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            if self.info is not None:
+                self.info.returned_exprs.append(stmt.value)
+                self.info.consumed_names |= _names_in(stmt.value)
+        assign_targets = None
+        if isinstance(stmt, ast.Assign):
+            assign_targets = stmt.targets
+            self._assign(stmt, stmt.targets, stmt.value, loop)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            assign_targets = [stmt.target]
+            self._assign(stmt, [stmt.target], stmt.value, loop)
+        elif isinstance(stmt, ast.Expr):
+            inv = self._classify(stmt.value, loop)
+            if inv is not None:
+                if self.info is not None:
+                    self.info.discards.append(inv)
+                else:
+                    self.model.module_discards.append(inv)
+        self._scan_exprs([stmt], loop, assign_targets=assign_targets)
+
+    # -- expression scanning --------------------------------------------------
+
+    def _classify(self, expr: ast.AST, loop) -> Optional[Invocation]:
+        if not isinstance(expr, ast.Call):
+            return None
+        return self.model.classify_call(expr, self.info, loop)
+
+    def _scan_exprs(self, roots: List[ast.AST], loop, assign_targets=None) -> None:
+        """Record every production / blocking call / local-call edge / name
+        load reachable in ``roots`` (nested defs skipped).  ``assign_targets``
+        is the enclosing Assign's target list, so a get() nested anywhere in
+        the value (e.g. inside a comprehension) still knows its result names."""
+        model, info = self.model, self.info
+        for root in roots:
+            stack: List[Tuple[ast.AST, bool]] = [(root, False)]
+            while stack:
+                node, in_comp = stack.pop()
+                if isinstance(node, _NESTED):
+                    continue
+                if isinstance(node, _COMPREHENSIONS):
+                    in_comp = True
+                for child in ast.iter_child_nodes(node):
+                    stack.append((child, in_comp))
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    if info is not None:
+                        info.loaded_names.add(node.id)
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                inv = model.classify_call(node, info, loop, in_comprehension=in_comp)
+                if inv is not None:
+                    if info is not None:
+                        info.invocations.append(inv)
+                        # Names feeding a remote call are consumed.
+                        info.consumed_names |= _names_in_args(node)
+                    else:
+                        model.module_invocations.append(inv)
+                    continue
+                api = model.env.api_call(node)
+                if api in _BLOCKING:
+                    self._blocking(node, api, loop, assign_targets)
+                    if info is not None:
+                        info.consumed_names |= _names_in_args(node)
+                    continue
+                if info is not None:
+                    key = model._call_key(node, info)
+                    if key is not None:
+                        info.local_calls.append(LocalCall(key, node, loop))
+                    # Any call consumes the names passed to it (append,
+                    # helper(ref), dict.setdefault, ...): they are "stored".
+                    info.consumed_names |= _names_in_args(node)
+                    if isinstance(node.func, ast.Attribute):
+                        base = node.func.value
+                        if isinstance(base, ast.Name):
+                            info.consumed_names.add(base.id)
+
+    # -- assignment tagging ---------------------------------------------------
+
+    def _assign(self, stmt, targets, value, loop) -> None:
+        info = self.info
+        names = self._target_names(targets)
+        if info is not None:
+            info.assigned_names |= set(names)
+        desc = large_expr(value)
+        if desc is not None and info is not None and len(names) == 1:
+            info.large_names[names[0]] = (stmt.lineno, desc)
+        inv = self._classify(value, loop)
+        api = self.model.env.api_call(value) if isinstance(value, ast.Call) else None
+        tag = None
+        if inv is not None:
+            tag = {
+                "task": TAG_REF,
+                "actor_method": TAG_REF,
+                "submit_many": TAG_REFS,
+                "actor_create": TAG_HANDLE,
+                "put": TAG_PUT,
+            }[inv.kind]
+        elif api == "wait":
+            tag = TAG_WAIT
+        elif api == "get":
+            # get() yields plain values: clear stale ref tags on the targets.
+            for name in names:
+                self.tags.pop(name, None)
+            return
+        elif isinstance(value, (ast.ListComp, ast.List, ast.SetComp, ast.Set)):
+            elements = (
+                [value.elt]
+                if isinstance(value, (ast.ListComp, ast.SetComp))
+                else value.elts
+            )
+            kinds = set()
+            for element in elements:
+                element_inv = self._classify(element, loop)
+                if element_inv is not None:
+                    kinds.add(element_inv.kind)
+            if kinds <= {"task", "actor_method", "put"} and kinds:
+                tag = TAG_REFS
+            elif kinds == {"actor_create"}:
+                tag = TAG_HANDLES
+        elif isinstance(value, ast.Name) and value.id in self.tags:
+            tag = self.tags[value.id].tag  # plain alias keeps the tag
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "list"
+            and value.args
+            and isinstance(value.args[0], ast.Name)
+            and value.args[0].id in self.tags
+        ):
+            tag = self.tags[value.args[0].id].tag
+        elif isinstance(value, ast.Subscript) and isinstance(value.value, ast.Name):
+            source = self.tags.get(value.value.id)
+            if source is not None and source.tag in (TAG_WAIT, TAG_REFS, TAG_HANDLES):
+                # An element of a wait list stays wait-derived; an element of
+                # a ref/handle container is a single ref/handle.
+                tag = {
+                    TAG_WAIT: TAG_WAIT,
+                    TAG_REFS: TAG_REF,
+                    TAG_HANDLES: TAG_HANDLE,
+                }[source.tag]
+        if tag is None:
+            for name in names:
+                self.tags.pop(name, None)
+            return
+        for name in names:
+            binding = RefBinding(name, tag, stmt, inv, loop)
+            self.tags[name] = binding
+            if info is not None:
+                info.bindings.append(binding)
+
+    @staticmethod
+    def _target_names(targets) -> List[str]:
+        names: List[str] = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        names.append(element.id)
+        return names
+
+    # -- blocking-call tagging ------------------------------------------------
+
+    def _blocking(self, call: ast.Call, api: str, loop, assign_targets=None) -> None:
+        arg = call.args[0] if call.args else None
+        tag, target, fresh = TAG_UNKNOWN, "", None
+        if arg is not None:
+            inv = self._classify(arg, loop)
+            if inv is not None:
+                if inv.kind == "put":
+                    tag = TAG_PUT
+                else:
+                    tag, target, fresh = TAG_REF, inv.target, inv
+            elif isinstance(arg, ast.Name):
+                binding = self.tags.get(arg.id)
+                if binding is not None:
+                    tag = binding.tag
+                    if binding.invocation is not None:
+                        target = binding.invocation.target
+                    else:
+                        target = arg.id
+                    # Fresh only if produced under the *same* loop.
+                    if tag in (TAG_REF, TAG_REFS) and binding.loop is not loop:
+                        tag = TAG_UNKNOWN
+                    elif tag in (TAG_REF, TAG_REFS):
+                        fresh = binding.invocation
+            elif isinstance(arg, ast.Subscript) and isinstance(arg.value, ast.Name):
+                binding = self.tags.get(arg.value.id)
+                if binding is not None and binding.tag == TAG_WAIT:
+                    tag = TAG_WAIT
+            elif isinstance(arg, (ast.List, ast.Tuple)):
+                # get([a, b]) over same-loop fresh names
+                kinds = set()
+                for element in arg.elts:
+                    if isinstance(element, ast.Name):
+                        binding = self.tags.get(element.id)
+                        if binding is not None and binding.loop is loop:
+                            kinds.add(binding.tag)
+                        else:
+                            kinds.add(TAG_UNKNOWN)
+                    else:
+                        element_inv = self._classify(element, loop)
+                        kinds.add(TAG_REF if element_inv else TAG_UNKNOWN)
+                if kinds == {TAG_REF}:
+                    tag = TAG_REFS
+        result_names: Tuple[str, ...] = ()
+        if assign_targets is not None:
+            result_names = tuple(self._target_names(assign_targets))
+        bc = BlockingCall(
+            call=call,
+            api=api,
+            func=self.info,
+            loop=loop,
+            arg_tag=tag,
+            arg_target=target,
+            result_names=result_names,
+            fresh_invocation=fresh,
+        )
+        if self.info is not None:
+            self.info.blocking.append(bc)
+        else:
+            self.model.module_blocking.append(bc)
+
+
+class ProjectModel:
+    """Project-wide name registries: actor classes and remote functions
+    defined in *any* scanned module, so `Worker.remote()` classifies as an
+    actor creation even when `Worker` was imported from a sibling module."""
+
+    def __init__(self, project) -> None:
+        self.actor_classes: Set[str] = set()
+        self.remote_fns: Set[str] = set()
+        self.models: List[ModuleModel] = []
+        for module in project.modules:
+            model = model_for(module)
+            self.models.append(model)
+            self.actor_classes |= model.actor_classes | model.deployment_classes
+            self.remote_fns |= model.remote_fns
+
+
+def model_for(module) -> ModuleModel:
+    """Memoized per-ModuleInfo dataflow model (one walk per file)."""
+    model = getattr(module, "_df_model", None)
+    if model is None:
+        model = ModuleModel(module)
+        module._df_model = model
+    return model
+
+
+def project_model(project) -> ProjectModel:
+    model = getattr(project, "_df_project_model", None)
+    if model is None:
+        model = ProjectModel(project)
+        project._df_project_model = model
+    return model

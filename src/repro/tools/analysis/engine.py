@@ -113,8 +113,31 @@ def _collect_files(path: Path) -> List[Path]:
     return files
 
 
-def scan_paths(paths: Sequence[Union[str, Path]]) -> Project:
-    modules: List[ModuleInfo] = []
+def _load_module(file: Path, relpath: str) -> ModuleInfo:
+    source = file.read_text(encoding="utf-8")
+    tree, error = None, None
+    try:
+        tree = ast.parse(source, filename=str(file))
+    except SyntaxError as exc:  # pragma: no cover - repo always parses
+        error = f"{exc.msg} (line {exc.lineno})"
+    return ModuleInfo(
+        path=file, relpath=relpath, source=source, tree=tree, error=error
+    )
+
+
+def scan_paths(
+    paths: Sequence[Union[str, Path]],
+    base: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+) -> Project:
+    """Collect ``*.py`` files under ``paths`` into a :class:`Project`.
+
+    ``base`` anchors relpaths (for multi-root scans where per-root relpaths
+    would collide); files outside ``base`` fall back to root-relative.
+    ``jobs > 1`` reads and parses files on a thread pool.
+    """
+    base_path = Path(base).resolve() if base is not None else None
+    work: List[tuple] = []
     seen: Set[Path] = set()
     for raw in paths:
         root = Path(raw).resolve()
@@ -122,26 +145,20 @@ def scan_paths(paths: Sequence[Union[str, Path]]) -> Project:
             if file in seen:
                 continue
             seen.add(file)
-            relpath = (
-                file.name
-                if file == root
-                else file.relative_to(root).as_posix()
-            )
-            source = file.read_text(encoding="utf-8")
-            tree, error = None, None
-            try:
-                tree = ast.parse(source, filename=str(file))
-            except SyntaxError as exc:  # pragma: no cover - repo always parses
-                error = f"{exc.msg} (line {exc.lineno})"
-            modules.append(
-                ModuleInfo(
-                    path=file,
-                    relpath=relpath,
-                    source=source,
-                    tree=tree,
-                    error=error,
-                )
-            )
+            if base_path is not None and base_path in file.parents:
+                relpath = file.relative_to(base_path).as_posix()
+            elif file == root:
+                relpath = file.name
+            else:
+                relpath = file.relative_to(root).as_posix()
+            work.append((file, relpath))
+    if jobs > 1 and len(work) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            modules = list(pool.map(lambda w: _load_module(*w), work))
+    else:
+        modules = [_load_module(file, relpath) for file, relpath in work]
     return Project(modules)
 
 
@@ -184,9 +201,11 @@ def analyze(
     paths: Sequence[Union[str, Path]],
     baseline: Optional[Baseline] = None,
     rule_ids: Optional[Iterable[str]] = None,
+    base: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
 ) -> Report:
     start = time.perf_counter()
-    project = scan_paths(paths)
+    project = scan_paths(paths, base=base, jobs=jobs)
     raw = run_rules(project, rule_ids)
     report = Report(files_scanned=len(project.modules))
     baseline = baseline or Baseline()
@@ -214,6 +233,8 @@ def render_text(report: Report, verbose_baselined: bool = False) -> str:
     lines = []
     for finding in report.new:
         lines.append(finding.format())
+        if finding.suggestion:
+            lines.append(f"    fix: {finding.suggestion}")
     if verbose_baselined:
         for finding in report.baselined:
             lines.append(f"{finding.format()} (baselined)")

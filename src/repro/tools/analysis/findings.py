@@ -25,6 +25,7 @@ class Finding:
     line: int
     symbol: str  # enclosing scope, e.g. "LocalObjectStore.put" or "<module>"
     message: str
+    suggestion: str = ""  # how to fix it; excluded from the fingerprint
 
     def fingerprint(self) -> Tuple[str, str, str, str]:
         return (self.rule_id, self.path, self.symbol, self.message)
@@ -36,7 +37,7 @@ class Finding:
         )
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule_id,
             "severity": self.severity,
             "path": self.path,
@@ -44,6 +45,9 @@ class Finding:
             "symbol": self.symbol,
             "message": self.message,
         }
+        if self.suggestion:
+            payload["suggestion"] = self.suggestion
+        return payload
 
     def sort_key(self):
         return (

@@ -7,6 +7,7 @@ cross-module rules (RT-LOCK-ORDER) and per-class rules share one parse.
 
 from __future__ import annotations
 
+import fnmatch
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List
 
@@ -38,9 +39,18 @@ def all_rules() -> List[Rule]:
 
 
 def select_rules(rule_ids) -> List[Rule]:
-    selected = []
-    for rule_id in rule_ids:
-        if rule_id not in RULES:
-            raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(RULES)}")
-        selected.append(RULES[rule_id])
-    return selected
+    """Resolve ids and ``fnmatch`` globs ('DF-*', 'RT-LOCK-?????') to rules."""
+    selected: Dict[str, Rule] = {}
+    for pattern in rule_ids:
+        pattern = pattern.upper()
+        if pattern in RULES:
+            selected[pattern] = RULES[pattern]
+            continue
+        matched = fnmatch.filter(sorted(RULES), pattern)
+        if not matched:
+            raise KeyError(
+                f"unknown rule or pattern {pattern!r}; known: {sorted(RULES)}"
+            )
+        for rule_id in matched:
+            selected[rule_id] = RULES[rule_id]
+    return [selected[rule_id] for rule_id in sorted(selected)]

@@ -1,0 +1,479 @@
+"""Distributed-dataflow rules (DF-*): ObjectRef usage over the repro API.
+
+Where the RT-* family lints the runtime's own locking, the DF-* family
+lints *users* of the programming model (paper §3.1): examples, RL
+workloads, benchmark scripts, the serve plane.  All six rules read the
+shared per-module :mod:`~repro.tools.analysis.dfgraph` model, so the AST
+is walked once per file no matter how many rules run.
+
+Catalog (see docs/STATIC_ANALYSIS.md for before/after snippets):
+
+* DF-NESTED-GET — blocking ``get``/``wait`` inside worker-side code.
+* DF-GET-IN-LOOP — per-iteration ``get`` on a ref produced in the same
+  loop (directly, or inside a function the loop calls).
+* DF-UNCONSUMED-REF — a produced ref that is never consumed.
+* DF-LARGE-CAPTURE — a large inline value serialized per task instead of
+  ``repro.put`` once.
+* DF-UNBOUNDED-FANOUT — ``.remote()`` in a while-loop with no ``wait``/
+  ``get`` backpressure.
+* DF-ACTOR-CREATE-IN-LOOP — an actor created per iteration and leaked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.tools.analysis import dfgraph
+from repro.tools.analysis.dfgraph import (
+    TAG_PUT,
+    TAG_REF,
+    TAG_REFS,
+    BlockingCall,
+    Invocation,
+    ModuleModel,
+)
+from repro.tools.analysis.findings import ERROR, WARNING, Finding
+from repro.tools.analysis.registry import rule
+
+
+def _models(project) -> Iterator[Tuple["dfgraph.ProjectModel", ModuleModel]]:
+    pm = dfgraph.project_model(project)
+    for model in pm.models:
+        if model.module.tree is not None:
+            yield pm, model
+
+
+def _all_blocking(model: ModuleModel) -> List[BlockingCall]:
+    calls = list(model.module_blocking)
+    for info in model.funcs.values():
+        calls.extend(info.blocking)
+    return calls
+
+
+def _all_invocations(model: ModuleModel) -> List[Invocation]:
+    invs = list(model.module_invocations)
+    for info in model.funcs.values():
+        invs.extend(info.invocations)
+    return invs
+
+
+def _loops_with_backpressure(model: ModuleModel) -> Set[int]:
+    return {id(bc.loop) for bc in _all_blocking(model) if bc.loop is not None}
+
+
+# -- DF-NESTED-GET -----------------------------------------------------------
+
+
+@rule(
+    "DF-NESTED-GET",
+    "blocking get/wait inside a remote function or actor method",
+)
+def check_nested_get(project):
+    for _pm, model in _models(project):
+        module = model.module
+        for info in model.funcs.values():
+            if not info.remote_context:
+                continue
+            for bc in info.blocking:
+                if bc.arg_tag == TAG_PUT:
+                    # get on a ref the function put itself: a pure local
+                    # store round trip, no worker is consumed waiting.
+                    continue
+                yield Finding(
+                    rule_id="DF-NESTED-GET",
+                    severity=WARNING,
+                    path=module.relpath,
+                    line=bc.call.lineno,
+                    symbol=module.symbol_of(bc.call),
+                    message=(
+                        f"blocking repro.{bc.api} inside a {info.remote_via}: "
+                        "the worker sits occupied while it waits, which can "
+                        "deadlock the pool when nesting exceeds cluster slots"
+                    ),
+                    suggestion=(
+                        "Return the ObjectRef(s) to the caller and get() at "
+                        "the driver, or pass the upstream refs as task "
+                        "arguments so the scheduler chains them. If this is "
+                        "the paper's deliberate nested-parallelism pattern, "
+                        "baseline it with a justification."
+                    ),
+                )
+
+
+# -- DF-GET-IN-LOOP ----------------------------------------------------------
+
+
+@rule(
+    "DF-GET-IN-LOOP",
+    "per-iteration blocking get on refs produced in the same loop",
+)
+def check_get_in_loop(project):
+    for _pm, model in _models(project):
+        module = model.module
+        for bc in _all_blocking(model):
+            if bc.api != "get" or bc.loop is None:
+                continue
+            if bc.arg_tag != TAG_REF:
+                # Container gets (TAG_REFS) are the *batched* idiom — one
+                # round trip per wave — and wait-derived / put / stale refs
+                # are fine; only a single fresh ref per iteration serializes.
+                continue
+            if bc.result_names and model.results_flow_remote(
+                bc.result_names, bc.func, bc.loop.body, exclude=bc.call
+            ):
+                # Loop-carried dependency: the fetched value feeds a later
+                # remote call (directly or through a local helper), so the
+                # round trip is semantically required.
+                continue
+            yield Finding(
+                rule_id="DF-GET-IN-LOOP",
+                severity=WARNING,
+                path=module.relpath,
+                line=bc.call.lineno,
+                symbol=module.symbol_of(bc.call),
+                message=(
+                    f"per-iteration repro.get on '{bc.arg_target}' serializes "
+                    "the loop: each round trip completes before the next "
+                    "task is submitted"
+                ),
+                suggestion=(
+                    "Submit all refs first and repro.get(refs) once after "
+                    "the loop, consume completions with a repro.wait window, "
+                    "or use submit_many for homogeneous calls."
+                ),
+            )
+        # Interprocedural case: a local function that blocks on a ref it
+        # produces, invoked from a loop — same serialization, one call away.
+        seen = set()
+        for info in model.funcs.values():
+            for edge in info.local_calls:
+                if edge.loop is None:
+                    continue
+                callee = model.funcs.get(edge.key)
+                if callee is None or not callee.fresh_gets:
+                    continue
+                for fg in callee.fresh_gets:
+                    key = (info.key, callee.key, id(fg.call))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        rule_id="DF-GET-IN-LOOP",
+                        severity=WARNING,
+                        path=module.relpath,
+                        line=fg.call.lineno,
+                        symbol=module.symbol_of(fg.call),
+                        message=(
+                            f"'{callee.key}' blocks on a fresh ref from "
+                            f"'{fg.arg_target}' and is called from a loop in "
+                            f"'{info.key}': one serial round trip per iteration"
+                        ),
+                        suggestion=(
+                            "Let the helper return the ref (or queue it) and "
+                            "batch the gets at the call site, or drop the get "
+                            "if the result is unused — actor mailbox order "
+                            "already guarantees execution order."
+                        ),
+                    )
+
+
+# -- DF-UNCONSUMED-REF -------------------------------------------------------
+
+
+@rule(
+    "DF-UNCONSUMED-REF",
+    "ObjectRef never consumed (get/wait/return/store): result stays pinned",
+)
+def check_unconsumed_ref(project):
+    for _pm, model in _models(project):
+        module = model.module
+        for inv in model.module_discards:
+            if inv.kind == "actor_create":
+                continue  # handle leaks are DF-ACTOR-CREATE-IN-LOOP's beat
+            yield _unconsumed(module, inv, name=None)
+        for info in model.funcs.values():
+            for inv in info.discards:
+                if inv.kind == "actor_create":
+                    continue
+                yield _unconsumed(module, inv, name=None)
+            reported: Set[str] = set()
+            for binding in info.bindings:
+                if binding.tag not in (TAG_REF, TAG_REFS, TAG_PUT):
+                    continue
+                if binding.name in info.loaded_names:
+                    continue
+                if binding.name in reported:
+                    continue
+                reported.add(binding.name)
+                yield _unconsumed(module, binding.invocation, name=binding.name,
+                                  node=binding.node)
+
+
+def _unconsumed(module, inv: Optional[Invocation], name: Optional[str],
+                node: Optional[ast.AST] = None) -> Finding:
+    target = inv.target if inv is not None else "<ref>"
+    if name is None:
+        message = (
+            f"ObjectRef from '{target}' is discarded immediately: the task "
+            "still runs and its result stays pinned in the store/lineage"
+        )
+    else:
+        message = (
+            f"'{name}' holds ObjectRef(s) from '{target}' but is never "
+            "consumed: result and lineage stay pinned"
+        )
+    anchor = node if node is not None else (inv.call if inv is not None else None)
+    return Finding(
+        rule_id="DF-UNCONSUMED-REF",
+        severity=WARNING,
+        path=module.relpath,
+        line=getattr(anchor, "lineno", 1),
+        symbol=module.symbol_of(anchor) if anchor is not None else "<module>",
+        message=message,
+        suggestion=(
+            "get()/wait() the ref (a batched drain is fine), return it to "
+            "the caller, or repro.cancel the task if the result is truly "
+            "unneeded."
+        ),
+    )
+
+
+# -- DF-LARGE-CAPTURE --------------------------------------------------------
+
+
+@rule(
+    "DF-LARGE-CAPTURE",
+    "large inline value serialized per task instead of repro.put once",
+)
+def check_large_capture(project):
+    for _pm, model in _models(project):
+        module = model.module
+        # Case 1: a large expression built directly inside a repeated
+        # remote call's arguments.
+        for inv in _all_invocations(model):
+            if inv.kind == "put":
+                continue
+            if inv.loop is None and not inv.in_comprehension:
+                continue
+            for arg in list(inv.call.args) + [k.value for k in inv.call.keywords]:
+                for node in ast.walk(arg):
+                    desc = dfgraph.large_expr(node)
+                    if desc is None:
+                        continue
+                    yield Finding(
+                        rule_id="DF-LARGE-CAPTURE",
+                        severity=WARNING,
+                        path=module.relpath,
+                        line=inv.call.lineno,
+                        symbol=module.symbol_of(inv.call),
+                        message=(
+                            f"large value ({desc}) built inline in the "
+                            f"arguments of '{inv.target}' inside a loop: "
+                            "serialized again for every task"
+                        ),
+                        suggestion=(
+                            "Build it once, repro.put() it, and pass the ref; "
+                            "tasks then share one store copy (zero-copy reads)."
+                        ),
+                    )
+                    break
+        # Case 2: a name bound to a large value fanned out by value.
+        for info in model.funcs.values():
+            for name, (line, desc) in sorted(info.large_names.items()):
+                uses = [
+                    inv
+                    for inv in info.invocations
+                    if inv.kind != "put"
+                    and name in dfgraph._names_in_args(inv.call)
+                ]
+                if not uses:
+                    continue
+                looped = [
+                    u for u in uses if u.loop is not None or u.in_comprehension
+                ]
+                if not looped and len(uses) < 2:
+                    continue
+                anchor = (looped or uses)[0]
+                yield Finding(
+                    rule_id="DF-LARGE-CAPTURE",
+                    severity=WARNING,
+                    path=module.relpath,
+                    line=anchor.call.lineno,
+                    symbol=module.symbol_of(anchor.call),
+                    message=(
+                        f"'{name}' ({desc}) is passed by value to "
+                        f"'{anchor.target}' repeatedly: one serialized copy "
+                        "per task"
+                    ),
+                    suggestion=(
+                        f"ref = repro.put({name}) once, then pass ref — "
+                        "every task reads the same store object."
+                    ),
+                )
+        # Case 3: worker-side code closing over a module-level large value.
+        for info in model.funcs.values():
+            if not (info.is_remote_fn or info.in_actor_class or info.in_deployment):
+                continue
+            captured = (
+                (info.loaded_names & set(model.module_large))
+                - info.assigned_names
+                - set(info.params)
+            )
+            for name in sorted(captured):
+                _line, desc = model.module_large[name]
+                yield Finding(
+                    rule_id="DF-LARGE-CAPTURE",
+                    severity=WARNING,
+                    path=module.relpath,
+                    line=info.node.lineno,
+                    symbol=module.symbol_of(info.node.body[0])
+                    if info.node.body
+                    else module.symbol_of(info.node),
+                    message=(
+                        f"worker-side function captures module-level "
+                        f"'{name}' ({desc}): shipped with the function "
+                        "instead of living in the object store"
+                    ),
+                    suggestion=(
+                        f"repro.put({name}) at the driver and pass the ref "
+                        "as an argument."
+                    ),
+                )
+
+
+# -- DF-UNBOUNDED-FANOUT -----------------------------------------------------
+
+
+@rule(
+    "DF-UNBOUNDED-FANOUT",
+    ".remote() in a while-loop with no wait/get backpressure window",
+)
+def check_unbounded_fanout(project):
+    for _pm, model in _models(project):
+        module = model.module
+        backpressured = _loops_with_backpressure(model)
+        seen = set()
+        for inv in _all_invocations(model):
+            if inv.kind in ("put", "actor_create"):
+                continue
+            if not isinstance(inv.loop, ast.While):
+                continue
+            if id(inv.loop) in backpressured:
+                continue
+            key = (id(inv.loop), inv.target)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                rule_id="DF-UNBOUNDED-FANOUT",
+                severity=WARNING,
+                path=module.relpath,
+                line=inv.call.lineno,
+                symbol=module.symbol_of(inv.call),
+                message=(
+                    f"unbounded fan-out: '{inv.target}' is submitted in a "
+                    "while-loop that never waits on results — in-flight "
+                    "tasks and pinned refs grow without limit"
+                ),
+                suggestion=(
+                    "Keep a pending list and bound it with a wait window: "
+                    "ready, pending = repro.wait(pending, num_returns=1) "
+                    "once len(pending) exceeds the budget."
+                ),
+            )
+
+
+# -- DF-ACTOR-CREATE-IN-LOOP -------------------------------------------------
+
+
+@rule(
+    "DF-ACTOR-CREATE-IN-LOOP",
+    "actor created per loop iteration without retention or kill",
+)
+def check_actor_create_in_loop(project):
+    for pm, model in _models(project):
+        module = model.module
+        for inv in _all_invocations(model):
+            if not _is_actor_create(inv, pm):
+                continue
+            if inv.loop is None or inv.in_comprehension:
+                continue  # comprehension = pool built into a container
+            name = _binding_name(inv)
+            if name is not None and _handle_retained_or_killed(
+                model, inv, name
+            ):
+                continue
+            if name is None and not _is_discard(model, inv):
+                continue  # e.g. pool.append(Worker.remote()) — retained
+            yield Finding(
+                rule_id="DF-ACTOR-CREATE-IN-LOOP",
+                severity=ERROR,
+                path=module.relpath,
+                line=inv.call.lineno,
+                symbol=module.symbol_of(inv.call),
+                message=(
+                    f"actor '{inv.target}' is created every loop iteration "
+                    "and neither retained nor killed: each replica (process "
+                    "+ mailbox + GCS rows) leaks until shutdown"
+                ),
+                suggestion=(
+                    "Create the actor pool once before the loop and reuse "
+                    "the handles, or repro.kill(handle) before the iteration "
+                    "ends if per-iteration actors are intended."
+                ),
+            )
+
+
+def _is_actor_create(inv: Invocation, pm) -> bool:
+    if inv.kind == "actor_create":
+        return True
+    # Cross-module: `Worker` imported from a sibling module that decorates
+    # it with @repro.remote as a class.
+    return inv.kind == "task" and inv.target in pm.actor_classes
+
+
+def _binding_name(inv: Invocation) -> Optional[str]:
+    # The scanner classifies an assigned call twice (expression walk and
+    # assignment tagging), so match by the underlying Call node, not by
+    # Invocation instance.
+    if inv.func is None:
+        return None
+    for binding in inv.func.bindings:
+        if binding.invocation is not None and binding.invocation.call is inv.call:
+            return binding.name
+    return None
+
+
+def _is_discard(model: ModuleModel, inv: Invocation) -> bool:
+    if inv.func is None:
+        return inv in model.module_discards
+    return inv in inv.func.discards
+
+
+def _handle_retained_or_killed(model: ModuleModel, inv: Invocation, name: str) -> bool:
+    env = model.env
+    for stmt in inv.loop.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                if name in dfgraph._names_in(node.value):
+                    return True
+            if isinstance(node, ast.Assign):
+                stored = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+                if stored and name in dfgraph._names_in(node.value):
+                    return True
+            if not isinstance(node, ast.Call):
+                continue
+            api = env.api_call(node)
+            if api == "kill" and name in dfgraph._names_in_args(node):
+                return True
+            if api is not None:
+                continue
+            if model.classify_call(node, inv.func, None) is not None:
+                continue  # using the handle (`h.m.remote()`) is not retention
+            if name in dfgraph._names_in_args(node):
+                return True  # pool.append(h), helper(h), dict.setdefault(...)
+    return False

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export for CI code-scanning annotation.
+
+One run, one driver ("repro-analyze"), every registered rule in the rule
+catalog, one result per finding.  Baselined findings are emitted with a
+``suppressions`` entry (kind ``external``) so scanners show them as
+reviewed rather than new; fix suggestions ride in each result's
+``fixes[].description`` free text.  Fingerprints reuse the engine's
+line-independent ``(rule, path, symbol, message)`` identity so results
+track across unrelated edits exactly like the baseline does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.tools.analysis.findings import Finding
+from repro.tools.analysis.registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _fingerprint_hash(finding: Finding) -> str:
+    blob = "\x1f".join(finding.fingerprint()).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _result(finding: Finding, baselined: bool) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": f"[{finding.symbol}] {finding.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproAnalyzeFingerprint/v1": _fingerprint_hash(finding)
+        },
+    }
+    if finding.suggestion:
+        result["fixes"] = [{"description": {"text": finding.suggestion}}]
+    if baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "analysis_baseline.json"}
+        ]
+    return result
+
+
+def sarif_payload(report) -> dict:
+    """The SARIF log dict for an engine :class:`~.engine.Report`."""
+    baselined = {f.fingerprint() for f in report.baselined}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "shortDescription": {"text": rule.summary},
+                            }
+                            for rule in all_rules()
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///."}},
+                "results": [
+                    _result(f, f.fingerprint() in baselined)
+                    for f in report.findings
+                ],
+            }
+        ],
+    }

@@ -1,16 +1,21 @@
 """CLI for the concurrency lint engine: ``python -m repro.tools.analyze``.
 
 Exit codes: 0 clean (or findings all baselined / not ``--strict``), 1 new
-findings under ``--strict``, 2 usage errors.  CI runs::
+findings under ``--strict`` (or stale baseline entries under
+``--fail-stale``), 2 usage errors.  CI runs::
 
-    PYTHONPATH=src python -m repro.tools.analyze --strict
+    PYTHONPATH=src python -m repro.tools.analyze --strict --fail-stale
 
-which scans ``src/repro`` against the checked-in ``analysis_baseline.json``
-at the repo root.
+which scans ``src/repro``, ``examples/`` and ``scripts/`` against the
+checked-in ``analysis_baseline.json`` at the repo root.  Finding paths are
+repo-root-relative (``src/repro/gcs/client.py``) so the three roots share
+one namespace; ``--sarif PATH`` writes a SARIF 2.1.0 log for code-scanning
+upload, and ``--rules`` accepts globs (``--rules 'DF-*'``).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import List, Optional
 
@@ -21,6 +26,7 @@ from repro.tools.analysis import (
     analyze,
     render_text,
     report_payload,
+    sarif_payload,
 )
 
 _PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
@@ -28,7 +34,18 @@ _REPO_ROOT = _PACKAGE_ROOT.parents[1]  # the checkout root
 
 
 def default_scan_paths() -> List[Path]:
-    return [_PACKAGE_ROOT]
+    """The runtime package plus its first API consumers: examples, scripts."""
+    paths = [_PACKAGE_ROOT]
+    for extra in ("examples", "scripts"):
+        candidate = _REPO_ROOT / extra
+        if candidate.is_dir():
+            paths.append(candidate)
+    return paths
+
+
+def default_scan_base() -> Path:
+    """Base directory finding paths are relative to (the repo root)."""
+    return _REPO_ROOT
 
 
 def default_baseline_path() -> Path:
@@ -69,7 +86,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or globs to run, e.g. 'DF-*' "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 log to PATH (for CI code scanning)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files on N threads (default: 1)",
+    )
+    parser.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="with --strict, also exit 1 on stale baseline entries "
+        "(entries whose finding no longer fires)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog"
@@ -98,7 +135,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
 
     try:
-        report = analyze(paths, baseline=baseline, rule_ids=rule_ids)
+        report = analyze(
+            paths,
+            baseline=baseline,
+            rule_ids=rule_ids,
+            base=default_scan_base(),
+            jobs=max(1, args.jobs),
+        )
     except KeyError as exc:
         parser.error(str(exc))
 
@@ -107,13 +150,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {baseline_path}")
         return 0
 
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            json.dump(sarif_payload(report), fh, indent=2)
+            fh.write("\n")
+
     emit_report(
         report_payload(report),
         output=args.output,
         text=render_text(report, verbose_baselined=args.show_baselined),
         as_json=args.json,
     )
-    return report.exit_code if args.strict else 0
+    if not args.strict:
+        return 0
+    if args.fail_stale and report.stale_baseline:
+        return max(report.exit_code, 1)
+    return report.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,7 +17,13 @@ from pathlib import Path
 import pytest
 
 from repro.tools import analyze as analyze_cli
-from repro.tools.analysis import Baseline, analyze, run_rules, scan_paths
+from repro.tools.analysis import (
+    Baseline,
+    analyze,
+    run_rules,
+    sarif_payload,
+    scan_paths,
+)
 
 
 def _scan(tmp_path: Path, source: str, name: str = "mod.py"):
@@ -572,6 +578,631 @@ class TestEngine:
             assert rule_id in out
 
 
+# ---------------------------------------------------------------------------
+# DF-NESTED-GET
+# ---------------------------------------------------------------------------
+
+
+class TestDFNestedGet:
+    def test_get_inside_remote_function_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def inner(x):
+                return x * x
+
+            @repro.remote
+            def outer(xs):
+                refs = [inner.remote(x) for x in xs]
+                return sum(repro.get(refs))
+            """,
+        )
+        hits = _rule_hits(findings, "DF-NESTED-GET")
+        assert any(f.symbol == "outer" for f in hits), [f.format() for f in findings]
+
+    def test_remote_context_propagates_through_local_helper(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def helper(xs):
+                refs = [work.remote(x) for x in xs]
+                return repro.get(refs)
+
+            @repro.remote
+            def outer(xs):
+                return helper(xs)
+            """,
+        )
+        hits = _rule_hits(findings, "DF-NESTED-GET")
+        assert any(f.symbol == "helper" for f in hits), [f.format() for f in findings]
+
+    def test_get_on_local_put_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def stage(x):
+                ref = repro.put(x)
+                return repro.get(ref)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-NESTED-GET")
+
+    def test_driver_side_get_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(xs):
+                refs = [work.remote(x) for x in xs]
+                return repro.get(refs)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-NESTED-GET")
+
+
+# ---------------------------------------------------------------------------
+# DF-GET-IN-LOOP
+# ---------------------------------------------------------------------------
+
+
+class TestDFGetInLoop:
+    def test_per_iteration_get_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(items):
+                out = []
+                for x in items:
+                    ref = work.remote(x)
+                    out.append(repro.get(ref))
+                return out
+            """,
+        )
+        hits = _rule_hits(findings, "DF-GET-IN-LOOP")
+        assert any(f.symbol == "main" for f in hits), [f.format() for f in findings]
+
+    def test_batched_container_get_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(waves):
+                results = []
+                for wave in waves:
+                    refs = [work.remote(x) for x in wave]
+                    results.extend(repro.get(refs))
+                return results
+            """,
+        )
+        assert not _rule_hits(findings, "DF-GET-IN-LOOP")
+
+    def test_loop_carried_dependency_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def step(v):
+                return v + 1
+
+            def main(rounds):
+                state = step.remote(0)
+                for _ in range(rounds):
+                    value = repro.get(state)
+                    state = step.remote(value * 2)
+                return repro.get(state)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-GET-IN-LOOP")
+
+    def test_fresh_get_in_helper_called_from_loop_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def fetch(x):
+                ref = work.remote(x)
+                return repro.get(ref)
+
+            def main(items):
+                out = []
+                for x in items:
+                    out.append(fetch(x))
+                return out
+            """,
+        )
+        hits = _rule_hits(findings, "DF-GET-IN-LOOP")
+        assert any(
+            f.symbol == "fetch" and "'main'" in f.message for f in hits
+        ), [f.format() for f in findings]
+
+    def test_helper_get_outside_any_loop_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def fetch(x):
+                ref = work.remote(x)
+                return repro.get(ref)
+
+            def main(x):
+                return fetch(x)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-GET-IN-LOOP")
+
+
+# ---------------------------------------------------------------------------
+# DF-UNCONSUMED-REF
+# ---------------------------------------------------------------------------
+
+
+class TestDFUnconsumedRef:
+    def test_discarded_ref_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(items):
+                for x in items:
+                    work.remote(x)
+            """,
+        )
+        hits = _rule_hits(findings, "DF-UNCONSUMED-REF")
+        assert any("discarded" in f.message for f in hits), [
+            f.format() for f in findings
+        ]
+
+    def test_bound_but_never_consumed_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(x):
+                ref = work.remote(x)
+                return 0
+            """,
+        )
+        hits = _rule_hits(findings, "DF-UNCONSUMED-REF")
+        assert any("'ref'" in f.message for f in hits), [
+            f.format() for f in findings
+        ]
+
+    def test_returned_refs_are_consumed(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def make(items):
+                refs = [work.remote(x) for x in items]
+                return refs
+            """,
+        )
+        assert not _rule_hits(findings, "DF-UNCONSUMED-REF")
+
+    def test_batched_drain_is_consumed(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(items):
+                refs = []
+                for x in items:
+                    refs.append(work.remote(x))
+                repro.get(refs)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-UNCONSUMED-REF")
+
+
+# ---------------------------------------------------------------------------
+# DF-LARGE-CAPTURE
+# ---------------------------------------------------------------------------
+
+
+class TestDFLargeCapture:
+    def test_large_name_fanned_out_by_value_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(table, i):
+                return table[i]
+
+            def main():
+                table = list(range(50_000))
+                refs = [work.remote(table, i) for i in range(8)]
+                return repro.get(refs)
+            """,
+        )
+        hits = _rule_hits(findings, "DF-LARGE-CAPTURE")
+        assert any("'table'" in f.message for f in hits), [
+            f.format() for f in findings
+        ]
+
+    def test_worker_capturing_module_large_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            TABLE = list(range(100_000))
+
+            @repro.remote
+            def lookup(i):
+                return TABLE[i]
+            """,
+        )
+        hits = _rule_hits(findings, "DF-LARGE-CAPTURE")
+        assert any("'TABLE'" in f.message for f in hits), [
+            f.format() for f in findings
+        ]
+
+    def test_put_once_pass_ref_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(table_ref, i):
+                return repro.get(table_ref)[i]  # noqa: DF-NESTED-GET
+
+            def main():
+                table_ref = repro.put(list(range(50_000)))
+                refs = [work.remote(table_ref, i) for i in range(8)]
+                return repro.get(refs)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-LARGE-CAPTURE")
+
+    def test_single_unlooped_use_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(table):
+                return sum(table)
+
+            def main():
+                table = list(range(50_000))
+                return repro.get(work.remote(table))
+            """,
+        )
+        assert not _rule_hits(findings, "DF-LARGE-CAPTURE")
+
+
+# ---------------------------------------------------------------------------
+# DF-UNBOUNDED-FANOUT
+# ---------------------------------------------------------------------------
+
+
+class TestDFUnboundedFanout:
+    def test_while_loop_without_wait_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main():
+                i = 0
+                while i < 1000:
+                    work.remote(i)
+                    i += 1
+            """,
+        )
+        hits = _rule_hits(findings, "DF-UNBOUNDED-FANOUT")
+        assert any("'work'" in f.message for f in hits), [
+            f.format() for f in findings
+        ]
+
+    def test_wait_window_is_backpressure(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main():
+                pending = []
+                i = 0
+                while i < 1000:
+                    pending.append(work.remote(i))
+                    if len(pending) >= 8:
+                        _ready, pending = repro.wait(pending, num_returns=1)
+                    i += 1
+                repro.get(pending)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-UNBOUNDED-FANOUT")
+
+    def test_bounded_for_loop_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            def work(x):
+                return x
+
+            def main(items):
+                refs = []
+                for x in items:
+                    refs.append(work.remote(x))
+                return repro.get(refs)
+            """,
+        )
+        assert not _rule_hits(findings, "DF-UNBOUNDED-FANOUT")
+
+
+# ---------------------------------------------------------------------------
+# DF-ACTOR-CREATE-IN-LOOP
+# ---------------------------------------------------------------------------
+
+
+class TestDFActorCreateInLoop:
+    def test_leaked_per_iteration_actor_fires(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            class Worker:
+                def ping(self):
+                    return 1
+
+            def main(n):
+                out = []
+                for _ in range(n):
+                    w = Worker.remote()
+                    ref = w.ping.remote()
+                    out.append(repro.get(ref))
+                return out
+            """,
+        )
+        hits = _rule_hits(findings, "DF-ACTOR-CREATE-IN-LOOP")
+        assert hits and hits[0].severity == "error", [
+            f.format() for f in findings
+        ]
+
+    def test_comprehension_pool_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            class Worker:
+                def ping(self):
+                    return 1
+
+            def main(n):
+                pool = [Worker.remote() for _ in range(n)]
+                return repro.get([w.ping.remote() for w in pool])
+            """,
+        )
+        assert not _rule_hits(findings, "DF-ACTOR-CREATE-IN-LOOP")
+
+    def test_killed_actor_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            class Worker:
+                def ping(self):
+                    return 1
+
+            def main(n):
+                out = []
+                for _ in range(n):
+                    w = Worker.remote()
+                    ref = w.ping.remote()
+                    out.append(repro.get(ref))
+                    repro.kill(w)
+                return out
+            """,
+        )
+        assert not _rule_hits(findings, "DF-ACTOR-CREATE-IN-LOOP")
+
+    def test_retained_in_pool_is_exempt(self, tmp_path):
+        findings = _scan(
+            tmp_path,
+            """
+            import repro
+
+            @repro.remote
+            class Worker:
+                def ping(self):
+                    return 1
+
+            def main(n):
+                pool = []
+                for _ in range(n):
+                    pool.append(Worker.remote())
+                return pool
+            """,
+        )
+        assert not _rule_hits(findings, "DF-ACTOR-CREATE-IN-LOOP")
+
+
+# ---------------------------------------------------------------------------
+# Engine extensions: rule globs, SARIF, parallel parse
+# ---------------------------------------------------------------------------
+
+
+_DF_BAD_SOURCE = textwrap.dedent(
+    """
+    import repro
+
+    @repro.remote
+    def work(x):
+        return x
+
+    def main(items):
+        out = []
+        for x in items:
+            ref = work.remote(x)
+            out.append(repro.get(ref))
+        return out
+    """
+)
+
+
+class TestEngineExtensions:
+    def test_cli_rule_glob_selects_family(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(_DF_BAD_SOURCE)
+        rc = analyze_cli.main(
+            [str(tmp_path), "--strict", "--no-baseline", "--rules", "DF-*"]
+        )
+        assert rc == 1
+        assert "DF-GET-IN-LOOP" in capsys.readouterr().out
+
+    def test_cli_rule_glob_excludes_other_family(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(_BAD_SOURCE)  # RT-THREAD-LEAK only
+        rc = analyze_cli.main(
+            [str(tmp_path), "--strict", "--no-baseline", "--rules", "DF-*"]
+        )
+        assert rc == 0
+
+    def test_cli_unknown_glob_is_usage_error(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        with pytest.raises(SystemExit) as exc:
+            analyze_cli.main([str(tmp_path), "--rules", "ZZ-*"])
+        assert exc.value.code == 2
+
+    def test_sarif_output_schema(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(_DF_BAD_SOURCE)
+        sarif_path = tmp_path / "out.sarif"
+        rc = analyze_cli.main(
+            [str(tmp_path), "--no-baseline", "--sarif", str(sarif_path)]
+        )
+        assert rc == 0
+        payload = json.loads(sarif_path.read_text())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "DF-GET-IN-LOOP" in rule_ids
+        result = next(
+            r for r in run["results"] if r["ruleId"] == "DF-GET-IN-LOOP"
+        )
+        assert result["level"] == "warning"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("mod.py")
+        assert location["region"]["startLine"] > 0
+        assert "reproAnalyzeFingerprint/v1" in result["partialFingerprints"]
+        assert result["fixes"][0]["description"]["text"]
+
+    def test_sarif_marks_baselined_as_suppressed(self, tmp_path):
+        (tmp_path / "mod.py").write_text(_DF_BAD_SOURCE)
+        report = analyze([tmp_path])
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.save(baseline_path, report.findings, justification="test")
+        again = analyze([tmp_path], baseline=Baseline.load(baseline_path))
+        payload = sarif_payload(again)
+        suppressed = [
+            r
+            for r in payload["runs"][0]["results"]
+            if any(s["kind"] == "external" for s in r.get("suppressions", []))
+        ]
+        assert suppressed
+
+    def test_parallel_parse_matches_serial(self, tmp_path):
+        (tmp_path / "a.py").write_text(_DF_BAD_SOURCE)
+        (tmp_path / "b.py").write_text(_BAD_SOURCE)
+        (tmp_path / "c.py").write_text("x = 1\n")
+        serial = analyze([tmp_path], jobs=1)
+        threaded = analyze([tmp_path], jobs=4)
+        assert sorted(f.fingerprint() for f in serial.findings) == sorted(
+            f.fingerprint() for f in threaded.findings
+        )
+
+    def test_fail_stale_gates_stale_entries(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(_DF_BAD_SOURCE)
+        report = analyze([tmp_path])
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.save(baseline_path, report.findings, justification="test")
+        (tmp_path / "mod.py").write_text("x = 1\n")  # findings are gone
+        args = [str(tmp_path), "--strict", "--baseline", str(baseline_path)]
+        assert analyze_cli.main(args) == 0
+        capsys.readouterr()
+        assert analyze_cli.main(args + ["--fail-stale"]) == 1
+
+
 class TestRepoIsClean:
     def test_strict_scan_of_the_repo_passes(self):
         """The acceptance gate: the shipped tree has no unbaselined
@@ -580,6 +1211,10 @@ class TestRepoIsClean:
         assert len(baseline.entries) <= 10
         for entry in baseline.entries:
             assert entry.get("justification"), entry
-        report = analyze(analyze_cli.default_scan_paths(), baseline=baseline)
+        report = analyze(
+            analyze_cli.default_scan_paths(),
+            baseline=baseline,
+            base=analyze_cli.default_scan_base(),
+        )
         assert not report.new, [f.format() for f in report.new]
         assert not report.stale_baseline
